@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Every paper figure has one bench that regenerates its data at a reduced
+but protocol-preserving scale (``BENCH_*`` constants below); the kernel
+benches guard the hot vectorized paths against performance regressions.
+
+Simulation-backed figure benches run ``benchmark.pedantic`` with a single
+round — they are end-to-end regenerations, not microbenchmarks — while the
+kernel benches use the default calibration.
+"""
+
+import numpy as np
+import pytest
+
+#: Reduced scale for simulation-backed figure benches.
+BENCH_AGENTS = 50
+BENCH_ARTICLES = 10
+BENCH_TRAIN = 400
+BENCH_EVAL = 250
+
+
+def bench_config(**overrides):
+    from repro.sim.config import SimulationConfig
+
+    defaults = dict(
+        n_agents=BENCH_AGENTS,
+        n_articles=BENCH_ARTICLES,
+        training_steps=BENCH_TRAIN,
+        eval_steps=BENCH_EVAL,
+        seed=9,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2008)

@@ -1,0 +1,33 @@
+"""Ablation bench: R_min vs whitewashing pressure (paper section III-A).
+
+"A high R_min provides incentives for whitewashing the identity": the
+reputation a steady contributor forfeits by resetting to R_min shrinks as
+R_min grows, so the deterrent weakens.  The bench regenerates two R_min
+operating points with identity-reset churn enabled and asserts the
+pressure ordering.
+"""
+
+from conftest import bench_config
+from repro.core.params import PaperConstants, ReputationParams, ServiceParams
+from repro.sim.sweep import run_sweep
+
+
+def run_rmin_points():
+    points = {}
+    for r_min in (0.05, 0.40):
+        constants = PaperConstants().with_overrides(
+            reputation_s=ReputationParams(r_min=r_min),
+            service=ServiceParams(edit_threshold=r_min + 0.05),
+        )
+        cfg = bench_config(constants=constants, whitewash_rate=0.002, seed=3)
+        res = run_sweep([cfg])[0]
+        loss = res.summary["reputation_s_rational"] - r_min
+        points[r_min] = loss
+    return points
+
+
+def test_ablation_rmin_whitewash_pressure(benchmark):
+    points = benchmark.pedantic(run_rmin_points, rounds=1, iterations=1)
+    # Whitewashing forfeits less reputation when R_min is high -> the
+    # deterrent (the 'loss') must shrink as R_min grows.
+    assert points[0.05] > points[0.40]

@@ -1,0 +1,15 @@
+"""Bench FIG1: regenerate the reputation-function curves (paper Figure 1)."""
+
+import numpy as np
+
+from repro.experiments import fig1_reputation
+
+
+def test_fig1_reputation_curves(benchmark):
+    figs = benchmark(fig1_reputation.run)
+    fig = figs[0]
+    assert len(fig.series) == 4
+    assert fig.x.size == 101
+    for curve in fig.series.values():
+        assert curve[0] == np.float64(0.05) or abs(curve[0] - 0.05) < 1e-12
+        assert np.all(np.diff(curve) >= 0)

@@ -1,0 +1,16 @@
+"""Bench FIG2: regenerate the Boltzmann distributions (paper Figure 2)."""
+
+import numpy as np
+
+from repro.experiments import fig2_boltzmann
+
+
+def test_fig2_boltzmann_distributions(benchmark):
+    figs = benchmark(fig2_boltzmann.run)
+    assert len(figs) == 2
+    low_t, high_t = figs
+    assert low_t.series["p"].sum() == np.float64(1.0) or abs(
+        low_t.series["p"].sum() - 1.0
+    ) < 1e-12
+    assert low_t.series["p"][-1] > 0.3  # T=2 concentrates
+    assert np.all(np.abs(high_t.series["p"] - 0.1) < 0.01)  # T=1000 flat

@@ -1,0 +1,38 @@
+"""Bench FIG5: per-rational-peer sharing vs population mix (paper Figure 5).
+
+Asserts the paper's two shape claims: rational sharing is insensitive to
+the mix, and rational peers share more bandwidth than articles.
+"""
+
+import numpy as np
+
+from conftest import bench_config
+from repro.agents.population import mixture_sweep
+from repro.sim.sweep import run_sweep
+
+
+def run_fig5():
+    pcts = [20, 80]
+    configs = [
+        bench_config(mix=mix, seed=11)
+        for vary in ("altruistic", "irrational")
+        for mix in mixture_sweep(vary, pcts)
+    ]
+    results = run_sweep(configs, backend="process", workers=4)
+    return [
+        (
+            r.summary["shared_files_rational"],
+            r.summary["shared_bandwidth_rational"],
+        )
+        for r in results
+    ]
+
+
+def test_fig5_rational_stability(benchmark):
+    points = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    bw = np.array([p[1] for p in points])
+    files = np.array([p[0] for p in points])
+    # Stability: the rational bandwidth band stays narrow across mixes.
+    assert bw.max() - bw.min() < 0.25
+    # Bandwidth is shared more than articles, as in the paper's bands.
+    assert bw.mean() > files.mean()

@@ -1,0 +1,37 @@
+"""Benchmarks for the trust-propagation substrate."""
+
+import numpy as np
+
+from repro.trust.eigentrust import eigentrust
+from repro.trust.local_trust import normalize_trust
+from repro.trust.maxflow import max_flow_trust
+
+N = 100
+
+
+def trust_matrix(seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.random((N, N)) * (rng.random((N, N)) < 0.2)
+    np.fill_diagonal(raw, 0.0)
+    return normalize_trust(raw)
+
+
+def test_eigentrust_convergence(benchmark):
+    c = trust_matrix()
+    res = benchmark(eigentrust, c)
+    assert res.converged
+
+
+def test_normalize_trust(benchmark):
+    rng = np.random.default_rng(1)
+    raw = rng.random((N, N))
+    c = benchmark(normalize_trust, raw)
+    assert np.allclose(c.sum(axis=1), 1.0)
+
+
+def test_max_flow_single_pair(benchmark):
+    rng = np.random.default_rng(2)
+    cap = rng.random((N, N)) * (rng.random((N, N)) < 0.1)
+    np.fill_diagonal(cap, 0.0)
+    flow = benchmark(max_flow_trust, cap, 0, N - 1)
+    assert flow >= 0.0

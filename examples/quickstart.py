@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: run one collaboration-network simulation and read the results.
+
+Builds the paper's default setting (100 peers, reputation-based incentive
+scheme, Q-learning agents), runs a reduced-horizon version of the
+train-then-evaluate protocol, and prints the headline metrics.
+
+    python examples/quickstart.py
+"""
+
+from repro.sim import base_config, run_simulation
+
+
+def main() -> None:
+    # `fast=True` shrinks the horizon (1 500 training / 800 evaluation
+    # steps) while keeping the paper's protocol: uniform exploration at
+    # T = inf, reputation reset, then Boltzmann play at T = 1.
+    config = base_config(fast=True, seed=42)
+    print(f"running: {config.describe()}")
+    print(f"  {config.n_agents} peers, {config.training_steps} training steps, "
+          f"{config.eval_steps} evaluation steps")
+
+    result = run_simulation(config)
+
+    s = result.summary
+    print(f"\ncompleted in {result.wall_time_s:.1f}s — evaluation-window metrics:")
+    print(f"  shared articles / peer   : {s['shared_files']:.3f}")
+    print(f"  shared bandwidth / peer  : {s['shared_bandwidth']:.3f}")
+    print(f"  mean sharing reputation  : {s['reputation_s_rational']:.3f}")
+    print(f"  mean sharing utility     : {s['utility_sharing']:.3f}")
+    print(f"  votes per step           : {s['votes_cast_per_step']:.1f}")
+    print(f"  vote success rate        : {s['vote_success_rate']:.2f}")
+    print(f"  constructive edit share  : {s['edit_constructive_fraction']:.2f}")
+
+    # Compare against the no-incentive baseline (the paper's Figure 3).
+    baseline = run_simulation(config.with_(incentives_enabled=False))
+    b = baseline.summary
+    gain_articles = s["shared_files"] / b["shared_files"] - 1.0
+    gain_bandwidth = s["shared_bandwidth"] / b["shared_bandwidth"] - 1.0
+    print("\nvs the no-incentive baseline (paper: +8 % articles, +11 % bandwidth):")
+    print(f"  articles : {b['shared_files']:.3f} -> {s['shared_files']:.3f} "
+          f"({gain_articles:+.1%})")
+    print(f"  bandwidth: {b['shared_bandwidth']:.3f} -> {s['shared_bandwidth']:.3f} "
+          f"({gain_bandwidth:+.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Designing the reputation function (the paper's future-work question).
+
+"The reputation function has a great influence on how much resources are
+shared.  Thus, future work will investigate new and existing reputation
+functions in order to maximize sharing."  This script explores that
+question *analytically* with the mean-field sharing game — no simulation,
+instant answers:
+
+1. the utility landscape a rational peer faces under the default logistic,
+2. the best-response sharing level per function family and steepness,
+3. why the logistic's early saturation caps the scheme's effectiveness
+   (the paper's own explanation of the modest Figure-3 gains).
+
+    python examples/reputation_design.py
+"""
+
+from repro.core.params import ReputationParams
+from repro.core.reputation import (
+    LinearReputation,
+    LogisticReputation,
+    PowerReputation,
+    StepReputation,
+)
+from repro.gametheory.sharing_game import MeanFieldSharingGame, SharingLevel
+
+
+def show_landscape() -> None:
+    print("== Utility landscape under the default logistic ==")
+    game = MeanFieldSharingGame(incentives_enabled=True)
+    pop = SharingLevel(0.5, 0.5)
+    print(f"(population fixed at 50% articles / 50% bandwidth)\n")
+    print("          articles=0   articles=0.5   articles=1")
+    for b in (0.0, 0.5, 1.0):
+        row = [
+            game.expected_utility(SharingLevel(a, b), pop)
+            for a in (0.0, 0.5, 1.0)
+        ]
+        print(f"  bw={b:3.1f}   " + "   ".join(f"{u:+9.4f}" for u in row))
+    br = game.best_response(pop)
+    print(f"\n  best response: articles={br.articles:.1f}, "
+          f"bandwidth={br.bandwidth:.1f}\n")
+
+
+def compare_families() -> None:
+    print("== Equilibrium sharing per reputation-function family ==")
+    families = {
+        "logistic beta=0.1": LogisticReputation(ReputationParams(beta=0.1)),
+        "logistic beta=0.2": LogisticReputation(ReputationParams(beta=0.2)),
+        "logistic beta=0.3": LogisticReputation(ReputationParams(beta=0.3)),
+        "linear (c_full=40)": LinearReputation(c_full=40.0),
+        "power  (exp=0.5)": PowerReputation(c_full=40.0, exponent=0.5),
+        "step   (4 levels)": StepReputation(c_full=40.0, n_steps=4),
+    }
+    print(f"  {'family':22s} {'eq articles':>11s} {'eq bandwidth':>12s} "
+          f"{'eq utility':>10s}")
+    for name, fn in families.items():
+        game = MeanFieldSharingGame(reputation_fn=fn, incentives_enabled=True)
+        eq = game.symmetric_equilibrium()
+        print(f"  {name:22s} {eq.level.articles:11.1f} "
+              f"{eq.level.bandwidth:12.1f} {eq.utility:10.4f}")
+    print()
+
+
+def show_saturation() -> None:
+    print("== The saturation problem (paper section V-A) ==")
+    fn = LogisticReputation()
+    game = MeanFieldSharingGame(reputation_fn=fn)
+    half = game.steady_reputation(SharingLevel(0.5, 0.5))
+    full = game.steady_reputation(SharingLevel(1.0, 1.0))
+    print(f"  steady reputation at half sharing: {half:.3f}")
+    print(f"  steady reputation at full sharing: {full:.3f}")
+    print(f"  -> doubling the contribution buys only "
+          f"{(full - half):.3f} extra reputation;")
+    print("     'after [the inflection] point the agents have to spend much"
+          "\n     more resources than they can get back' — the paper's own"
+          "\n     explanation for the modest +8-11% effect.")
+
+
+def main() -> None:
+    show_landscape()
+    compare_families()
+    show_saturation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Reputation propagation: EigenTrust vs max-flow trust under collusion.
+
+The paper assumes "a mechanism to safely propagate reputation values" and
+its related-work section contrasts EigenTrust (efficient, but colluders
+can boost each other) with max-flow trust (collusion-proof).  This script
+builds a network of honest peers plus a colluding clique, propagates trust
+both ways, and shows the difference.
+
+    python examples/trust_propagation.py
+"""
+
+import numpy as np
+
+from repro.trust import (
+    LocalTrustMatrix,
+    eigentrust,
+    max_flow_trust,
+    normalize_trust,
+)
+
+N_HONEST = 12
+N_COLLUDERS = 4
+N = N_HONEST + N_COLLUDERS
+
+
+def build_interactions(seed: int = 3) -> LocalTrustMatrix:
+    """Honest peers interact positively; colluders fake massive mutual
+    satisfaction and occasionally trick one honest peer."""
+    rng = np.random.default_rng(seed)
+    lt = LocalTrustMatrix(N)
+    # Honest mesh: repeated satisfactory exchanges.
+    for _ in range(600):
+        i, j = rng.choice(N_HONEST, size=2, replace=False)
+        lt.record(np.array([i]), np.array([j]), np.array([rng.random() < 0.9]))
+    # Collusion: the clique reports huge satisfaction about itself.
+    colluders = np.arange(N_HONEST, N)
+    for _ in range(2000):
+        i, j = rng.choice(colluders, size=2, replace=False)
+        lt.record(np.array([i]), np.array([j]), np.array([True]))
+    # Entry point: one honest peer had a couple of okay-looking downloads.
+    lt.record(np.array([0, 0]), np.array([N_HONEST, N_HONEST]), np.array([True, True]))
+    return lt
+
+
+def main() -> None:
+    lt = build_interactions()
+    c = lt.matrix()
+
+    print(f"network: {N_HONEST} honest peers, {N_COLLUDERS} colluders "
+          f"(peers {N_HONEST}..{N - 1})\n")
+
+    # --- EigenTrust --------------------------------------------------
+    result = eigentrust(c, alpha=0.05)
+    honest_trust = result.trust[:N_HONEST].mean()
+    clique_trust = result.trust[N_HONEST:].mean()
+    print("EigenTrust (damping alpha = 0.05):")
+    print(f"  converged in {result.iterations} iterations")
+    print(f"  mean trust, honest peer : {honest_trust:.4f}")
+    print(f"  mean trust, colluder    : {clique_trust:.4f}")
+    ratio = clique_trust / honest_trust
+    print(f"  -> colluders hold {ratio:.1f}x the trust of an honest peer —"
+          "\n     the clique's self-ratings leak through the entry point.\n")
+
+    # --- Pre-trusted damping helps ------------------------------------
+    pretrusted = np.zeros(N)
+    pretrusted[:3] = 1 / 3  # founders
+    damped = eigentrust(c, pretrusted=pretrusted, alpha=0.4)
+    print("EigenTrust with pre-trusted founders (alpha = 0.4):")
+    print(f"  mean trust, honest peer : {damped.trust[:N_HONEST].mean():.4f}")
+    print(f"  mean trust, colluder    : {damped.trust[N_HONEST:].mean():.4f}\n")
+
+    # --- Max-flow trust ----------------------------------------------
+    print("Max-flow trust from honest peer 1:")
+    cap = lt.scores()
+    np.maximum(cap, 0.0, out=cap)
+    flow_honest = np.mean(
+        [max_flow_trust(cap, 1, t) for t in range(2, N_HONEST)]
+    )
+    flow_clique = np.mean(
+        [max_flow_trust(cap, 1, t) for t in range(N_HONEST, N)]
+    )
+    print(f"  mean flow to honest peers: {flow_honest:.2f}")
+    print(f"  mean flow to colluders   : {flow_clique:.2f}")
+    print("  -> the clique's inflated internal edges cannot raise the flow an"
+          "\n     honest source can push to them: max-flow trust is bounded by"
+          "\n     the honest cut, exactly the robustness Feldman et al. prove.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in fully offline environments that lack the
+``wheel`` package (``pip install -e .`` falls back to the legacy code path,
+and ``python setup.py develop`` works directly).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""Population mixes of rational / altruistic / irrational peers.
+
+Paper section IV-B: "the occurrence of each user type is varied from
+10-100% while the other two types each share half of the difference to
+100%" — :func:`mixture_sweep` generates exactly those mixes, and
+:class:`PopulationMix` turns fractions into concrete per-peer type codes
+with largest-remainder rounding so counts always sum to the population
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.peer import ALTRUISTIC, IRRATIONAL, RATIONAL
+
+__all__ = ["PopulationMix", "mixture_sweep"]
+
+
+@dataclass(frozen=True)
+class PopulationMix:
+    """Fractions of the three behaviour types (must sum to 1)."""
+
+    rational: float
+    altruistic: float
+    irrational: float
+
+    def __post_init__(self) -> None:
+        fracs = (self.rational, self.altruistic, self.irrational)
+        if any(f < -1e-12 for f in fracs):
+            raise ValueError("fractions must be non-negative")
+        if abs(sum(fracs) - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {sum(fracs)}")
+
+    def counts(self, n_peers: int) -> tuple[int, int, int]:
+        """Largest-remainder apportionment of ``n_peers`` into the types."""
+        fracs = np.array([self.rational, self.altruistic, self.irrational])
+        raw = fracs * n_peers
+        base = np.floor(raw).astype(int)
+        remainder = n_peers - base.sum()
+        # Assign leftover seats to the largest fractional parts.
+        order = np.argsort(-(raw - base))
+        base[order[:remainder]] += 1
+        return int(base[0]), int(base[1]), int(base[2])
+
+    def build(self, n_peers: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Per-peer type codes; shuffled if an rng is given (recommended so
+        founders drawn by peer index are type-unbiased)."""
+        n_rat, n_alt, n_irr = self.counts(n_peers)
+        types = np.concatenate(
+            [
+                np.full(n_rat, RATIONAL, dtype=np.int8),
+                np.full(n_alt, ALTRUISTIC, dtype=np.int8),
+                np.full(n_irr, IRRATIONAL, dtype=np.int8),
+            ]
+        )
+        if rng is not None:
+            rng.shuffle(types)
+        return types
+
+    def describe(self) -> str:
+        return (
+            f"{self.rational:.0%} rational / {self.altruistic:.0%} altruistic / "
+            f"{self.irrational:.0%} irrational"
+        )
+
+
+def mixture_sweep(
+    vary: str,
+    percentages: np.ndarray | list[int] | None = None,
+) -> list[PopulationMix]:
+    """The paper's mixture rule: the varied type takes x%, the other two
+    split the remainder equally.
+
+    ``vary`` is one of ``"rational"``, ``"altruistic"``, ``"irrational"``.
+    ``percentages`` defaults to 10..90 in steps of 10 (the plotted range).
+    """
+    if vary not in ("rational", "altruistic", "irrational"):
+        raise ValueError("vary must name one of the three behaviour types")
+    if percentages is None:
+        percentages = list(range(10, 100, 10))
+    mixes = []
+    for pct in percentages:
+        if not 0 <= pct <= 100:
+            raise ValueError("percentages must lie in [0, 100]")
+        x = pct / 100.0
+        rest = (1.0 - x) / 2.0
+        parts = {"rational": rest, "altruistic": rest, "irrational": rest}
+        parts[vary] = x
+        mixes.append(PopulationMix(**parts))
+    return mixes

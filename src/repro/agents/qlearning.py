@@ -1,0 +1,164 @@
+"""Vectorized tabular Q-learning with Boltzmann exploration (paper IV-A).
+
+Every rational agent carries its own Q-matrix; the whole population learns
+in lock-step, so the table is one array ``Q[agent, state, action]`` and the
+update
+
+    ``Q(s,a) <- (1-alpha) Q(s,a) + alpha (r + gamma max_b Q(s',b))``
+
+is a single fancy-indexed assignment over all agents.  Action selection
+uses the Boltzmann (softmax) distribution of the paper's Figure 2:
+
+    ``p(a | s) = exp(Q(s,a)/T) / sum_b exp(Q(s,b)/T)``
+
+``T = inf`` (the paper sets "the highest possible floating-point value"
+during training) yields the uniform distribution; ``T -> 0`` approaches
+greedy.  Sampling is an inverse-CDF draw: one uniform per agent against the
+row-wise cumulative sum — no Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["boltzmann_probabilities", "sample_categorical", "VectorQLearner"]
+
+
+def boltzmann_probabilities(q_values: np.ndarray, temperature: float) -> np.ndarray:
+    """Softmax over the last axis at temperature ``T`` (Figure 2).
+
+    Numerically stable (max-subtracted); ``T = inf`` returns the uniform
+    distribution, matching the paper's "explore all actions with equal
+    probability" training regime.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive (use small T for greedy)")
+    q = np.asarray(q_values, dtype=np.float64)
+    if np.isinf(temperature):
+        shape = q.shape
+        return np.full(shape, 1.0 / shape[-1])
+    z = q / temperature
+    z -= z.max(axis=-1, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=-1, keepdims=True)
+    return z
+
+
+def sample_categorical(
+    probabilities: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorized categorical draw: one sample per row of ``probabilities``.
+
+    Inverse-CDF method: cumulative sums per row, one uniform per row, then
+    a row-wise count of how many CDF entries the uniform exceeds.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.ndim != 2:
+        raise ValueError("probabilities must be 2-D (rows = distributions)")
+    cdf = np.cumsum(p, axis=1)
+    # Guard against rounding: force the last CDF entry to 1.
+    cdf[:, -1] = 1.0
+    u = rng.random((p.shape[0], 1))
+    return (u > cdf).sum(axis=1)
+
+
+class VectorQLearner:
+    """Population of independent tabular Q-learners updated in lock-step."""
+
+    def __init__(
+        self,
+        n_agents: int,
+        n_states: int,
+        n_actions: int,
+        learning_rate: float = 0.1,
+        discount: float = 0.9,
+        initial_q: float = 0.0,
+    ) -> None:
+        if n_agents < 1 or n_states < 1 or n_actions < 2:
+            raise ValueError("need n_agents >= 1, n_states >= 1, n_actions >= 2")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 <= discount < 1.0:
+            raise ValueError("discount must be in [0, 1)")
+        self.n_agents = int(n_agents)
+        self.n_states = int(n_states)
+        self.n_actions = int(n_actions)
+        self.learning_rate = float(learning_rate)
+        self.discount = float(discount)
+        self.q = np.full(
+            (self.n_agents, self.n_states, self.n_actions),
+            float(initial_q),
+            dtype=np.float64,
+        )
+        self._agent_idx = np.arange(self.n_agents)
+
+    # ------------------------------------------------------------------
+    def select_actions(
+        self,
+        states: np.ndarray,
+        temperature: float,
+        rng: np.random.Generator,
+        subset: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Boltzmann action selection for all agents (or a subset).
+
+        ``states`` has one entry per *selected* agent.  ``T = inf`` takes a
+        fast path that skips the softmax entirely.
+        """
+        idx = self._agent_idx if subset is None else np.asarray(subset)
+        states = np.asarray(states)
+        if states.shape != idx.shape:
+            raise ValueError("states must align with the selected agents")
+        if np.isinf(temperature):
+            return rng.integers(0, self.n_actions, size=idx.size)
+        q_rows = self.q[idx, states]  # (k, n_actions) gather
+        probs = boltzmann_probabilities(q_rows, temperature)
+        return sample_categorical(probs, rng)
+
+    def greedy_actions(
+        self, states: np.ndarray, subset: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Argmax actions (ties -> lowest index), used by analysis only."""
+        idx = self._agent_idx if subset is None else np.asarray(subset)
+        return self.q[idx, np.asarray(states)].argmax(axis=1)
+
+    def update(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        subset: np.ndarray | None = None,
+    ) -> None:
+        """One vectorized temporal-difference backup for the selected agents."""
+        idx = self._agent_idx if subset is None else np.asarray(subset)
+        states = np.asarray(states)
+        actions = np.asarray(actions)
+        rewards = np.asarray(rewards, dtype=np.float64)
+        next_states = np.asarray(next_states)
+        if not (states.shape == actions.shape == rewards.shape == next_states.shape == idx.shape):
+            raise ValueError("all update arrays must align with the selected agents")
+        best_next = self.q[idx, next_states].max(axis=1)
+        target = rewards + self.discount * best_next
+        a = self.learning_rate
+        current = self.q[idx, states, actions]
+        self.q[idx, states, actions] = (1.0 - a) * current + a * target
+
+    # ------------------------------------------------------------------
+    def policy_probabilities(self, temperature: float) -> np.ndarray:
+        """Full (agents, states, actions) Boltzmann policy — analysis helper."""
+        return boltzmann_probabilities(self.q, temperature)
+
+    def reset(self, initial_q: float = 0.0) -> None:
+        self.q.fill(float(initial_q))
+
+    def copy(self) -> "VectorQLearner":
+        clone = VectorQLearner(
+            self.n_agents,
+            self.n_states,
+            self.n_actions,
+            learning_rate=self.learning_rate,
+            discount=self.discount,
+        )
+        clone.q[:] = self.q
+        return clone

@@ -1,0 +1,26 @@
+"""Analysis: statistics, series utilities, ASCII plots, figure containers."""
+
+from .asciiplot import bar_chart, grouped_bars, line_plot
+from .figures import FigureData
+from .report import load_results, render_markdown_table, reproduction_table
+from .series import converged, downsample, moving_average, tail_mean
+from .stats import MeanCI, bootstrap_ci, mean_ci, relative_change, welch_t_test
+
+__all__ = [
+    "bar_chart",
+    "grouped_bars",
+    "line_plot",
+    "FigureData",
+    "load_results",
+    "render_markdown_table",
+    "reproduction_table",
+    "converged",
+    "downsample",
+    "moving_average",
+    "tail_mean",
+    "MeanCI",
+    "bootstrap_ci",
+    "mean_ci",
+    "relative_change",
+    "welch_t_test",
+]

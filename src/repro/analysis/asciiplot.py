@@ -1,0 +1,127 @@
+"""Terminal plots: line charts and bar charts rendered as text.
+
+Matplotlib is not part of this project's (offline) dependency set, so the
+experiment drivers render each paper figure as an ASCII panel plus a CSV
+file.  Good enough to eyeball every curve's shape against the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "bar_chart", "grouped_bars"]
+
+
+def line_plot(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Multi-series scatter/line panel with one marker letter per series."""
+    x = np.asarray(x, dtype=np.float64)
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "oxv*+#@%"
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    for name, y in ys.items():
+        if y.shape != x.shape:
+            raise ValueError(f"series {name!r} does not align with x")
+    all_y = np.concatenate([v[~np.isnan(v)] for v in ys.values()])
+    if all_y.size == 0:
+        return f"{title}\n(no data)"
+    if y_range is None:
+        y_lo, y_hi = float(all_y.min()), float(all_y.max())
+        if y_hi - y_lo < 1e-12:
+            y_lo -= 0.5
+            y_hi += 0.5
+    else:
+        y_lo, y_hi = y_range
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, y) in enumerate(ys.items()):
+        m = markers[si % len(markers)]
+        for xv, yv in zip(x, y):
+            if np.isnan(yv):
+                continue
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(ys)
+    )
+    lines.append(legend)
+    lines.append(f"{y_hi:10.4f} +" + "-" * width + "+")
+    for r, row in enumerate(grid):
+        label = " " * 10
+        lines.append(f"{label} |" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.4f} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str],
+    values: np.ndarray | list[float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.4f}",
+) -> str:
+    """Horizontal bar chart; bar lengths scale to the max value."""
+    vals = np.asarray(values, dtype=np.float64)
+    if len(labels) != vals.size:
+        raise ValueError("labels and values must align")
+    lines = [title] if title else []
+    finite = np.abs(vals[~np.isnan(vals)])
+    vmax = float(finite.max()) if finite.size else 0.0
+    label_w = max((len(lb) for lb in labels), default=0)
+    for lb, v in zip(labels, vals):
+        if np.isnan(v):
+            bar = "(nan)"
+        else:
+            n = 0 if vmax == 0 else int(round(abs(v) / vmax * width))
+            bar = "#" * n
+        lines.append(f"{lb:<{label_w}} | {bar} {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    group_labels: list[str],
+    series: dict[str, np.ndarray | list[float]],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.4f}",
+) -> str:
+    """Bars per group and series — used for the stacked-bar paper figures."""
+    lines = [title] if title else []
+    arrs = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    for name, arr in arrs.items():
+        if arr.size != len(group_labels):
+            raise ValueError(f"series {name!r} does not match group count")
+    all_vals = np.concatenate(list(arrs.values()))
+    all_finite = np.abs(all_vals[~np.isnan(all_vals)])
+    vmax = float(all_finite.max()) if all_finite.size else 0.0
+    label_w = max(
+        max((len(lb) for lb in group_labels), default=0),
+        max((len(k) for k in arrs), default=0),
+    )
+    for gi, gl in enumerate(group_labels):
+        lines.append(f"{gl}:")
+        for name, arr in arrs.items():
+            v = arr[gi]
+            if np.isnan(v):
+                bar = "(nan)"
+            else:
+                n = 0 if vmax == 0 else int(round(abs(v) / vmax * width))
+                bar = "#" * n
+            lines.append(f"  {name:<{label_w}} | {bar} {fmt.format(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Time-series helpers for per-step metric traces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_average", "tail_mean", "downsample", "converged"]
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average, same length, ragged start averaged short.
+
+    Implemented with a cumulative sum (O(n), no Python loop).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    x = np.asarray(series, dtype=np.float64)
+    if x.size == 0:
+        return x.copy()
+    csum = np.cumsum(x)
+    out = np.empty_like(x)
+    w = min(window, x.size)
+    out[:w] = csum[:w] / np.arange(1, w + 1)
+    if x.size > w:
+        out[w:] = (csum[w:] - csum[:-w]) / w
+    return out
+
+
+def tail_mean(series: np.ndarray, fraction: float = 0.5) -> float:
+    """Mean of the trailing ``fraction`` of a series."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    x = np.asarray(series, dtype=np.float64)
+    if x.size == 0:
+        return float("nan")
+    start = int(np.floor(x.size * (1.0 - fraction)))
+    return float(x[start:].mean())
+
+
+def downsample(series: np.ndarray, n_points: int) -> tuple[np.ndarray, np.ndarray]:
+    """Bucket-mean downsampling to at most ``n_points`` (x, y) pairs."""
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    x = np.asarray(series, dtype=np.float64)
+    if x.size <= n_points:
+        return np.arange(x.size, dtype=np.float64), x.copy()
+    edges = np.linspace(0, x.size, n_points + 1).astype(np.int64)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    sums = np.add.reduceat(x, edges[:-1])
+    counts = np.diff(edges)
+    return centers, sums / counts
+
+
+def converged(
+    series: np.ndarray, window: int = 200, tolerance: float = 0.05
+) -> bool:
+    """Heuristic: is the series flat over its last two windows?
+
+    Compares the means of the last and second-to-last windows against
+    ``tolerance`` (absolute if the scale is tiny, else relative).
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.size < 2 * window:
+        return False
+    a = float(x[-2 * window : -window].mean())
+    b = float(x[-window:].mean())
+    scale = max(abs(a), abs(b))
+    if scale < 1e-9:
+        return True
+    return abs(b - a) / scale <= tolerance

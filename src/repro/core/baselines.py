@@ -1,0 +1,215 @@
+"""Baseline incentive schemes from the paper's related work (section II-B).
+
+The paper sorts incentive schemes into *trust based* (the proposed
+reputation scheme; private vs shared histories) and *trade based*
+(currencies such as Off-line Karma).  To make the comparison concrete we
+implement one representative of each missing category behind the same
+scheme protocol the engine drives:
+
+* :class:`PrivateHistoryScheme` — BitTorrent-style tit-for-tat: a source
+  splits its upload bandwidth among concurrent downloaders in proportion
+  to the bandwidth each of them has *personally* served to that source
+  before.  No shared state, no editing support — exactly the scheme the
+  paper argues breaks down on non-direct relations.
+* :class:`KarmaScheme` — a trade-based currency: serving earns karma,
+  downloading costs karma, and a source splits bandwidth proportionally
+  to its downloaders' balances.  Globally efficient but needs the central
+  authority / heavy overhead the paper criticises (here: an oracle).
+
+Both schemes leave editing/voting undifferentiated (everyone may edit and
+vote with equal weight) because neither can price a vote against an
+upload — the very gap the paper's scheme fills.
+
+The engine feeds both through the optional ``record_transfers`` hook
+(called after download settlement with the request pairs and transferred
+amounts); schemes that don't need it simply inherit the no-op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .contribution import ContributionLedger
+from .params import PaperConstants
+from .service import grouped_shares
+
+__all__ = ["PrivateHistoryScheme", "KarmaScheme"]
+
+
+class _UndifferentiatedEditingMixin:
+    """Editing/voting behaviour shared by both baselines: no privileges,
+    unweighted votes, simple majority, no punishment."""
+
+    n_peers: int
+
+    def reputation_e(self) -> np.ndarray:
+        return np.ones(self.n_peers)
+
+    def vote_weights(self, voter_ids: np.ndarray) -> np.ndarray:
+        voter_ids = np.asarray(voter_ids)
+        if voter_ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.full(voter_ids.shape, 1.0 / voter_ids.size)
+
+    def accept_majority(self, editor_id: int) -> float:
+        return 0.5
+
+    def may_edit(self) -> np.ndarray:
+        return np.ones(self.n_peers, dtype=bool)
+
+    def may_vote(self) -> np.ndarray:
+        return np.ones(self.n_peers, dtype=bool)
+
+    def record_vote_outcomes(
+        self, voter_ids: np.ndarray, successful: np.ndarray
+    ) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+    def record_edit_outcomes(
+        self, editor_ids: np.ndarray, accepted: np.ndarray
+    ) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+
+class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
+    """Tit-for-tat bandwidth allocation from private direct experience.
+
+    ``given[i, j]`` accumulates the bandwidth peer ``i`` has served peer
+    ``j`` (decayed geometrically so the history stays recent, like
+    BitTorrent's rolling rate estimate).  When peers compete for source
+    ``j``'s bandwidth, downloader ``i``'s weight is
+    ``epsilon + given[i, j]`` — strangers receive only the optimistic-
+    unchoke floor ``epsilon``.
+    """
+
+    differentiates_service = True
+
+    def __init__(
+        self,
+        n_peers: int,
+        constants: PaperConstants | None = None,
+        optimistic_floor: float = 0.05,
+        history_decay: float = 0.995,
+    ) -> None:
+        if not 0.0 < history_decay <= 1.0:
+            raise ValueError("history_decay must be in (0, 1]")
+        if optimistic_floor <= 0.0:
+            raise ValueError("optimistic_floor must be positive (unchoke)")
+        self.n_peers = int(n_peers)
+        self.constants = constants if constants is not None else PaperConstants()
+        self.optimistic_floor = float(optimistic_floor)
+        self.history_decay = float(history_decay)
+        self.given = np.zeros((n_peers, n_peers), dtype=np.float64)
+        # Contributions tracked only for comparable metrics.
+        self.ledger = ContributionLedger(n_peers, self.constants.contribution)
+
+    def reputation_s(self) -> np.ndarray:
+        """No global reputation exists; expose each peer's total recent
+        service (normalized) purely for metrics."""
+        totals = self.given.sum(axis=1)
+        top = totals.max()
+        return totals / top if top > 0 else np.zeros(self.n_peers)
+
+    def bandwidth_shares(
+        self, source_ids: np.ndarray, downloader_ids: np.ndarray
+    ) -> np.ndarray:
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        downloader_ids = np.asarray(downloader_ids, dtype=np.int64)
+        if source_ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        weights = self.optimistic_floor + self.given[downloader_ids, source_ids]
+        return grouped_shares(source_ids, weights, self.n_peers)
+
+    def record_sharing(
+        self, shared_articles: np.ndarray, served_bandwidth: np.ndarray
+    ) -> None:
+        self.ledger.record_sharing(shared_articles, served_bandwidth)
+
+    def record_editing(
+        self, successful_votes: np.ndarray, accepted_edits: np.ndarray
+    ) -> None:
+        self.ledger.record_editing(successful_votes, accepted_edits)
+
+    def record_transfers(
+        self,
+        downloader_ids: np.ndarray,
+        source_ids: np.ndarray,
+        amounts: np.ndarray,
+    ) -> None:
+        """After settlement: the source remembers what it gave whom."""
+        self.given *= self.history_decay
+        np.add.at(self.given, (source_ids, downloader_ids), amounts)
+
+    def reset_reputations(self) -> None:
+        self.given.fill(0.0)
+        self.ledger.reset_all()
+
+
+class KarmaScheme(_UndifferentiatedEditingMixin):
+    """Trade-based currency: earn by serving, pay by downloading.
+
+    Balances start at ``initial_karma``; a served unit of bandwidth earns
+    one karma, a received unit costs one (floored at zero — we model a
+    soft debit rather than refusing service, so the engine's request flow
+    is unchanged).  Allocation weight is the downloader's balance plus a
+    small floor so broke newcomers can bootstrap.
+    """
+
+    differentiates_service = True
+
+    def __init__(
+        self,
+        n_peers: int,
+        constants: PaperConstants | None = None,
+        initial_karma: float = 1.0,
+        floor: float = 0.05,
+    ) -> None:
+        if initial_karma < 0:
+            raise ValueError("initial_karma must be non-negative")
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        self.n_peers = int(n_peers)
+        self.constants = constants if constants is not None else PaperConstants()
+        self.initial_karma = float(initial_karma)
+        self.floor = float(floor)
+        self.balance = np.full(n_peers, self.initial_karma, dtype=np.float64)
+        self.ledger = ContributionLedger(n_peers, self.constants.contribution)
+
+    def reputation_s(self) -> np.ndarray:
+        """Balances normalized into [0, 1] for the metrics pipeline."""
+        top = self.balance.max()
+        return self.balance / top if top > 0 else np.zeros(self.n_peers)
+
+    def bandwidth_shares(
+        self, source_ids: np.ndarray, downloader_ids: np.ndarray
+    ) -> np.ndarray:
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        downloader_ids = np.asarray(downloader_ids, dtype=np.int64)
+        if source_ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        weights = self.floor + self.balance[downloader_ids]
+        return grouped_shares(source_ids, weights, self.n_peers)
+
+    def record_sharing(
+        self, shared_articles: np.ndarray, served_bandwidth: np.ndarray
+    ) -> None:
+        self.ledger.record_sharing(shared_articles, served_bandwidth)
+
+    def record_editing(
+        self, successful_votes: np.ndarray, accepted_edits: np.ndarray
+    ) -> None:
+        self.ledger.record_editing(successful_votes, accepted_edits)
+
+    def record_transfers(
+        self,
+        downloader_ids: np.ndarray,
+        source_ids: np.ndarray,
+        amounts: np.ndarray,
+    ) -> None:
+        np.add.at(self.balance, source_ids, amounts)
+        np.subtract.at(self.balance, downloader_ids, amounts)
+        np.maximum(self.balance, 0.0, out=self.balance)
+
+    def reset_reputations(self) -> None:
+        self.balance.fill(self.initial_karma)
+        self.ledger.reset_all()

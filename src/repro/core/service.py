@@ -1,0 +1,142 @@
+"""Service differentiation (paper section III-C).
+
+Three services are differentiated by reputation:
+
+1. **Downloading** — all peers downloading from the same source compete for
+   its upload bandwidth; peer ``i`` receives the fraction
+   ``B_i = R_iS / sum_k R_kS`` over the downloaders of that source.
+2. **Voting** — voting power is ``v_i = R_iE / sum_k R_kE`` over the voters
+   of one edit; eligibility is restricted to previously successful editors.
+3. **Editing** — requires sharing reputation ``R_S >= theta``; the accept
+   majority ``M`` is inversely proportional to the editor's editing
+   reputation (high-reputation editors need less consent).
+
+The allocation kernels are fully vectorized group-by-source reductions
+(``np.add.at`` scatter + gather) so the engine can settle thousands of
+concurrent downloads without a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import ReputationParams, ServiceParams
+
+__all__ = [
+    "grouped_shares",
+    "allocate_by_reputation",
+    "allocate_equal_split",
+    "voting_weights",
+    "required_majority",
+    "edit_eligibility",
+]
+
+
+def grouped_shares(
+    group_ids: np.ndarray, weights: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Normalize ``weights`` within each group: ``w_i / sum_{j in group(i)} w_j``.
+
+    ``group_ids`` maps each element to its group in ``[0, n_groups)``.
+    Groups with a zero weight-sum fall back to an equal split among their
+    members, so the shares always sum to one per non-empty group.
+    """
+    group_ids = np.asarray(group_ids)
+    weights = np.asarray(weights, dtype=np.float64)
+    if group_ids.shape != weights.shape:
+        raise ValueError("group_ids and weights must have the same shape")
+    if group_ids.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if np.any((group_ids < 0) | (group_ids >= n_groups)):
+        raise ValueError("group ids out of range")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+
+    totals = np.zeros(n_groups, dtype=np.float64)
+    np.add.at(totals, group_ids, weights)
+    counts = np.bincount(group_ids, minlength=n_groups)
+
+    shares = np.empty_like(weights)
+    group_total = totals[group_ids]
+    degenerate = group_total <= 0.0
+    # Normal case: proportional share.
+    np.divide(weights, group_total, out=shares, where=~degenerate)
+    # Degenerate case (all weights zero in a group): equal split.
+    if np.any(degenerate):
+        shares[degenerate] = 1.0 / counts[group_ids[degenerate]]
+    return shares
+
+
+def allocate_by_reputation(
+    source_ids: np.ndarray,
+    downloader_reputation: np.ndarray,
+    n_sources: int,
+) -> np.ndarray:
+    """Reputation-proportional bandwidth shares (the incentive scheme).
+
+    Parameters
+    ----------
+    source_ids:
+        For each download request, the index of the source peer it targets.
+    downloader_reputation:
+        For each download request, the sharing reputation ``R_S`` of the
+        requesting peer.
+    n_sources:
+        Total number of peers (used to size the reduction).
+
+    Returns
+    -------
+    Per-request fraction ``B_i`` of the source's upload bandwidth; the
+    fractions of each source's requests sum to 1.
+    """
+    return grouped_shares(source_ids, downloader_reputation, n_sources)
+
+
+def allocate_equal_split(source_ids: np.ndarray, n_sources: int) -> np.ndarray:
+    """Equal-split shares — the no-incentive baseline allocator."""
+    source_ids = np.asarray(source_ids)
+    ones = np.ones(source_ids.shape, dtype=np.float64)
+    return grouped_shares(source_ids, ones, n_sources)
+
+
+def voting_weights(voter_reputation: np.ndarray) -> np.ndarray:
+    """Weighted voting: ``v_i = R_iE / sum_k R_kE`` for one edit's voter set.
+
+    A single edit's voters form one group, so this is a one-group special
+    case; empty voter sets return an empty array.
+    """
+    rep = np.asarray(voter_reputation, dtype=np.float64)
+    if rep.size == 0:
+        return rep.copy()
+    if np.any(rep < 0):
+        raise ValueError("reputations must be non-negative")
+    total = rep.sum()
+    if total <= 0.0:
+        return np.full(rep.shape, 1.0 / rep.size)
+    return rep / total
+
+
+def required_majority(
+    editor_reputation: np.ndarray | float,
+    service: ServiceParams,
+    reputation: ReputationParams,
+) -> np.ndarray:
+    """Adaptive accept-majority ``M`` for an edit (paper section III-C3).
+
+    "the majority M of a vote is inversely proportional to the editor's
+    reputation": we interpolate linearly from ``majority_max`` at ``R_min``
+    down to ``majority_min`` at ``R_max``.
+    """
+    r = np.asarray(editor_reputation, dtype=np.float64)
+    span = reputation.r_max - reputation.r_min
+    frac = np.clip((r - reputation.r_min) / span, 0.0, 1.0)
+    return service.majority_max - (service.majority_max - service.majority_min) * frac
+
+
+def edit_eligibility(
+    sharing_reputation: np.ndarray,
+    service: ServiceParams,
+) -> np.ndarray:
+    """Boolean mask of peers allowed to edit: ``R_S >= theta``."""
+    r = np.asarray(sharing_reputation, dtype=np.float64)
+    return r >= service.edit_threshold

@@ -1,0 +1,63 @@
+"""Utility functions (paper section III-D).
+
+``U_S = alpha * UP_source * B - beta * DS_articles - gamma * UP_own``
+    The benefit of the bandwidth actually received minus the costs of the
+    disk space used for shared articles and of the peer's own offered
+    upload bandwidth.  Bandwidths and the file size are normalized to 1 as
+    in the paper, so ``UP_source * B`` is the download rate received.
+
+``U_E = delta * E_succ + epsilon * V_succ``
+    The benefit of accepted edits and successful votes.  The paper
+    deliberately assigns editing/voting no rational *cost* ("there must be
+    an altruistic motivation for them"), so ``U_E >= 0``.
+
+Both are pure, vectorized functions of per-peer arrays; the simulation
+engine feeds them straight into the Q-learning reward signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import UtilityParams
+
+__all__ = ["sharing_utility", "editing_utility"]
+
+
+def sharing_utility(
+    received_bandwidth: np.ndarray,
+    shared_articles: np.ndarray,
+    offered_bandwidth: np.ndarray,
+    params: UtilityParams,
+) -> np.ndarray:
+    """Per-peer sharing utility ``U_S`` for one step.
+
+    Parameters
+    ----------
+    received_bandwidth:
+        ``UP_source * B`` — the download bandwidth each peer actually
+        received this step (0 for peers that did not download).
+    shared_articles:
+        ``DS_articles`` — fraction of disk space used for shared articles.
+    offered_bandwidth:
+        ``UP_own`` — fraction of upload bandwidth the peer offers.
+    """
+    received_bandwidth = np.asarray(received_bandwidth, dtype=np.float64)
+    shared_articles = np.asarray(shared_articles, dtype=np.float64)
+    offered_bandwidth = np.asarray(offered_bandwidth, dtype=np.float64)
+    return (
+        params.alpha * received_bandwidth
+        - params.beta * shared_articles
+        - params.gamma * offered_bandwidth
+    )
+
+
+def editing_utility(
+    accepted_edits: np.ndarray,
+    successful_votes: np.ndarray,
+    params: UtilityParams,
+) -> np.ndarray:
+    """Per-peer editing/voting utility ``U_E`` for one step."""
+    accepted_edits = np.asarray(accepted_edits, dtype=np.float64)
+    successful_votes = np.asarray(successful_votes, dtype=np.float64)
+    return params.delta * accepted_edits + params.epsilon * successful_votes

@@ -1,0 +1,31 @@
+"""Experiment drivers: one module per paper figure, plus ablations.
+
+Regenerate from the command line::
+
+    repro-experiments all --fast
+    python -m repro.experiments fig3
+"""
+
+from . import (  # noqa: F401  (re-exported for the runner)
+    ablations,
+    fig1_reputation,
+    fig2_boltzmann,
+    fig3_incentive_effect,
+    fig4_population_mix,
+    fig5_rational_stability,
+    fig6_edit_coin_flip,
+    fig7_majority_following,
+    scheme_comparison,
+)
+
+__all__ = [
+    "ablations",
+    "fig1_reputation",
+    "fig2_boltzmann",
+    "fig3_incentive_effect",
+    "fig4_population_mix",
+    "fig5_rational_stability",
+    "fig6_edit_coin_flip",
+    "fig7_majority_following",
+    "scheme_comparison",
+]

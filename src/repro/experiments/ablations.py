@@ -1,0 +1,143 @@
+"""Ablations beyond the paper's figures (its future-work directions).
+
+* ``run_reputation_function_ablation`` — "future work will investigate new
+  and existing reputation functions in order to maximize sharing": sweeps
+  the logistic steepness beta and compares alternative function families
+  (linear / power / step) on the Figure-3 metric.
+* ``run_rmin_ablation`` — section III-A's R_min trade-off: "a high R_min
+  provides incentives for whitewashing the identity".  Sweeps R_min with a
+  whitewashing churn model switched on and reports sharing plus whitewash
+  pressure (how much reputation a peer loses by resetting its identity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.figures import FigureData
+from ..core.params import PaperConstants, ReputationParams, ServiceParams
+from ..sim.scenarios import base_config
+from ..sim.sweep import run_sweep
+from ._common import aggregate_metric, default_seeds
+
+__all__ = ["run_reputation_function_ablation", "run_rmin_ablation"]
+
+
+def run_reputation_function_ablation(
+    fast: bool = False,
+    n_seeds: int = 2,
+    backend: str = "process",
+    workers: int | None = None,
+    betas: tuple[float, ...] = (0.1, 0.15, 0.2, 0.3),
+    families: tuple[str, ...] = ("logistic", "linear", "power", "step"),
+    **_: object,
+) -> list[FigureData]:
+    seeds = default_seeds(n_seeds)
+    figs = []
+
+    # Sweep the logistic steepness.
+    configs, labels = [], []
+    for beta in betas:
+        constants = PaperConstants().with_overrides(
+            reputation_s=ReputationParams(beta=beta)
+        )
+        for s in seeds:
+            configs.append(base_config(fast, constants=constants, seed=s))
+        labels.append(beta)
+    results = run_sweep(configs, backend=backend, workers=workers)
+    files_m, bw_m = [], []
+    for i, beta in enumerate(labels):
+        chunk = results[i * n_seeds : (i + 1) * n_seeds]
+        files_m.append(aggregate_metric(chunk, "shared_files")[0])
+        bw_m.append(aggregate_metric(chunk, "shared_bandwidth")[0])
+    figs.append(
+        FigureData(
+            name="ablation_beta",
+            title="Sharing vs logistic steepness beta",
+            x_label="beta",
+            y_label="shared fraction",
+            x=np.asarray(labels, dtype=np.float64),
+            series={"articles": np.asarray(files_m), "bandwidth": np.asarray(bw_m)},
+            meta={"n_seeds": n_seeds},
+        )
+    )
+
+    # Compare function families at the default operating point.
+    configs = []
+    for fam in families:
+        for s in seeds:
+            configs.append(base_config(fast, reputation_fn_s=fam, seed=s))
+    results = run_sweep(configs, backend=backend, workers=workers)
+    files_m, bw_m = [], []
+    for i, fam in enumerate(families):
+        chunk = results[i * n_seeds : (i + 1) * n_seeds]
+        files_m.append(aggregate_metric(chunk, "shared_files")[0])
+        bw_m.append(aggregate_metric(chunk, "shared_bandwidth")[0])
+    figs.append(
+        FigureData(
+            name="ablation_family",
+            title="Sharing vs reputation-function family",
+            x_label="family_index",
+            y_label="shared fraction",
+            x=np.arange(len(families), dtype=np.float64),
+            series={"articles": np.asarray(files_m), "bandwidth": np.asarray(bw_m)},
+            meta={"families": ",".join(families), "n_seeds": n_seeds},
+            kind="bar",
+        )
+    )
+    return figs
+
+
+def run_rmin_ablation(
+    fast: bool = False,
+    n_seeds: int = 2,
+    backend: str = "process",
+    workers: int | None = None,
+    r_mins: tuple[float, ...] = (0.02, 0.05, 0.10, 0.20, 0.40),
+    whitewash_rate: float = 0.002,
+    **_: object,
+) -> list[FigureData]:
+    seeds = default_seeds(n_seeds)
+    configs = []
+    for r_min in r_mins:
+        theta = max(0.5 * (r_min + 1.0) * 0.2, r_min + 0.05)  # keep theta > r_min
+        constants = PaperConstants().with_overrides(
+            reputation_s=ReputationParams(r_min=r_min),
+            service=ServiceParams(edit_threshold=theta),
+        )
+        for s in seeds:
+            configs.append(
+                base_config(
+                    fast,
+                    constants=constants,
+                    whitewash_rate=whitewash_rate,
+                    seed=s,
+                )
+            )
+    results = run_sweep(configs, backend=backend, workers=workers)
+    files_m, bw_m, wash_loss = [], [], []
+    for i, r_min in enumerate(r_mins):
+        chunk = results[i * n_seeds : (i + 1) * n_seeds]
+        files_m.append(aggregate_metric(chunk, "shared_files")[0])
+        bw_m.append(aggregate_metric(chunk, "shared_bandwidth")[0])
+        # Whitewash pressure: the reputation a steady sharer forfeits by
+        # resetting to R_min.  High R_min => small loss => whitewashing
+        # is cheap (the paper's warning).
+        mean_rep = aggregate_metric(chunk, "reputation_s_rational")[0]
+        wash_loss.append(mean_rep - r_min)
+    figs = [
+        FigureData(
+            name="ablation_rmin",
+            title="Sharing and whitewash pressure vs R_min",
+            x_label="r_min",
+            y_label="value",
+            x=np.asarray(r_mins, dtype=np.float64),
+            series={
+                "articles": np.asarray(files_m),
+                "bandwidth": np.asarray(bw_m),
+                "whitewash_loss": np.asarray(wash_loss),
+            },
+            meta={"whitewash_rate": whitewash_rate, "n_seeds": n_seeds},
+        )
+    ]
+    return figs

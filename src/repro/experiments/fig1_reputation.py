@@ -1,0 +1,45 @@
+"""Figure 1: the logistic reputation function for g=19 and several betas.
+
+A pure function sweep — no simulation.  Reproduces the paper's curves
+``R(C) = 1/(1 + 19 exp(-beta C))`` for beta in {0.3, 0.2, 0.15, 0.1} over
+``C in [0, 50]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.figures import FigureData
+from ..core.params import ReputationParams
+from ..core.reputation import LogisticReputation
+
+__all__ = ["run"]
+
+PAPER_BETAS = (0.3, 0.2, 0.15, 0.1)
+
+
+def run(
+    fast: bool = False,
+    betas: tuple[float, ...] = PAPER_BETAS,
+    g: float = 19.0,
+    c_max: float = 50.0,
+    n_points: int = 101,
+    **_: object,
+) -> list[FigureData]:
+    if fast:
+        n_points = 26
+    c = np.linspace(0.0, c_max, n_points)
+    series = {}
+    for beta in betas:
+        fn = LogisticReputation(ReputationParams(g=g, beta=beta))
+        series[f"beta={beta}"] = fn(c)
+    fig = FigureData(
+        name="fig1",
+        title=f"Reputation function, g={g:g}",
+        x_label="contribution_value",
+        y_label="reputation_value",
+        x=c,
+        series=series,
+        meta={"g": g, "r_min": 0.05},
+    )
+    return [fig]

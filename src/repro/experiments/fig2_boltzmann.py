@@ -1,0 +1,40 @@
+"""Figure 2: Boltzmann distributions over x = 1..10 at T=2 and T=1000.
+
+Reproduces the paper's illustration of the exploration-exploitation
+control: at ``T = 2`` the distribution concentrates on high values, at
+``T = 1000`` it is effectively uniform (probability ~= 0.1 everywhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..agents.qlearning import boltzmann_probabilities
+from ..analysis.figures import FigureData
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    temperatures: tuple[float, ...] = (2.0, 1000.0),
+    n_values: int = 10,
+    **_: object,
+) -> list[FigureData]:
+    x = np.arange(1, n_values + 1, dtype=np.float64)
+    figs = []
+    for t in temperatures:
+        p = boltzmann_probabilities(x[None, :], t)[0]
+        figs.append(
+            FigureData(
+                name=f"fig2_T{t:g}",
+                title=f"Boltzmann distribution, T={t:g}",
+                x_label="x",
+                y_label="probability",
+                x=x,
+                series={"p": p},
+                meta={"T": t, "sum": float(p.sum())},
+                kind="bar",
+            )
+        )
+    return figs

@@ -1,0 +1,123 @@
+"""Figure 4: network-wide sharing vs population mix.
+
+Sweeps the altruistic and the irrational fraction from 10 % to 90 % (the
+other two types split the remainder) and reports the mean shared articles
+and bandwidth *per peer*.  Paper result: performance rises ~linearly with
+altruists and falls ~linearly with irrationals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.figures import FigureData
+from ..sim.scenarios import mixture_configs
+from ._common import aggregate_metric, default_seeds, run_grid
+
+__all__ = ["run", "mixture_figure"]
+
+
+#: (metric key for articles, metric key for bandwidth, title suffix)
+FIGURE_METRICS = {
+    "fig4": ("shared_files", "shared_bandwidth", "per peer"),
+    "fig5": (
+        "shared_files_rational",
+        "shared_bandwidth_rational",
+        "per rational peer",
+    ),
+}
+
+
+def mixture_figures(
+    which: tuple[str, ...],
+    fast: bool,
+    n_seeds: int,
+    backend: str,
+    workers: int | None,
+    percentages: list[int] | None = None,
+) -> list[FigureData]:
+    """Shared driver: Figures 4 and 5 differ only in the reported metric,
+    so one sweep regenerates any subset of them (``which``)."""
+    seeds = default_seeds(n_seeds)
+    # data[fig][store][vary] -> list of means over the percentage axis
+    data: dict[str, dict[str, dict[str, list[float]]]] = {}
+    err: dict[str, dict[str, dict[str, list[float]]]] = {}
+    pcts: list[int] = []
+    for vary in ("altruistic", "irrational"):
+        grid = mixture_configs(vary, seeds, fast=fast, percentages=percentages)
+        grouped = run_grid(grid, backend=backend, workers=workers)
+        pcts = [label for label, _ in grouped]
+        for fig_name in which:
+            metric_files, metric_bw, _ = FIGURE_METRICS[fig_name]
+            for metric, store in ((metric_files, "files"), (metric_bw, "bandwidth")):
+                means, hws = [], []
+                for _, res in grouped:
+                    m, hw = aggregate_metric(res, metric)
+                    means.append(m)
+                    hws.append(hw)
+                data.setdefault(fig_name, {}).setdefault(store, {})[vary] = means
+                err.setdefault(fig_name, {}).setdefault(store, {})[vary] = hws
+
+    x = np.asarray(pcts, dtype=np.float64)
+    figs = []
+    for fig_name in which:
+        suffix = FIGURE_METRICS[fig_name][2]
+        for store, ylabel in (
+            ("files", "shared articles"),
+            ("bandwidth", "shared bandwidth"),
+        ):
+            figs.append(
+                FigureData(
+                    name=f"{fig_name}_{store}",
+                    title=f"{ylabel} {suffix} vs altruistic/irrational share",
+                    x_label="percentage of user type",
+                    y_label=ylabel,
+                    x=x,
+                    series={
+                        k: np.asarray(v) for k, v in data[fig_name][store].items()
+                    },
+                    errors={
+                        k: np.asarray(v) for k, v in err[fig_name][store].items()
+                    },
+                    meta={"n_seeds": n_seeds},
+                )
+            )
+    return figs
+
+
+def run(
+    fast: bool = False,
+    n_seeds: int = 3,
+    backend: str = "process",
+    workers: int | None = None,
+    percentages: list[int] | None = None,
+    **_: object,
+) -> list[FigureData]:
+    return mixture_figures(
+        ("fig4",),
+        fast=fast,
+        n_seeds=n_seeds,
+        backend=backend,
+        workers=workers,
+        percentages=percentages,
+    )
+
+
+def run_fig4_and_fig5(
+    fast: bool = False,
+    n_seeds: int = 3,
+    backend: str = "process",
+    workers: int | None = None,
+    percentages: list[int] | None = None,
+    **_: object,
+) -> list[FigureData]:
+    """Regenerate Figures 4 and 5 from a single mixture sweep (the runner
+    uses this for ``all`` so the expensive sweep runs once)."""
+    return mixture_figures(
+        ("fig4", "fig5"),
+        fast=fast,
+        n_seeds=n_seeds,
+        backend=backend,
+        workers=workers,
+        percentages=percentages,
+    )

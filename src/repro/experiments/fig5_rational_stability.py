@@ -1,0 +1,32 @@
+"""Figure 5: sharing *per rational peer* vs population mix.
+
+Same sweep as Figure 4 but restricted to the rational subpopulation.
+Paper result: nearly flat — "the behavior of rational agents does not seem
+to be affected by varying degrees of altruistic and irrational agents"
+(articles ~0.21-0.29, bandwidth ~0.54-0.68 in the paper's plots).
+"""
+
+from __future__ import annotations
+
+from ..analysis.figures import FigureData
+from .fig4_population_mix import mixture_figures
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    n_seeds: int = 3,
+    backend: str = "process",
+    workers: int | None = None,
+    percentages: list[int] | None = None,
+    **_: object,
+) -> list[FigureData]:
+    return mixture_figures(
+        ("fig5",),
+        fast=fast,
+        n_seeds=n_seeds,
+        backend=backend,
+        workers=workers,
+        percentages=percentages,
+    )

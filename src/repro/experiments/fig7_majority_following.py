@@ -1,0 +1,61 @@
+"""Figure 7: rational agents adopt the majority's edit behaviour.
+
+Top panel: the altruistic share varies 10-90 % — once altruists dominate,
+rational agents learn constructive editing/voting.  Bottom panel: the
+irrational share varies — once vandals dominate, rational agents learn
+destructive behaviour.  This is the paper's headline robustness finding
+("rational peers behave according to the majority").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.figures import FigureData
+from ..sim.scenarios import mixture_configs
+from ._common import default_seeds, run_grid
+
+__all__ = ["run"]
+
+
+def run(
+    fast: bool = False,
+    n_seeds: int = 3,
+    backend: str = "process",
+    workers: int | None = None,
+    percentages: list[int] | None = None,
+    **_: object,
+) -> list[FigureData]:
+    seeds = default_seeds(n_seeds)
+    figs = []
+    for vary in ("altruistic", "irrational"):
+        grid = mixture_configs(vary, seeds, fast=fast, percentages=percentages)
+        grouped = run_grid(grid, backend=backend, workers=workers)
+        pcts, cons, dest, spread = [], [], [], []
+        for pct, results in grouped:
+            fracs = np.array(
+                [r.summary["edit_constructive_fraction_rational"] for r in results]
+            )
+            fracs = fracs[~np.isnan(fracs)]
+            m = float(fracs.mean()) if fracs.size else float("nan")
+            pcts.append(pct)
+            cons.append(m)
+            dest.append(1.0 - m)
+            spread.append(float(fracs.std()) if fracs.size else float("nan"))
+        figs.append(
+            FigureData(
+                name=f"fig7_{vary}",
+                title=f"Rational edits vs {vary} share",
+                x_label=f"percentage of {vary} agents",
+                y_label="fraction of rational edits",
+                x=np.asarray(pcts, dtype=np.float64),
+                series={
+                    "constructive": np.asarray(cons),
+                    "destructive": np.asarray(dest),
+                },
+                errors={"constructive": np.asarray(spread)},
+                meta={"n_seeds": n_seeds},
+                kind="bar",
+            )
+        )
+    return figs

@@ -1,0 +1,98 @@
+"""CLI: regenerate any of the paper's figures (or the ablations).
+
+Usage::
+
+    repro-experiments fig3 --fast
+    repro-experiments all --out results/ --seeds 3 --backend process
+    python -m repro.experiments fig7 --fast --backend serial
+
+Each experiment prints an ASCII rendition of the figure and writes
+``<name>.csv`` + ``<name>.json`` under ``--out`` (default ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import (
+    ablations,
+    fig1_reputation,
+    fig2_boltzmann,
+    fig3_incentive_effect,
+    fig4_population_mix,
+    fig5_rational_stability,
+    fig6_edit_coin_flip,
+    fig7_majority_following,
+    scheme_comparison,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_reputation.run,
+    "fig2": fig2_boltzmann.run,
+    "fig3": fig3_incentive_effect.run,
+    "fig4": fig4_population_mix.run,
+    "fig5": fig5_rational_stability.run,
+    # fig4+5 from one sweep; used by 'all' to avoid repeating the sweep.
+    "fig4+5": fig4_population_mix.run_fig4_and_fig5,
+    "fig6": fig6_edit_coin_flip.run,
+    "fig7": fig7_majority_following.run,
+    "ablation-repfunc": ablations.run_reputation_function_ablation,
+    "ablation-rmin": ablations.run_rmin_ablation,
+    "scheme-comparison": scheme_comparison.run,
+}
+
+PAPER_FIGURES = ["fig1", "fig2", "fig3", "fig4+5", "fig6", "fig7"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures from Bocek et al. (IPDPS 2008).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/ablation to regenerate ('all' = fig1..fig7)",
+    )
+    parser.add_argument("--fast", action="store_true", help="reduced horizon")
+    parser.add_argument("--seeds", type=int, default=None, help="seeds per point")
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="process",
+        help="sweep execution backend",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    return parser
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> list:
+    kwargs = dict(fast=args.fast, backend=args.backend, workers=args.workers)
+    if args.seeds is not None:
+        kwargs["n_seeds"] = args.seeds
+    t0 = time.perf_counter()
+    figs = EXPERIMENTS[name](**kwargs)
+    dt = time.perf_counter() - t0
+    for fig in figs:
+        print(fig.render())
+        csv_path = fig.to_csv(args.out / f"{fig.name}.csv")
+        fig.to_json(args.out / f"{fig.name}.json")
+        print(f"-> wrote {csv_path}")
+    print(f"[{name}] done in {dt:.1f}s\n")
+    return figs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = PAPER_FIGURES if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

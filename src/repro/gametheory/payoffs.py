@@ -1,0 +1,60 @@
+"""Two-player game payoff structures.
+
+The repeated Prisoner's Dilemma "seems to be an appropriate model of
+interaction among users in a P2P network" (paper section II-A, citing
+Feldman et al.).  This module defines the canonical PD payoffs plus a
+general symmetric 2x2 game container used by the tournament and the
+replicator dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["COOPERATE", "DEFECT", "PayoffMatrix", "prisoners_dilemma"]
+
+COOPERATE = 0
+DEFECT = 1
+
+
+@dataclass(frozen=True)
+class PayoffMatrix:
+    """Symmetric 2x2 game: ``payoff(a, b)`` is the row player's payoff."""
+
+    matrix: tuple[tuple[float, float], tuple[float, float]]
+
+    def payoff(self, own_action: int, other_action: int) -> float:
+        return self.matrix[own_action][other_action]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.matrix, dtype=np.float64)
+
+    def payoffs(self, own: np.ndarray, other: np.ndarray) -> np.ndarray:
+        """Vectorized lookup for action arrays."""
+        arr = self.as_array()
+        return arr[np.asarray(own), np.asarray(other)]
+
+
+def prisoners_dilemma(
+    temptation: float = 5.0,
+    reward: float = 3.0,
+    punishment: float = 1.0,
+    sucker: float = 0.0,
+) -> PayoffMatrix:
+    """The canonical PD with the usual ``T > R > P > S`` ordering check.
+
+    Also enforces ``2R > T + S`` so that mutual cooperation beats
+    alternating exploitation in the repeated game (Axelrod's condition).
+    """
+    if not temptation > reward > punishment > sucker:
+        raise ValueError("PD requires T > R > P > S")
+    if not 2 * reward > temptation + sucker:
+        raise ValueError("PD requires 2R > T + S")
+    return PayoffMatrix(
+        matrix=(
+            (reward, sucker),  # I cooperate: (they cooperate, they defect)
+            (temptation, punishment),  # I defect
+        )
+    )

@@ -1,0 +1,100 @@
+"""Repeated two-player games with optional execution noise.
+
+``play_match`` runs one repeated game between two strategies and returns
+the full action/payoff record.  Noise flips an intended action with a small
+probability — the standard robustness probe for TFT (noise makes plain TFT
+echo defections forever, which Pavlov and TF2T recover from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .payoffs import PayoffMatrix
+from .strategies import Strategy
+
+__all__ = ["MatchResult", "play_match", "discounted_score"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Record of one repeated-game match."""
+
+    actions_a: np.ndarray  # int8, per round
+    actions_b: np.ndarray
+    payoffs_a: np.ndarray  # float64, per round
+    payoffs_b: np.ndarray
+
+    @property
+    def rounds(self) -> int:
+        return self.actions_a.size
+
+    @property
+    def total_a(self) -> float:
+        return float(self.payoffs_a.sum())
+
+    @property
+    def total_b(self) -> float:
+        return float(self.payoffs_b.sum())
+
+    def cooperation_rate_a(self) -> float:
+        return float(np.mean(self.actions_a == 0)) if self.rounds else 0.0
+
+    def cooperation_rate_b(self) -> float:
+        return float(np.mean(self.actions_b == 0)) if self.rounds else 0.0
+
+
+def play_match(
+    strategy_a: Strategy,
+    strategy_b: Strategy,
+    payoffs: PayoffMatrix,
+    rounds: int,
+    noise: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> MatchResult:
+    """Play ``rounds`` of the repeated game between two strategies."""
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError("noise must be in [0, 1]")
+    if noise > 0.0 and rng is None:
+        raise ValueError("noise requires an rng")
+    strategy_a.reset()
+    strategy_b.reset()
+
+    hist_a: list[int] = []
+    hist_b: list[int] = []
+    acts_a = np.empty(rounds, dtype=np.int8)
+    acts_b = np.empty(rounds, dtype=np.int8)
+    for r in range(rounds):
+        if r == 0:
+            a = strategy_a.first_move()
+            b = strategy_b.first_move()
+        else:
+            a = strategy_a.next_move(hist_a, hist_b)
+            b = strategy_b.next_move(hist_b, hist_a)
+        if noise > 0.0:
+            assert rng is not None
+            if rng.random() < noise:
+                a = 1 - a
+            if rng.random() < noise:
+                b = 1 - b
+        hist_a.append(a)
+        hist_b.append(b)
+        acts_a[r] = a
+        acts_b[r] = b
+
+    pay_a = payoffs.payoffs(acts_a, acts_b)
+    pay_b = payoffs.payoffs(acts_b, acts_a)
+    return MatchResult(actions_a=acts_a, actions_b=acts_b, payoffs_a=pay_a, payoffs_b=pay_b)
+
+
+def discounted_score(payoff_stream: np.ndarray, gamma: float) -> float:
+    """Discounted sum ``sum_t gamma^t r_t`` — the Q-learning objective."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be in [0, 1]")
+    stream = np.asarray(payoff_stream, dtype=np.float64)
+    weights = gamma ** np.arange(stream.size)
+    return float(stream @ weights)

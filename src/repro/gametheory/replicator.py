@@ -1,0 +1,79 @@
+"""Discrete-time replicator dynamics over a strategy population.
+
+Given a pairwise fitness matrix ``F`` (``F[i, j]`` = mean payoff of
+strategy *i* against *j*, e.g. from a tournament), the population share
+``x_i`` evolves as
+
+    ``x_i' = x_i * f_i / f_bar``,   ``f_i = (F x)_i``,  ``f_bar = x . f``
+
+This is the standard evolutionary lens on the paper's population-mix
+question: which behaviours survive as the mixture shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReplicatorTrajectory", "replicator_dynamics"]
+
+
+@dataclass(frozen=True)
+class ReplicatorTrajectory:
+    """Population shares over time, shape (steps + 1, k)."""
+
+    shares: np.ndarray
+    names: list[str]
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.shares[-1]
+
+    def survivors(self, threshold: float = 1e-3) -> list[str]:
+        return [n for n, x in zip(self.names, self.final) if x > threshold]
+
+
+def replicator_dynamics(
+    fitness: np.ndarray,
+    initial_shares: np.ndarray,
+    steps: int = 200,
+    names: list[str] | None = None,
+    floor: float = 0.0,
+) -> ReplicatorTrajectory:
+    """Iterate the discrete replicator map.
+
+    ``floor`` optionally injects a small mutation rate (shares never drop
+    below it), which avoids absorbing states in teaching examples.
+    """
+    f = np.asarray(fitness, dtype=np.float64)
+    k = f.shape[0]
+    if f.shape != (k, k):
+        raise ValueError("fitness must be square")
+    x = np.asarray(initial_shares, dtype=np.float64).copy()
+    if x.shape != (k,) or np.any(x < 0):
+        raise ValueError("initial_shares must be a non-negative vector of length k")
+    total = x.sum()
+    if total <= 0:
+        raise ValueError("initial_shares must not be all zero")
+    x /= total
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    if names is None:
+        names = [f"strategy_{i}" for i in range(k)]
+
+    # Replicator requires positive fitness values; shift if necessary.
+    shift = min(0.0, float(f.min()))
+    f_pos = f - shift + 1e-9
+
+    traj = np.empty((steps + 1, k), dtype=np.float64)
+    traj[0] = x
+    for t in range(1, steps + 1):
+        fit = f_pos @ x
+        mean_fit = float(x @ fit)
+        x = x * fit / mean_fit
+        if floor > 0.0:
+            x = np.maximum(x, floor)
+            x /= x.sum()
+        traj[t] = x
+    return ReplicatorTrajectory(shares=traj, names=list(names))

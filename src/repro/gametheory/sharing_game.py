@@ -1,0 +1,179 @@
+"""Mean-field game-theoretic analysis of the sharing stage game.
+
+A closed-form companion to the agent simulation: fix everybody else at a
+constant sharing profile, compute a single deviating peer's *steady-state*
+expected per-step utility, and derive best responses / symmetric equilibria
+on the paper's 3x3 action grid.
+
+This analysis explains both headline results analytically:
+
+* **Without** service differentiation the received bandwidth does not
+  depend on one's own sharing level, so ``U_S`` is strictly decreasing in
+  both sharing components — free-riding is a dominant strategy.
+* **With** differentiation the benefit term grows with one's reputation
+  share, but the logistic reputation function saturates, so the best
+  response lands at an *interior* sharing level — which is why the paper
+  finds the scheme only "moderately effective" (+8-11 %).
+
+The mean-field approximation: downloads arrive at a source as a thinned
+uniform process, so the expected competition at a source when peer *i*
+downloads there is ``1 + (N - 1) * p / N_S`` concurrent requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..core.params import ContributionParams, UtilityParams
+from ..core.reputation import LogisticReputation, ReputationFunction
+
+__all__ = ["SharingLevel", "MeanFieldSharingGame", "EquilibriumResult"]
+
+
+@dataclass(frozen=True)
+class SharingLevel:
+    """One point of the paper's action grid: (articles, bandwidth) in [0,1]."""
+
+    articles: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.articles <= 1.0 and 0.0 <= self.bandwidth <= 1.0):
+            raise ValueError("sharing fractions must lie in [0, 1]")
+
+
+#: The paper's 3x3 grid: {0, 50, 100} files x {0, 50, 100}% bandwidth.
+PAPER_GRID = [
+    SharingLevel(a, b) for a, b in product((0.0, 0.5, 1.0), repeat=2)
+]
+
+
+@dataclass(frozen=True)
+class EquilibriumResult:
+    """Fixed point of the best-response map on the action grid."""
+
+    level: SharingLevel
+    utility: float
+    iterations: int
+    converged: bool
+
+
+class MeanFieldSharingGame:
+    """Steady-state sharing game under (or without) service differentiation."""
+
+    def __init__(
+        self,
+        n_peers: int = 100,
+        utility: UtilityParams | None = None,
+        contribution: ContributionParams | None = None,
+        reputation_fn: ReputationFunction | None = None,
+        incentives_enabled: bool = True,
+        download_probability: float = 1.0,
+        grid: list[SharingLevel] | None = None,
+    ) -> None:
+        # download_probability defaults to 1.0, matching the engine's
+        # reading of the paper's download model (every peer downloads once
+        # per step from a uniformly random sharer).
+        if n_peers < 2:
+            raise ValueError("need at least two peers")
+        self.n = int(n_peers)
+        self.utility = utility if utility is not None else UtilityParams()
+        self.contribution = (
+            contribution if contribution is not None else ContributionParams()
+        )
+        self.reputation_fn = reputation_fn or LogisticReputation()
+        self.incentives_enabled = bool(incentives_enabled)
+        self.download_probability = download_probability
+        self.grid = list(grid) if grid is not None else list(PAPER_GRID)
+
+    # ------------------------------------------------------------------
+    def steady_reputation(self, level: SharingLevel) -> float:
+        """Reputation a peer converges to when playing ``level`` forever."""
+        c_star = self.contribution.steady_state_sharing(level.articles, level.bandwidth)
+        if np.isinf(c_star):
+            return self.reputation_fn.r_max
+        return float(self.reputation_fn(c_star))
+
+    def expected_utility(
+        self, own: SharingLevel, population: SharingLevel
+    ) -> float:
+        """Expected per-step ``U_S`` of one deviant against a uniform field."""
+        p_pop = population
+        # Sharers: everyone at the population level (articles > 0 required
+        # to be a source).  If the field shares nothing, nothing can be
+        # downloaded at all.
+        n_s = self.n if p_pop.articles > 0 else 0
+        if n_s == 0:
+            benefit = 0.0
+        else:
+            p_dl = self.download_probability
+            # Expected number of competing downloads at the chosen source,
+            # given that our peer is one of them.
+            competitors = (self.n - 1) * p_dl / n_s
+            if self.incentives_enabled:
+                r_own = self.steady_reputation(own)
+                r_pop = self.steady_reputation(p_pop)
+                share = r_own / (r_own + competitors * r_pop)
+            else:
+                share = 1.0 / (1.0 + competitors)
+            benefit = self.utility.alpha * p_dl * p_pop.bandwidth * share
+        cost = self.utility.beta * own.articles + self.utility.gamma * own.bandwidth
+        return benefit - cost
+
+    def best_response(self, population: SharingLevel) -> SharingLevel:
+        """Utility-maximizing grid action against a uniform field."""
+        utilities = [self.expected_utility(lv, population) for lv in self.grid]
+        return self.grid[int(np.argmax(utilities))]
+
+    def symmetric_equilibrium(
+        self, start: SharingLevel | None = None, max_iter: int = 50
+    ) -> EquilibriumResult:
+        """Iterate the best-response map to a symmetric fixed point.
+
+        On a finite grid the map either reaches a fixed point or cycles; we
+        return the first fixed point, or the last iterate (converged=False)
+        when a cycle is detected.
+        """
+        current = start if start is not None else SharingLevel(1.0, 1.0)
+        seen = {current}
+        for k in range(1, max_iter + 1):
+            nxt = self.best_response(current)
+            if nxt == current:
+                return EquilibriumResult(
+                    level=current,
+                    utility=self.expected_utility(current, current),
+                    iterations=k,
+                    converged=True,
+                )
+            if nxt in seen:  # cycle
+                return EquilibriumResult(
+                    level=nxt,
+                    utility=self.expected_utility(nxt, nxt),
+                    iterations=k,
+                    converged=False,
+                )
+            seen.add(nxt)
+            current = nxt
+        return EquilibriumResult(
+            level=current,
+            utility=self.expected_utility(current, current),
+            iterations=max_iter,
+            converged=False,
+        )
+
+    def utility_landscape(self, population: SharingLevel) -> dict[SharingLevel, float]:
+        """Full grid -> utility map (used by the analysis example)."""
+        return {lv: self.expected_utility(lv, population) for lv in self.grid}
+
+    def is_free_riding_dominant(self) -> bool:
+        """True iff (0, 0) is a best response to every population profile —
+        the no-incentive pathology the scheme is designed to break."""
+        zero = SharingLevel(0.0, 0.0)
+        for pop in self.grid:
+            br = self.best_response(pop)
+            if br != zero:
+                return False
+        return True

@@ -1,0 +1,211 @@
+"""Classic repeated-game strategies, including BitTorrent's tit-for-tat.
+
+Each strategy is a small state machine: ``first_move()`` opens, then
+``next_move(my_history, their_history)`` reacts to the observed play.
+Histories are lists of past actions (0 = cooperate, 1 = defect) in play
+order.  Strategies must be deterministic given the histories and their own
+RNG so tournaments are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .payoffs import COOPERATE, DEFECT
+
+__all__ = [
+    "Strategy",
+    "TitForTat",
+    "SuspiciousTitForTat",
+    "TitForTwoTats",
+    "AlwaysCooperate",
+    "AlwaysDefect",
+    "GrimTrigger",
+    "Pavlov",
+    "RandomStrategy",
+    "Alternator",
+    "STRATEGY_REGISTRY",
+    "make_strategy",
+]
+
+
+class Strategy(abc.ABC):
+    """A deterministic-given-history repeated-game strategy."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def first_move(self) -> int:
+        """Action in the first round."""
+
+    @abc.abstractmethod
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        """Action given full histories (both non-empty)."""
+
+    def reset(self) -> None:
+        """Clear internal state between matches (no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TitForTat(Strategy):
+    """Cooperate first, then mirror the opponent's last move (BitTorrent)."""
+
+    name = "tit_for_tat"
+
+    def first_move(self) -> int:
+        return COOPERATE
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        return their_history[-1]
+
+
+class SuspiciousTitForTat(Strategy):
+    """TFT that opens with a defection."""
+
+    name = "suspicious_tft"
+
+    def first_move(self) -> int:
+        return DEFECT
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        return their_history[-1]
+
+
+class TitForTwoTats(Strategy):
+    """Defect only after two consecutive opponent defections (forgiving)."""
+
+    name = "tit_for_two_tats"
+
+    def first_move(self) -> int:
+        return COOPERATE
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        if len(their_history) >= 2 and their_history[-1] == their_history[-2] == DEFECT:
+            return DEFECT
+        return COOPERATE
+
+
+class AlwaysCooperate(Strategy):
+    """The altruist."""
+
+    name = "always_cooperate"
+
+    def first_move(self) -> int:
+        return COOPERATE
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        return COOPERATE
+
+
+class AlwaysDefect(Strategy):
+    """The free-rider."""
+
+    name = "always_defect"
+
+    def first_move(self) -> int:
+        return DEFECT
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        return DEFECT
+
+
+class GrimTrigger(Strategy):
+    """Cooperate until the first betrayal, then defect forever."""
+
+    name = "grim_trigger"
+
+    def __init__(self) -> None:
+        self._triggered = False
+
+    def reset(self) -> None:
+        self._triggered = False
+
+    def first_move(self) -> int:
+        return COOPERATE
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        if their_history[-1] == DEFECT:
+            self._triggered = True
+        return DEFECT if self._triggered else COOPERATE
+
+
+class Pavlov(Strategy):
+    """Win-stay / lose-shift: repeat after a good round, switch after a bad one.
+
+    A round is "good" if the opponent cooperated.
+    """
+
+    name = "pavlov"
+
+    def first_move(self) -> int:
+        return COOPERATE
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        if their_history[-1] == COOPERATE:
+            return my_history[-1]
+        return 1 - my_history[-1]
+
+
+class RandomStrategy(Strategy):
+    """Cooperate with probability ``p`` (seeded, hence reproducible)."""
+
+    name = "random"
+
+    def __init__(self, p_cooperate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= p_cooperate <= 1.0:
+            raise ValueError("p_cooperate must be in [0, 1]")
+        self.p_cooperate = p_cooperate
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def first_move(self) -> int:
+        return COOPERATE if self._rng.random() < self.p_cooperate else DEFECT
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        return self.first_move()
+
+
+class Alternator(Strategy):
+    """Cooperate, defect, cooperate, defect, ..."""
+
+    name = "alternator"
+
+    def first_move(self) -> int:
+        return COOPERATE
+
+    def next_move(self, my_history: list[int], their_history: list[int]) -> int:
+        return 1 - my_history[-1]
+
+
+STRATEGY_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        TitForTat,
+        SuspiciousTitForTat,
+        TitForTwoTats,
+        AlwaysCooperate,
+        AlwaysDefect,
+        GrimTrigger,
+        Pavlov,
+        RandomStrategy,
+        Alternator,
+    )
+}
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        cls = STRATEGY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGY_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

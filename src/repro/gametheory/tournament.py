@@ -1,0 +1,68 @@
+"""Axelrod-style round-robin tournaments.
+
+Every strategy plays every other (and optionally itself) for a fixed number
+of rounds; scores are averaged per round so different tournament sizes stay
+comparable.  The pairwise mean-payoff matrix doubles as the fitness input
+of the replicator dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .payoffs import PayoffMatrix
+from .repeated_game import play_match
+from .strategies import Strategy
+
+__all__ = ["TournamentResult", "round_robin"]
+
+
+@dataclass(frozen=True)
+class TournamentResult:
+    """Scores of a round-robin tournament."""
+
+    names: list[str]
+    mean_payoff: np.ndarray  # (k, k): row strategy's mean per-round payoff
+    cooperation: np.ndarray  # (k, k): row strategy's cooperation rate
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Strategies sorted by mean payoff against the field (desc)."""
+        field_score = self.mean_payoff.mean(axis=1)
+        order = np.argsort(-field_score)
+        return [(self.names[i], float(field_score[i])) for i in order]
+
+    def score_of(self, name: str) -> float:
+        i = self.names.index(name)
+        return float(self.mean_payoff[i].mean())
+
+
+def round_robin(
+    strategies: list[Strategy],
+    payoffs: PayoffMatrix,
+    rounds: int = 200,
+    noise: float = 0.0,
+    include_self_play: bool = True,
+    seed: int = 0,
+) -> TournamentResult:
+    """Run the full tournament; deterministic given ``seed``."""
+    k = len(strategies)
+    if k < 2:
+        raise ValueError("need at least two strategies")
+    mean_payoff = np.zeros((k, k), dtype=np.float64)
+    cooperation = np.zeros((k, k), dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    for i in range(k):
+        for j in range(i, k):
+            if i == j and not include_self_play:
+                continue
+            result = play_match(
+                strategies[i], strategies[j], payoffs, rounds, noise=noise, rng=rng
+            )
+            mean_payoff[i, j] = result.total_a / rounds
+            mean_payoff[j, i] = result.total_b / rounds
+            cooperation[i, j] = result.cooperation_rate_a()
+            cooperation[j, i] = result.cooperation_rate_b()
+    names = [s.name for s in strategies]
+    return TournamentResult(names=names, mean_payoff=mean_payoff, cooperation=cooperation)

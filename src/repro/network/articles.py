@@ -1,0 +1,132 @@
+"""Article store with versioned edits and voting rounds.
+
+The collaboration network's documents.  Each article tracks
+
+* a *quality* score (constructive accepted edits raise it, destructive
+  accepted edits lower it — this is what the incentive scheme is supposed
+  to protect),
+* a version history of accepted edits,
+* the set of peers holding **voting rights** on the article.  Per the paper
+  "only successful editors of an article will get the right to vote on
+  changes of that article"; at network birth the *founders* seed these sets
+  (the paper's conclusion: "the first users, e.g. the founders of the
+  network, are expected to have a strong interest to ensure the quality").
+
+Edits flow through :class:`EditProposal` records so the engine can run a
+weighted voting round per proposal.  Editing is rare per step (a handful of
+proposals), so this layer favours clarity over vectorization; the hot loops
+live in the sharing kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EditProposal", "Article", "ArticleStore"]
+
+
+@dataclass
+class EditProposal:
+    """A pending change to an article."""
+
+    article_id: int
+    editor_id: int
+    constructive: bool
+    step: int
+
+
+@dataclass
+class Article:
+    """One collaborative document."""
+
+    article_id: int
+    quality: float = 0.0
+    n_versions: int = 0
+    n_constructive_accepted: int = 0
+    n_destructive_accepted: int = 0
+    voter_ids: set[int] = field(default_factory=set)
+
+    def record_accepted(self, editor_id: int, constructive: bool) -> None:
+        self.n_versions += 1
+        if constructive:
+            self.quality += 1.0
+            self.n_constructive_accepted += 1
+        else:
+            self.quality -= 1.0
+            self.n_destructive_accepted += 1
+        # A successful editor gains voting rights on this article.
+        self.voter_ids.add(int(editor_id))
+
+
+class ArticleStore:
+    """All articles of the network plus founder bootstrapping."""
+
+    def __init__(
+        self,
+        n_articles: int,
+        n_peers: int,
+        rng: np.random.Generator,
+        founders_per_article: int = 5,
+    ) -> None:
+        if n_articles < 1:
+            raise ValueError("n_articles must be >= 1")
+        if founders_per_article < 1:
+            raise ValueError("founders_per_article must be >= 1")
+        if founders_per_article > n_peers:
+            raise ValueError("founders_per_article cannot exceed n_peers")
+        self.n_articles = int(n_articles)
+        self.n_peers = int(n_peers)
+        self.articles = [Article(article_id=i) for i in range(self.n_articles)]
+        for art in self.articles:
+            founders = rng.choice(n_peers, size=founders_per_article, replace=False)
+            art.voter_ids.update(int(f) for f in founders)
+
+    def __len__(self) -> int:
+        return self.n_articles
+
+    def __getitem__(self, article_id: int) -> Article:
+        return self.articles[article_id]
+
+    def sample_articles(
+        self, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """Uniformly sample article ids (with replacement) for new edits."""
+        return rng.integers(0, self.n_articles, size=n)
+
+    def eligible_voters(
+        self, article_id: int, can_vote_mask: np.ndarray, exclude: int | None = None
+    ) -> np.ndarray:
+        """Voter ids for one article, filtered by global voting rights.
+
+        The proposing editor is excluded from voting on their own edit.
+        """
+        ids = self.articles[article_id].voter_ids
+        if exclude is not None:
+            ids = ids - {int(exclude)}
+        if not ids:
+            return np.empty(0, dtype=np.int64)
+        arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        return arr[can_vote_mask[arr]]
+
+    def apply_outcome(
+        self, proposal: EditProposal, accepted: bool
+    ) -> None:
+        """Commit an accepted edit (rejected proposals leave no trace)."""
+        if accepted:
+            self.articles[proposal.article_id].record_accepted(
+                proposal.editor_id, proposal.constructive
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregate views used by the metrics collector
+    # ------------------------------------------------------------------
+    def total_quality(self) -> float:
+        return float(sum(a.quality for a in self.articles))
+
+    def accepted_counts(self) -> tuple[int, int]:
+        """(constructive, destructive) accepted edits across all articles."""
+        good = sum(a.n_constructive_accepted for a in self.articles)
+        bad = sum(a.n_destructive_accepted for a in self.articles)
+        return good, bad

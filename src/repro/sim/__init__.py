@@ -1,0 +1,30 @@
+"""Simulation engine: config, RNG streams, metrics, engine, sweeps, scenarios."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .config import SimulationConfig
+from .engine import CollaborationSimulation, SimulationResult, run_simulation
+from .metrics import MetricsCollector, StepStats
+from .rng import make_rng, spawn_rngs, spawn_seeds
+from .scenarios import base_config, fig3_configs, fig6_configs, mixture_configs
+from .sweep import available_workers, replicate, run_sweep
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "SimulationConfig",
+    "CollaborationSimulation",
+    "SimulationResult",
+    "run_simulation",
+    "MetricsCollector",
+    "StepStats",
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "base_config",
+    "fig3_configs",
+    "fig6_configs",
+    "mixture_configs",
+    "available_workers",
+    "replicate",
+    "run_sweep",
+]

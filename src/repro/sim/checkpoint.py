@@ -1,0 +1,74 @@
+"""Checkpointing: persist and restore a simulation's learned state.
+
+Enables train-once / evaluate-many workflows: run the expensive 10 000-step
+training phase once, save the Q-matrices, then replay evaluation phases
+under different service configurations from the same learned policies.
+
+Only the *learned* state is persisted (Q-matrices, contribution ledgers,
+step counter); the RNG is reseeded by the caller, matching the paper's
+phase boundary where reputations reset anyway.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .engine import CollaborationSimulation
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(sim: CollaborationSimulation, path: str | Path) -> Path:
+    """Write the simulation's learned state to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n_agents=np.int64(sim.config.n_agents),
+        n_rational=np.int64(sim.rational_idx.size),
+        step_count=np.int64(sim.step_count),
+        sharing_q=sim.sharing_learner.q,
+        edit_q=sim.edit_learner.q,
+        ledger_c_s=sim.scheme.ledger.sharing.copy(),
+        ledger_c_e=sim.scheme.ledger.editing.copy(),
+        types=sim.peers.types,
+    )
+    return path
+
+
+def load_checkpoint(sim: CollaborationSimulation, path: str | Path) -> None:
+    """Restore learned state saved by :func:`save_checkpoint`.
+
+    The target simulation must have the same population size and rational
+    count; its behaviour types must match exactly (the Q-matrices are
+    indexed by rational-peer order).
+    """
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        if int(data["n_agents"]) != sim.config.n_agents:
+            raise ValueError(
+                f"population mismatch: checkpoint has {int(data['n_agents'])} "
+                f"agents, simulation has {sim.config.n_agents}"
+            )
+        if int(data["n_rational"]) != sim.rational_idx.size:
+            raise ValueError("rational-peer count mismatch")
+        if not np.array_equal(data["types"], sim.peers.types):
+            raise ValueError(
+                "behaviour-type layout mismatch; use the same config seed"
+            )
+        if data["sharing_q"].shape != sim.sharing_learner.q.shape:
+            raise ValueError("sharing Q-matrix shape mismatch")
+        if data["edit_q"].shape != sim.edit_learner.q.shape:
+            raise ValueError("edit Q-matrix shape mismatch")
+        sim.sharing_learner.q[:] = data["sharing_q"]
+        sim.edit_learner.q[:] = data["edit_q"]
+        sim.scheme.ledger.sharing[:] = data["ledger_c_s"]
+        sim.scheme.ledger.editing[:] = data["ledger_c_e"]
+        sim.step_count = int(data["step_count"])

@@ -1,0 +1,176 @@
+"""Per-step metric collection and windowed summaries.
+
+The collector preallocates one float64 row per step for every series (no
+appends in the hot loop) and exposes the quantities the paper's Figures 3-7
+report:
+
+* fraction of shared articles / bandwidth, overall and per behaviour type;
+* constructive vs destructive edit proposals by rational agents;
+* acceptance counts per (behaviour, constructiveness);
+* mean reputations per type (diagnostics).
+
+``summary(start, end)`` reduces a step window into a plain dict of floats —
+the unit every experiment, benchmark and test consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.peer import ALTRUISTIC, IRRATIONAL, RATIONAL, TYPE_NAMES
+
+__all__ = ["StepStats", "MetricsCollector"]
+
+
+@dataclass
+class StepStats:
+    """Everything the engine hands the collector after one step."""
+
+    offered_files: np.ndarray  # per peer, [0, 1]
+    offered_bandwidth: np.ndarray  # per peer, [0, 1]
+    reputation_s: np.ndarray
+    reputation_e: np.ndarray
+    sharing_utility: np.ndarray
+    editing_utility: np.ndarray
+    # Edit-proposal counts for this step, keyed by behaviour type code:
+    # shape (3, 2): [type, constructive? 1 : 0] -> proposals
+    proposals: np.ndarray
+    accepted: np.ndarray  # same shape: accepted proposals
+    votes_cast: int
+    votes_successful: int
+    vote_bans: int
+    reputation_resets: int
+
+
+class MetricsCollector:
+    """Fixed-size store of per-step series."""
+
+    _TYPES = (RATIONAL, ALTRUISTIC, IRRATIONAL)
+
+    def __init__(self, n_steps: int, types: np.ndarray):
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        self.n_steps = int(n_steps)
+        self.types = np.asarray(types, dtype=np.int8)
+        self._masks = {t: self.types == t for t in self._TYPES}
+        self._counts = {t: int(m.sum()) for t, m in self._masks.items()}
+        self._cursor = 0
+
+        shape = (self.n_steps,)
+        self.files_all = np.zeros(shape)
+        self.bandwidth_all = np.zeros(shape)
+        self.files_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self.bandwidth_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self.rep_s_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self.rep_e_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self.utility_s_all = np.zeros(shape)
+        self.utility_e_all = np.zeros(shape)
+        # (steps, type, constructive) proposal/acceptance counts.
+        self.proposals = np.zeros((self.n_steps, 3, 2))
+        self.accepted = np.zeros((self.n_steps, 3, 2))
+        self.votes_cast = np.zeros(shape)
+        self.votes_successful = np.zeros(shape)
+        self.vote_bans = np.zeros(shape)
+        self.reputation_resets = np.zeros(shape)
+
+    # ------------------------------------------------------------------
+    def record(self, stats: StepStats) -> None:
+        i = self._cursor
+        if i >= self.n_steps:
+            raise RuntimeError("metrics store is full")
+        self.files_all[i] = stats.offered_files.mean()
+        self.bandwidth_all[i] = stats.offered_bandwidth.mean()
+        for t, mask in self._masks.items():
+            if self._counts[t]:
+                self.files_by_type[t][i] = stats.offered_files[mask].mean()
+                self.bandwidth_by_type[t][i] = stats.offered_bandwidth[mask].mean()
+                self.rep_s_by_type[t][i] = stats.reputation_s[mask].mean()
+                self.rep_e_by_type[t][i] = stats.reputation_e[mask].mean()
+            else:
+                self.files_by_type[t][i] = np.nan
+                self.bandwidth_by_type[t][i] = np.nan
+                self.rep_s_by_type[t][i] = np.nan
+                self.rep_e_by_type[t][i] = np.nan
+        self.utility_s_all[i] = stats.sharing_utility.mean()
+        self.utility_e_all[i] = stats.editing_utility.mean()
+        self.proposals[i] = stats.proposals
+        self.accepted[i] = stats.accepted
+        self.votes_cast[i] = stats.votes_cast
+        self.votes_successful[i] = stats.votes_successful
+        self.vote_bans[i] = stats.vote_bans
+        self.reputation_resets[i] = stats.reputation_resets
+        self._cursor += 1
+
+    @property
+    def steps_recorded(self) -> int:
+        return self._cursor
+
+    # ------------------------------------------------------------------
+    def summary(self, start: int, end: int | None = None) -> dict[str, float]:
+        """Reduce the window ``[start, end)`` into scalar metrics."""
+        end = self._cursor if end is None else end
+        if not 0 <= start < end <= self._cursor:
+            raise ValueError(f"bad window [{start}, {end}) with {self._cursor} steps")
+        sl = slice(start, end)
+        out: dict[str, float] = {
+            "shared_files": float(self.files_all[sl].mean()),
+            "shared_bandwidth": float(self.bandwidth_all[sl].mean()),
+            "utility_sharing": float(self.utility_s_all[sl].mean()),
+            "utility_editing": float(self.utility_e_all[sl].mean()),
+            "votes_cast_per_step": float(self.votes_cast[sl].mean()),
+            "vote_success_rate": _safe_ratio(
+                self.votes_successful[sl].sum(), self.votes_cast[sl].sum()
+            ),
+            "vote_bans": float(self.vote_bans[sl].sum()),
+            "reputation_resets": float(self.reputation_resets[sl].sum()),
+        }
+        for t in self._TYPES:
+            name = TYPE_NAMES[t]
+            out[f"shared_files_{name}"] = _nanmean(self.files_by_type[t][sl])
+            out[f"shared_bandwidth_{name}"] = _nanmean(self.bandwidth_by_type[t][sl])
+            out[f"reputation_s_{name}"] = _nanmean(self.rep_s_by_type[t][sl])
+            out[f"reputation_e_{name}"] = _nanmean(self.rep_e_by_type[t][sl])
+
+        props = self.proposals[sl].sum(axis=0)  # (3, 2)
+        accs = self.accepted[sl].sum(axis=0)
+        for t in self._TYPES:
+            name = TYPE_NAMES[t]
+            good, bad = props[t, 1], props[t, 0]
+            out[f"edits_constructive_{name}"] = float(good)
+            out[f"edits_destructive_{name}"] = float(bad)
+            out[f"edit_constructive_fraction_{name}"] = _safe_ratio(good, good + bad)
+            out[f"accepted_constructive_{name}"] = float(accs[t, 1])
+            out[f"accepted_destructive_{name}"] = float(accs[t, 0])
+            out[f"edit_accept_rate_{name}"] = _safe_ratio(
+                accs[t].sum(), props[t].sum()
+            )
+        total_good = props[:, 1].sum()
+        total_bad = props[:, 0].sum()
+        out["edit_constructive_fraction"] = _safe_ratio(
+            total_good, total_good + total_bad
+        )
+        out["accepted_constructive_rate"] = _safe_ratio(
+            accs[:, 1].sum(), props[:, 1].sum()
+        )
+        out["accepted_destructive_rate"] = _safe_ratio(
+            accs[:, 0].sum(), props[:, 0].sum()
+        )
+        return out
+
+    def series(self, name: str) -> np.ndarray:
+        """A recorded per-step series (trimmed to recorded length)."""
+        arr = getattr(self, name, None)
+        if not isinstance(arr, np.ndarray):
+            raise KeyError(name)
+        return arr[: self._cursor]
+
+
+def _safe_ratio(num: float, den: float) -> float:
+    return float(num) / float(den) if den else float("nan")
+
+
+def _nanmean(values: np.ndarray) -> float:
+    finite = values[~np.isnan(values)]
+    return float(finite.mean()) if finite.size else float("nan")

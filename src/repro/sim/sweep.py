@@ -1,0 +1,67 @@
+"""Parameter sweeps with pluggable parallel backends.
+
+A sweep is a list of :class:`SimulationConfig`; each runs independently
+with its own seeded RNG, so execution order and backend never change the
+numbers.  Backends:
+
+* ``serial``  — plain loop (debugging, deterministic profiling);
+* ``thread``  — ``ThreadPoolExecutor``; NumPy releases the GIL in the big
+  kernels, so threads help despite Python-level stepping;
+* ``process`` — ``ProcessPoolExecutor``; true parallelism, the default for
+  multi-config experiment grids.
+
+The worker function is module-level so it pickles under the ``spawn`` start
+method.  Results are returned in input order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from .config import SimulationConfig
+from .engine import SimulationResult, run_simulation
+from .rng import spawn_seeds
+
+__all__ = ["run_sweep", "replicate", "available_workers"]
+
+
+def available_workers() -> int:
+    """Worker-count default: leave one core for the coordinator."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _worker(config: SimulationConfig) -> SimulationResult:
+    return run_simulation(config)
+
+
+def run_sweep(
+    configs: list[SimulationConfig],
+    backend: str = "process",
+    workers: int | None = None,
+) -> list[SimulationResult]:
+    """Run every config; results align with the input list."""
+    if not configs:
+        return []
+    if backend == "serial" or len(configs) == 1:
+        return [_worker(c) for c in configs]
+    workers = workers if workers is not None else available_workers()
+    workers = max(1, min(workers, len(configs)))
+    if backend == "thread":
+        pool_cls = ThreadPoolExecutor
+    elif backend == "process":
+        pool_cls = ProcessPoolExecutor
+    else:
+        raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
+    with pool_cls(max_workers=workers) as pool:
+        return list(pool.map(_worker, configs))
+
+
+def replicate(
+    config: SimulationConfig, n_seeds: int, root_seed: int | None = None
+) -> list[SimulationConfig]:
+    """``n_seeds`` copies of one config with independent derived seeds."""
+    if n_seeds < 1:
+        raise ValueError("n_seeds must be >= 1")
+    root = config.seed if root_seed is None else root_seed
+    return [config.with_(seed=s) for s in spawn_seeds(root, n_seeds)]

@@ -1,0 +1,24 @@
+"""Reputation-propagation substrate: EigenTrust, MaxFlow trust, histories.
+
+The paper *assumes* "a mechanism to safely propagate reputation values in a
+P2P network"; this package provides the two mechanisms its related-work
+section describes, so the assumption can be replaced by a real
+implementation (see ``examples/trust_propagation.py``).
+"""
+
+from .eigentrust import EigenTrustResult, eigentrust
+from .history import InteractionRecord, PrivateHistory, SharedHistory
+from .local_trust import LocalTrustMatrix, normalize_trust
+from .maxflow import max_flow_trust, pairwise_trust_matrix
+
+__all__ = [
+    "EigenTrustResult",
+    "eigentrust",
+    "InteractionRecord",
+    "PrivateHistory",
+    "SharedHistory",
+    "LocalTrustMatrix",
+    "normalize_trust",
+    "max_flow_trust",
+    "pairwise_trust_matrix",
+]

@@ -1,0 +1,119 @@
+"""Private and shared interaction histories (paper section II-B2).
+
+Trust-based incentive schemes divide into *private history* (each peer only
+remembers its own direct interactions — TFT territory) and *shared history*
+(all actions are globally visible, enabling policies against strangers).
+The paper's scheme needs a shared history because collaboration relations
+are non-direct.
+
+:class:`PrivateHistory` answers "what did *I* observe about peer j?";
+:class:`SharedHistory` answers "what did *anyone* observe about peer j?".
+Both are thin, well-tested stores the trust algorithms and the TFT
+comparison example build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InteractionRecord", "PrivateHistory", "SharedHistory"]
+
+
+@dataclass(frozen=True)
+class InteractionRecord:
+    step: int
+    observer_id: int
+    subject_id: int
+    satisfactory: bool
+
+
+class PrivateHistory:
+    """Per-observer direct-experience counters.
+
+    Dense (n, n) counters of satisfactory/unsatisfactory interactions:
+    ``observer -> subject``.  Memory is O(n^2) which is fine for the
+    population sizes studied here and keeps every query vectorized.
+    """
+
+    def __init__(self, n_peers: int):
+        self.n_peers = int(n_peers)
+        self.sat = np.zeros((n_peers, n_peers), dtype=np.int64)
+        self.unsat = np.zeros((n_peers, n_peers), dtype=np.int64)
+
+    def record(
+        self, observers: np.ndarray, subjects: np.ndarray, satisfactory: np.ndarray
+    ) -> None:
+        observers = np.asarray(observers, dtype=np.int64)
+        subjects = np.asarray(subjects, dtype=np.int64)
+        satisfactory = np.asarray(satisfactory, dtype=bool)
+        good = satisfactory
+        np.add.at(self.sat, (observers[good], subjects[good]), 1)
+        np.add.at(self.unsat, (observers[~good], subjects[~good]), 1)
+
+    def observed(self, observer_id: int, subject_id: int) -> bool:
+        """Did ``observer`` ever interact with ``subject`` directly?"""
+        return bool(
+            self.sat[observer_id, subject_id] + self.unsat[observer_id, subject_id] > 0
+        )
+
+    def opinion(self, observer_id: int, subject_id: int) -> float:
+        """Fraction of satisfactory interactions; 0.5 when unobserved."""
+        s = self.sat[observer_id, subject_id]
+        u = self.unsat[observer_id, subject_id]
+        total = s + u
+        return float(s) / total if total else 0.5
+
+    def coverage(self) -> float:
+        """Fraction of ordered peer pairs with at least one observation.
+
+        TFT needs high coverage (direct relations); collaboration networks
+        have low coverage — the quantitative version of the paper's
+        motivation, measured in ``examples/tft_vs_reputation.py``.
+        """
+        seen = (self.sat + self.unsat) > 0
+        np.fill_diagonal(seen, False)
+        possible = self.n_peers * (self.n_peers - 1)
+        return float(seen.sum()) / possible if possible else 0.0
+
+
+class SharedHistory:
+    """Globally shared record of interaction outcomes per subject."""
+
+    def __init__(self, n_peers: int):
+        self.n_peers = int(n_peers)
+        self.sat = np.zeros(n_peers, dtype=np.int64)
+        self.unsat = np.zeros(n_peers, dtype=np.int64)
+        self._records: list[InteractionRecord] = []
+        self.keep_records = False
+
+    def record(
+        self,
+        observers: np.ndarray,
+        subjects: np.ndarray,
+        satisfactory: np.ndarray,
+        step: int = 0,
+    ) -> None:
+        subjects = np.asarray(subjects, dtype=np.int64)
+        satisfactory = np.asarray(satisfactory, dtype=bool)
+        np.add.at(self.sat, subjects[satisfactory], 1)
+        np.add.at(self.unsat, subjects[~satisfactory], 1)
+        if self.keep_records:
+            observers = np.asarray(observers, dtype=np.int64)
+            self._records.extend(
+                InteractionRecord(step, int(o), int(s), bool(g))
+                for o, s, g in zip(observers, subjects, satisfactory)
+            )
+
+    def opinions(self) -> np.ndarray:
+        """Global satisfaction ratio per subject; 0.5 when unobserved."""
+        total = self.sat + self.unsat
+        out = np.full(self.n_peers, 0.5)
+        seen = total > 0
+        out[seen] = self.sat[seen] / total[seen]
+        return out
+
+    @property
+    def records(self) -> list[InteractionRecord]:
+        return self._records

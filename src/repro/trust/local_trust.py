@@ -1,0 +1,79 @@
+"""Local trust accounting shared by the propagation algorithms.
+
+EigenTrust-style local trust: peer *i* rates peer *j* by
+``s_ij = sat(i, j) - unsat(i, j)`` (satisfactory minus unsatisfactory
+interactions), floored at zero and normalized per row:
+
+    ``c_ij = max(s_ij, 0) / sum_j max(s_ij, 0)``
+
+Rows without any positive experience fall back to a prior distribution
+(uniform, or concentrated on pre-trusted peers), exactly as in Kamvar et
+al. (WWW 2003).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LocalTrustMatrix", "normalize_trust"]
+
+
+def normalize_trust(
+    scores: np.ndarray, prior: np.ndarray | None = None
+) -> np.ndarray:
+    """Row-normalize raw trust scores into the EigenTrust ``C`` matrix."""
+    s = np.maximum(np.asarray(scores, dtype=np.float64), 0.0)
+    n = s.shape[0]
+    if s.shape != (n, n):
+        raise ValueError("scores must be a square matrix")
+    if prior is None:
+        prior = np.full(n, 1.0 / n)
+    else:
+        prior = np.asarray(prior, dtype=np.float64)
+        if prior.shape != (n,) or not np.isclose(prior.sum(), 1.0):
+            raise ValueError("prior must be a probability vector of length n")
+    row_sums = s.sum(axis=1, keepdims=True)
+    c = np.divide(s, row_sums, out=np.zeros_like(s), where=row_sums > 0)
+    empty_rows = row_sums[:, 0] == 0
+    if np.any(empty_rows):
+        c[empty_rows] = prior
+    return c
+
+
+class LocalTrustMatrix:
+    """Accumulates interaction outcomes into a raw trust-score matrix."""
+
+    def __init__(self, n_peers: int):
+        if n_peers < 1:
+            raise ValueError("n_peers must be >= 1")
+        self.n_peers = int(n_peers)
+        self.sat = np.zeros((n_peers, n_peers), dtype=np.int64)
+        self.unsat = np.zeros((n_peers, n_peers), dtype=np.int64)
+
+    def record(
+        self,
+        raters: np.ndarray,
+        ratees: np.ndarray,
+        satisfactory: np.ndarray,
+    ) -> None:
+        """Record a batch of interactions (vectorized scatter)."""
+        raters = np.asarray(raters, dtype=np.int64)
+        ratees = np.asarray(ratees, dtype=np.int64)
+        satisfactory = np.asarray(satisfactory, dtype=bool)
+        if not (raters.shape == ratees.shape == satisfactory.shape):
+            raise ValueError("batch arrays must align")
+        if np.any(raters == ratees):
+            raise ValueError("self-ratings are not allowed")
+        good = satisfactory
+        np.add.at(self.sat, (raters[good], ratees[good]), 1)
+        np.add.at(self.unsat, (raters[~good], ratees[~good]), 1)
+
+    def scores(self) -> np.ndarray:
+        """Raw local scores ``s_ij = sat - unsat`` (diagonal forced to 0)."""
+        s = (self.sat - self.unsat).astype(np.float64)
+        np.fill_diagonal(s, 0.0)
+        return s
+
+    def matrix(self, prior: np.ndarray | None = None) -> np.ndarray:
+        """The normalized EigenTrust ``C`` matrix."""
+        return normalize_trust(self.scores(), prior)

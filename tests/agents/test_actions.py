@@ -1,0 +1,81 @@
+"""Tests for the action spaces (paper IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.actions import EditActionSpace, SharingActionSpace
+
+
+class TestSharingActionSpace:
+    def test_paper_grid(self):
+        space = SharingActionSpace()
+        assert space.n_actions == 9
+        assert space.levels.tolist() == [0.0, 0.5, 1.0]
+
+    def test_decode_all(self):
+        space = SharingActionSpace()
+        bw, files = space.decode(np.arange(9))
+        # bandwidth is the major index, files the minor.
+        assert bw.tolist() == [0, 0, 0, 0.5, 0.5, 0.5, 1, 1, 1]
+        assert files.tolist() == [0, 0.5, 1, 0, 0.5, 1, 0, 0.5, 1]
+
+    def test_encode_decode_roundtrip(self):
+        space = SharingActionSpace()
+        for b in range(3):
+            for f in range(3):
+                a = space.encode(b, f)
+                bw, files = space.decode(np.array([a]))
+                assert bw[0] == space.levels[b]
+                assert files[0] == space.levels[f]
+
+    def test_max_min_actions(self):
+        space = SharingActionSpace()
+        bw, files = space.decode(np.array([space.max_action]))
+        assert bw[0] == 1.0 and files[0] == 1.0
+        bw, files = space.decode(np.array([space.min_action]))
+        assert bw[0] == 0.0 and files[0] == 0.0
+
+    def test_custom_levels(self):
+        space = SharingActionSpace(np.array([0.0, 0.25, 0.5, 1.0]))
+        assert space.n_actions == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingActionSpace(np.array([0.5]))
+        with pytest.raises(ValueError):
+            SharingActionSpace(np.array([0.0, 1.5]))
+        space = SharingActionSpace()
+        with pytest.raises(ValueError):
+            space.decode(np.array([9]))
+        with pytest.raises(ValueError):
+            space.encode(3, 0)
+
+
+class TestEditActionSpace:
+    def test_four_actions(self):
+        assert EditActionSpace().n_actions == 4
+
+    def test_decode(self):
+        space = EditActionSpace()
+        edit, vote = space.decode(np.arange(4))
+        assert edit.tolist() == [False, False, True, True]
+        assert vote.tolist() == [False, True, False, True]
+
+    def test_constructive_destructive_actions(self):
+        space = EditActionSpace()
+        edit, vote = space.decode(np.array([space.constructive_action]))
+        assert edit[0] and vote[0]
+        edit, vote = space.decode(np.array([space.destructive_action]))
+        assert not edit[0] and not vote[0]
+
+    def test_encode_roundtrip(self):
+        space = EditActionSpace()
+        for e in (False, True):
+            for v in (False, True):
+                a = space.encode(e, v)
+                edit, vote = space.decode(np.array([a]))
+                assert bool(edit[0]) == e and bool(vote[0]) == v
+
+    def test_decode_range_checked(self):
+        with pytest.raises(ValueError):
+            EditActionSpace().decode(np.array([4]))

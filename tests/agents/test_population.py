@@ -1,0 +1,74 @@
+"""Tests for population mixes and the paper's mixture sweep."""
+
+import numpy as np
+import pytest
+
+from repro.agents.population import PopulationMix, mixture_sweep
+from repro.network.peer import ALTRUISTIC, IRRATIONAL, RATIONAL
+
+
+class TestPopulationMix:
+    def test_counts_sum_to_n(self):
+        mix = PopulationMix(rational=0.34, altruistic=0.33, irrational=0.33)
+        for n in (1, 7, 99, 100):
+            counts = mix.counts(n)
+            assert sum(counts) == n
+
+    def test_exact_fractions(self):
+        mix = PopulationMix(0.5, 0.3, 0.2)
+        assert mix.counts(10) == (5, 3, 2)
+
+    def test_build_composition(self, rng):
+        mix = PopulationMix(0.2, 0.5, 0.3)
+        types = mix.build(100, rng)
+        assert (types == RATIONAL).sum() == 20
+        assert (types == ALTRUISTIC).sum() == 50
+        assert (types == IRRATIONAL).sum() == 30
+
+    def test_build_shuffles(self, rng_factory):
+        mix = PopulationMix(0.5, 0.5, 0.0)
+        unshuffled = mix.build(10)
+        shuffled = mix.build(10, rng_factory(3))
+        assert sorted(unshuffled.tolist()) == sorted(shuffled.tolist())
+        # Unshuffled is blocked; shuffled should (with this seed) differ.
+        assert unshuffled.tolist() != shuffled.tolist()
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PopulationMix(0.5, 0.5, 0.5)
+
+    def test_no_negative_fractions(self):
+        with pytest.raises(ValueError):
+            PopulationMix(1.2, -0.1, -0.1)
+
+    def test_describe(self):
+        mix = PopulationMix(1.0, 0.0, 0.0)
+        assert "100% rational" in mix.describe()
+
+
+class TestMixtureSweep:
+    def test_paper_rule(self):
+        """Varied type takes x%, the others split the rest equally."""
+        mixes = mixture_sweep("altruistic", [10, 50, 90])
+        assert mixes[0].altruistic == pytest.approx(0.10)
+        assert mixes[0].rational == pytest.approx(0.45)
+        assert mixes[0].irrational == pytest.approx(0.45)
+        assert mixes[2].altruistic == pytest.approx(0.90)
+        assert mixes[2].rational == pytest.approx(0.05)
+
+    def test_default_range(self):
+        mixes = mixture_sweep("irrational")
+        assert len(mixes) == 9
+        assert mixes[0].irrational == pytest.approx(0.10)
+        assert mixes[-1].irrational == pytest.approx(0.90)
+
+    def test_all_types_supported(self):
+        for vary in ("rational", "altruistic", "irrational"):
+            mixes = mixture_sweep(vary, [30])
+            assert getattr(mixes[0], vary) == pytest.approx(0.30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixture_sweep("chaotic")
+        with pytest.raises(ValueError):
+            mixture_sweep("rational", [150])

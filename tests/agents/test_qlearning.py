@@ -1,0 +1,211 @@
+"""Tests for vectorized Q-learning and Boltzmann exploration (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.qlearning import (
+    VectorQLearner,
+    boltzmann_probabilities,
+    sample_categorical,
+)
+
+
+class TestBoltzmannProbabilities:
+    def test_paper_figure2_t2_concentrates(self):
+        """At T=2 the mass concentrates on the highest values."""
+        q = np.arange(1, 11, dtype=np.float64)[None, :]
+        p = boltzmann_probabilities(q, 2.0)[0]
+        assert p[-1] > 0.35
+        assert np.all(np.diff(p) > 0)
+
+    def test_paper_figure2_t1000_near_uniform(self):
+        q = np.arange(1, 11, dtype=np.float64)[None, :]
+        p = boltzmann_probabilities(q, 1000.0)[0]
+        assert np.all(np.abs(p - 0.1) < 0.002)
+
+    def test_infinite_temperature_exactly_uniform(self):
+        """The paper's training regime: T = max float -> uniform."""
+        q = np.array([[0.0, 100.0, -50.0]])
+        p = boltzmann_probabilities(q, np.inf)
+        assert np.allclose(p, 1 / 3)
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(20, 7))
+        p = boltzmann_probabilities(q, 1.0)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_numerically_stable_for_large_q(self):
+        q = np.array([[1e6, 1e6 - 1.0]])
+        p = boltzmann_probabilities(q, 1.0)
+        assert np.all(np.isfinite(p))
+        assert p[0, 0] > p[0, 1]
+
+    def test_low_temperature_approaches_greedy(self):
+        q = np.array([[1.0, 2.0, 3.0]])
+        p = boltzmann_probabilities(q, 0.01)
+        assert p[0, 2] > 0.999
+
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            boltzmann_probabilities(np.array([[1.0, 2.0]]), 0.0)
+        with pytest.raises(ValueError):
+            boltzmann_probabilities(np.array([[1.0, 2.0]]), -1.0)
+
+    def test_three_dimensional_input(self):
+        q = np.zeros((4, 5, 3))
+        p = boltzmann_probabilities(q, 1.0)
+        assert p.shape == (4, 5, 3)
+        assert np.allclose(p.sum(axis=-1), 1.0)
+
+    @given(st.floats(min_value=0.01, max_value=1e6), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_valid_distribution(self, t, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(scale=5.0, size=(3, 6))
+        p = boltzmann_probabilities(q, t)
+        assert np.all(p >= 0)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_order_preserved(self, seed):
+        """Higher Q-value never gets lower probability."""
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=(1, 5))
+        p = boltzmann_probabilities(q, 1.0)[0]
+        order_q = np.argsort(q[0])
+        assert np.all(np.diff(p[order_q]) >= -1e-12)
+
+
+class TestSampleCategorical:
+    def test_respects_distribution(self, rng):
+        p = np.tile(np.array([0.8, 0.1, 0.1]), (5000, 1))
+        samples = sample_categorical(p, rng)
+        counts = np.bincount(samples, minlength=3) / 5000
+        assert counts[0] == pytest.approx(0.8, abs=0.03)
+
+    def test_degenerate_distribution(self, rng):
+        p = np.tile(np.array([0.0, 1.0, 0.0]), (100, 1))
+        samples = sample_categorical(p, rng)
+        assert np.all(samples == 1)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(np.array([0.5, 0.5]), rng)
+
+    def test_samples_in_range(self, rng):
+        p = np.full((1000, 4), 0.25)
+        samples = sample_categorical(p, rng)
+        assert samples.min() >= 0 and samples.max() <= 3
+
+
+class TestVectorQLearner:
+    def test_update_formula(self):
+        ql = VectorQLearner(1, 2, 2, learning_rate=0.5, discount=0.9)
+        ql.q[0, 1, 1] = 10.0  # best next value
+        ql.update(
+            states=np.array([0]),
+            actions=np.array([0]),
+            rewards=np.array([2.0]),
+            next_states=np.array([1]),
+        )
+        # Q <- (1-0.5)*0 + 0.5*(2 + 0.9*10) = 5.5
+        assert ql.q[0, 0, 0] == pytest.approx(5.5)
+
+    def test_agents_independent(self):
+        ql = VectorQLearner(3, 2, 2)
+        ql.update(
+            states=np.array([0, 0, 0]),
+            actions=np.array([0, 1, 0]),
+            rewards=np.array([1.0, 2.0, 0.0]),
+            next_states=np.array([0, 0, 0]),
+        )
+        assert ql.q[0, 0, 0] > 0
+        assert ql.q[1, 0, 0] == 0.0
+        assert ql.q[1, 0, 1] > 0
+
+    def test_convergence_to_reward(self):
+        """Repeated updates converge Q to r / (1 - gamma) for a constant
+        reward and a single state."""
+        ql = VectorQLearner(1, 1, 2, learning_rate=0.2, discount=0.5)
+        for _ in range(1000):
+            ql.update(
+                states=np.array([0]),
+                actions=np.array([0]),
+                rewards=np.array([1.0]),
+                next_states=np.array([0]),
+            )
+        assert ql.q[0, 0, 0] == pytest.approx(2.0, rel=1e-3)
+
+    def test_select_actions_greedy_limit(self, rng):
+        ql = VectorQLearner(2, 1, 3)
+        ql.q[:, 0, 2] = 100.0
+        actions = ql.select_actions(np.array([0, 0]), temperature=0.01, rng=rng)
+        assert actions.tolist() == [2, 2]
+
+    def test_select_actions_infinite_t_uniform(self, rng):
+        ql = VectorQLearner(2000, 1, 4)
+        ql.q[:, 0, 0] = 1e9  # must be ignored at T = inf
+        actions = ql.select_actions(
+            np.zeros(2000, dtype=np.int64), temperature=np.inf, rng=rng
+        )
+        counts = np.bincount(actions, minlength=4) / 2000
+        assert np.all(np.abs(counts - 0.25) < 0.06)
+
+    def test_subset_selection(self, rng):
+        ql = VectorQLearner(5, 2, 3)
+        subset = np.array([1, 3])
+        actions = ql.select_actions(
+            np.array([0, 1]), temperature=1.0, rng=rng, subset=subset
+        )
+        assert actions.shape == (2,)
+
+    def test_greedy_actions(self):
+        ql = VectorQLearner(2, 2, 3)
+        ql.q[0, 0, 1] = 5.0
+        ql.q[1, 0, 2] = 5.0
+        greedy = ql.greedy_actions(np.array([0, 0]))
+        assert greedy.tolist() == [1, 2]
+
+    def test_misaligned_update_rejected(self):
+        ql = VectorQLearner(2, 2, 2)
+        with pytest.raises(ValueError):
+            ql.update(
+                states=np.array([0]),
+                actions=np.array([0, 1]),
+                rewards=np.array([1.0, 1.0]),
+                next_states=np.array([0, 0]),
+            )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            VectorQLearner(0, 1, 2)
+        with pytest.raises(ValueError):
+            VectorQLearner(1, 1, 1)
+        with pytest.raises(ValueError):
+            VectorQLearner(1, 1, 2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            VectorQLearner(1, 1, 2, discount=1.0)
+
+    def test_reset_and_copy(self):
+        ql = VectorQLearner(2, 2, 2)
+        ql.q[:] = 7.0
+        clone = ql.copy()
+        ql.reset()
+        assert np.all(ql.q == 0.0)
+        assert np.all(clone.q == 7.0)
+
+    def test_learning_beats_random_on_bandit(self, rng):
+        """End-to-end sanity: Q-learning finds the best arm of a bandit."""
+        ql = VectorQLearner(10, 1, 3, learning_rate=0.1, discount=0.0)
+        true_rewards = np.array([0.1, 0.9, 0.4])
+        states = np.zeros(10, dtype=np.int64)
+        for _ in range(400):
+            actions = ql.select_actions(states, temperature=0.3, rng=rng)
+            rewards = true_rewards[actions] + rng.normal(0, 0.05, size=10)
+            ql.update(states, actions, rewards, states)
+        greedy = ql.greedy_actions(states)
+        assert np.all(greedy == 1)

@@ -1,0 +1,72 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import bar_chart, grouped_bars, line_plot
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        x = np.linspace(0, 10, 20)
+        out = line_plot(x, {"a": x, "b": 10 - x}, title="demo")
+        assert "demo" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_handles_nan(self):
+        x = np.arange(5, dtype=float)
+        y = x.copy()
+        y[2] = np.nan
+        out = line_plot(x, {"s": y})
+        assert "s" in out
+
+    def test_constant_series(self):
+        x = np.arange(4, dtype=float)
+        out = line_plot(x, {"c": np.full(4, 2.0)})
+        assert "|" in out
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot(np.arange(3), {"s": np.arange(4)})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot(np.arange(3), {})
+
+    def test_explicit_y_range(self):
+        x = np.arange(3, dtype=float)
+        out = line_plot(x, {"s": x}, y_range=(0.0, 10.0))
+        assert "10.0000" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_nan_rendered(self):
+        out = bar_chart(["a"], [float("nan")])
+        assert "(nan)" in out
+
+    def test_all_zero(self):
+        out = bar_chart(["a"], [0.0])
+        assert "0.0000" in out
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestGroupedBars:
+    def test_groups_and_series(self):
+        out = grouped_bars(
+            ["g1", "g2"], {"x": [1.0, 2.0], "y": [2.0, 1.0]}, width=8
+        )
+        assert "g1:" in out and "g2:" in out
+        assert out.count("|") == 4
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["g1"], {"x": [1.0, 2.0]})

@@ -1,0 +1,74 @@
+"""Tests for the FigureData container."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FigureData
+
+
+def make_fig(kind="line"):
+    return FigureData(
+        name="figX",
+        title="demo",
+        x_label="x",
+        y_label="y",
+        x=np.array([1.0, 2.0, 3.0]),
+        series={"a": np.array([0.1, 0.2, 0.3])},
+        errors={"a": np.array([0.01, 0.01, 0.02])},
+        meta={"n_seeds": 3},
+        kind=kind,
+    )
+
+
+class TestFigureData:
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            FigureData(
+                name="f",
+                title="t",
+                x_label="x",
+                y_label="y",
+                x=np.array([1.0]),
+                series={"a": np.array([1.0, 2.0])},
+            )
+
+    def test_errors_must_match_series(self):
+        with pytest.raises(ValueError):
+            FigureData(
+                name="f",
+                title="t",
+                x_label="x",
+                y_label="y",
+                x=np.array([1.0]),
+                series={"a": np.array([1.0])},
+                errors={"b": np.array([1.0])},
+            )
+
+    def test_render_line(self):
+        out = make_fig().render()
+        assert "figX" in out and "demo" in out
+
+    def test_render_bar(self):
+        out = make_fig(kind="bar").render()
+        assert "#" in out
+
+    def test_csv_roundtrip(self, tmp_path):
+        fig = make_fig()
+        path = fig.to_csv(tmp_path / "f.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "x,a,err_a"
+        assert len(content) == 4
+
+    def test_json_roundtrip(self, tmp_path):
+        fig = make_fig()
+        path = fig.to_json(tmp_path / "f.json")
+        clone = FigureData.from_json(path)
+        assert clone.name == fig.name
+        assert clone.series["a"] == pytest.approx(fig.series["a"])
+        assert clone.errors["a"] == pytest.approx(fig.errors["a"])
+        assert clone.meta["n_seeds"] == 3
+
+    def test_creates_directories(self, tmp_path):
+        fig = make_fig()
+        path = fig.to_csv(tmp_path / "deep" / "dir" / "f.csv")
+        assert path.exists()

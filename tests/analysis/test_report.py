@@ -1,0 +1,90 @@
+"""Tests for the reproduction-report generator."""
+
+import numpy as np
+
+from repro.analysis.figures import FigureData
+from repro.analysis.report import (
+    load_results,
+    render_markdown_table,
+    reproduction_table,
+)
+
+
+def write_fig3(tmp_path, gain_articles=0.065, gain_bandwidth=0.068):
+    FigureData(
+        name="fig3",
+        title="t",
+        x_label="resource",
+        y_label="y",
+        x=np.array([0.0, 1.0]),
+        series={"incentive": np.array([0.48, 0.50]), "no_incentive": np.array([0.45, 0.46])},
+        meta={"gain_articles": gain_articles, "gain_bandwidth": gain_bandwidth},
+        kind="bar",
+    ).to_json(tmp_path / "fig3.json")
+
+
+class TestLoadResults:
+    def test_loads_by_name(self, tmp_path):
+        write_fig3(tmp_path)
+        figs = load_results(tmp_path)
+        assert "fig3" in figs
+
+    def test_empty_dir(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+
+class TestReproductionTable:
+    def test_fig3_row_positive(self, tmp_path):
+        write_fig3(tmp_path)
+        rows = reproduction_table(load_results(tmp_path))
+        assert len(rows) == 1
+        assert rows[0]["figure"] == "Fig. 3"
+        assert rows[0]["holds"] == "yes"
+        assert "+6.5%" in rows[0]["measured"]
+
+    def test_fig3_row_negative(self, tmp_path):
+        write_fig3(tmp_path, gain_articles=-0.02)
+        rows = reproduction_table(load_results(tmp_path))
+        assert rows[0]["holds"] == "NO"
+
+    def test_fig4_row(self, tmp_path):
+        FigureData(
+            name="fig4_files",
+            title="t",
+            x_label="pct",
+            y_label="y",
+            x=np.array([10.0, 50.0, 90.0]),
+            series={
+                "altruistic": np.array([0.3, 0.6, 0.9]),
+                "irrational": np.array([0.7, 0.4, 0.1]),
+            },
+        ).to_json(tmp_path / "fig4_files.json")
+        rows = reproduction_table(load_results(tmp_path))
+        assert rows[0]["figure"] == "Fig. 4"
+        assert rows[0]["holds"] == "yes"
+
+    def test_fig7_rows(self, tmp_path):
+        for vary, final in (("altruistic", 0.9), ("irrational", 0.1)):
+            FigureData(
+                name=f"fig7_{vary}",
+                title="t",
+                x_label="pct",
+                y_label="y",
+                x=np.array([10.0, 90.0]),
+                series={
+                    "constructive": np.array([0.5, final]),
+                    "destructive": np.array([0.5, 1 - final]),
+                },
+                kind="bar",
+            ).to_json(tmp_path / f"fig7_{vary}.json")
+        rows = reproduction_table(load_results(tmp_path))
+        assert rows[0]["figure"] == "Fig. 7"
+        assert rows[0]["holds"] == "yes"
+
+
+class TestRenderMarkdown:
+    def test_renders_rows(self, tmp_path):
+        write_fig3(tmp_path)
+        md = render_markdown_table(reproduction_table(load_results(tmp_path)))
+        assert md.startswith("| Figure |")
+        assert "Fig. 3" in md

@@ -1,0 +1,83 @@
+"""Tests for time-series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import converged, downsample, moving_average, tail_mean
+
+
+class TestMovingAverage:
+    def test_constant_series(self):
+        x = np.full(10, 3.0)
+        assert moving_average(x, 4) == pytest.approx(x)
+
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, 5.0, 2.0])
+        assert moving_average(x, 1) == pytest.approx(x)
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(50)
+        w = 7
+        ours = moving_average(x, w)
+        for i in range(50):
+            lo = max(0, i - w + 1)
+            assert ours[i] == pytest.approx(x[lo : i + 1].mean())
+
+    def test_empty(self):
+        assert moving_average(np.array([]), 3).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0]), 0)
+
+
+class TestTailMean:
+    def test_full_fraction(self):
+        assert tail_mean(np.array([1.0, 2.0, 3.0]), 1.0) == pytest.approx(2.0)
+
+    def test_half(self):
+        assert tail_mean(np.array([0.0, 0.0, 4.0, 6.0]), 0.5) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert np.isnan(tail_mean(np.array([])))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tail_mean(np.array([1.0]), 0.0)
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        x = np.array([1.0, 2.0])
+        xs, ys = downsample(x, 10)
+        assert ys == pytest.approx(x)
+
+    def test_bucket_means(self):
+        x = np.arange(100, dtype=float)
+        xs, ys = downsample(x, 10)
+        assert ys.size == 10
+        assert ys[0] == pytest.approx(np.arange(10).mean())
+
+    def test_total_mean_preserved_for_even_buckets(self):
+        x = np.arange(100, dtype=float)
+        _, ys = downsample(x, 10)
+        assert ys.mean() == pytest.approx(x.mean())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample(np.array([1.0]), 0)
+
+
+class TestConverged:
+    def test_flat_series_converged(self):
+        assert converged(np.full(1000, 2.0), window=100)
+
+    def test_trending_series_not_converged(self):
+        assert not converged(np.linspace(0, 10, 1000), window=100, tolerance=0.01)
+
+    def test_too_short_not_converged(self):
+        assert not converged(np.ones(50), window=100)
+
+    def test_near_zero_scale(self):
+        assert converged(np.full(400, 1e-12), window=100)

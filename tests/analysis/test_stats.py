@@ -1,0 +1,108 @@
+"""Tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import MeanCI, bootstrap_ci, mean_ci, relative_change
+
+
+class TestMeanCI:
+    def test_basic(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+        assert ci.low < 2.0 < ci.high
+
+    def test_single_value(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+
+    def test_empty(self):
+        ci = mean_ci([])
+        assert np.isnan(ci.mean)
+        assert ci.n == 0
+
+    def test_nans_dropped(self):
+        ci = mean_ci([1.0, float("nan"), 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 2
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = mean_ci(rng.normal(size=10))
+        large = mean_ci(rng.normal(size=1000))
+        assert large.half_width < small.half_width
+
+    def test_interval_bounds(self):
+        ci = MeanCI(mean=1.0, half_width=0.2, n=5)
+        assert ci.low == pytest.approx(0.8)
+        assert ci.high == pytest.approx(1.2)
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean(self, rng):
+        data = rng.normal(loc=3.0, size=200)
+        lo, hi = bootstrap_ci(data, rng)
+        assert lo < 3.0 < hi
+
+    def test_deterministic_given_rng(self, rng_factory):
+        data = np.arange(20, dtype=float)
+        a = bootstrap_ci(data, rng_factory(1))
+        b = bootstrap_ci(data, rng_factory(1))
+        assert a == b
+
+    def test_empty(self, rng):
+        lo, hi = bootstrap_ci([], rng)
+        assert np.isnan(lo) and np.isnan(hi)
+
+    def test_confidence_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], rng, confidence=1.5)
+
+    def test_wider_confidence_wider_interval(self, rng_factory):
+        data = rng_factory(0).normal(size=100)
+        lo1, hi1 = bootstrap_ci(data, rng_factory(1), confidence=0.5)
+        lo2, hi2 = bootstrap_ci(data, rng_factory(1), confidence=0.99)
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+
+class TestWelchTTest:
+    def test_detects_separation(self):
+        from repro.analysis.stats import welch_t_test
+
+        t, p = welch_t_test([1.0, 1.1, 0.9, 1.05], [2.0, 2.1, 1.9, 2.05])
+        assert p < 0.01
+        assert t < 0  # first sample smaller
+
+    def test_identical_samples_insignificant(self):
+        from repro.analysis.stats import welch_t_test
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=30)
+        y = rng.normal(size=30)
+        _, p = welch_t_test(x, y)
+        assert p > 0.05
+
+    def test_too_small_returns_nan(self):
+        from repro.analysis.stats import welch_t_test
+
+        t, p = welch_t_test([1.0], [2.0, 3.0])
+        assert np.isnan(t) and np.isnan(p)
+
+    def test_nans_dropped(self):
+        from repro.analysis.stats import welch_t_test
+
+        t, p = welch_t_test([1.0, np.nan, 1.1, 0.9], [2.0, 2.1, np.nan, 1.9])
+        assert np.isfinite(t)
+
+
+class TestRelativeChange:
+    def test_increase(self):
+        assert relative_change(1.0, 1.1) == pytest.approx(0.1)
+
+    def test_decrease(self):
+        assert relative_change(2.0, 1.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline(self):
+        assert np.isnan(relative_change(0.0, 1.0))

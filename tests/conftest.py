@@ -1,0 +1,31 @@
+"""Shared fixtures."""
+
+import math
+
+import numpy as np
+import pytest
+
+
+def assert_summaries_equal(a: dict, b: dict) -> None:
+    """Dict equality where NaN == NaN (summaries contain NaN for absent
+    behaviour types)."""
+    assert a.keys() == b.keys()
+    for k in a:
+        va, vb = a[k], b[k]
+        if isinstance(va, float) and math.isnan(va):
+            assert math.isnan(vb), f"{k}: {va} != {vb}"
+        else:
+            assert va == vb, f"{k}: {va} != {vb}"
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    def make(seed: int = 12345) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

@@ -1,0 +1,183 @@
+"""Tests for the TFT and karma baseline schemes (paper section II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import KarmaScheme, PrivateHistoryScheme
+
+
+class TestPrivateHistoryScheme:
+    def test_strangers_split_equally(self):
+        s = PrivateHistoryScheme(4)
+        shares = s.bandwidth_shares(np.array([0, 0]), np.array([1, 2]))
+        assert shares == pytest.approx([0.5, 0.5])
+
+    def test_reciprocity_rewarded(self):
+        """A downloader that served this source before gets more."""
+        s = PrivateHistoryScheme(4)
+        # Peer 1 served peer 0 with 2.0 units earlier.
+        s.record_transfers(
+            downloader_ids=np.array([0]),
+            source_ids=np.array([1]),
+            amounts=np.array([2.0]),
+        )
+        # Now 1 and 2 compete for peer 0's bandwidth.
+        shares = s.bandwidth_shares(np.array([0, 0]), np.array([1, 2]))
+        assert shares[0] > shares[1]
+
+    def test_history_is_private_per_pair(self):
+        """Serving peer 0 earns nothing at peer 3 — no shared history."""
+        s = PrivateHistoryScheme(4)
+        s.record_transfers(np.array([0]), np.array([1]), np.array([5.0]))
+        shares = s.bandwidth_shares(np.array([3, 3]), np.array([1, 2]))
+        assert shares[0] == pytest.approx(shares[1])
+
+    def test_history_decays(self):
+        s = PrivateHistoryScheme(2, history_decay=0.5)
+        s.record_transfers(np.array([0]), np.array([1]), np.array([4.0]))
+        before = s.given[1, 0]
+        s.record_transfers(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0)
+        )
+        assert s.given[1, 0] == pytest.approx(before * 0.5)
+
+    def test_everyone_may_edit_and_vote(self):
+        s = PrivateHistoryScheme(3)
+        assert s.may_edit().all()
+        assert s.may_vote().all()
+        assert s.accept_majority(0) == 0.5
+
+    def test_reset(self):
+        s = PrivateHistoryScheme(2)
+        s.record_transfers(np.array([0]), np.array([1]), np.array([1.0]))
+        s.reset_reputations()
+        assert np.all(s.given == 0.0)
+
+    def test_reputation_s_normalized(self):
+        s = PrivateHistoryScheme(3)
+        assert np.all(s.reputation_s() == 0.0)
+        s.record_transfers(np.array([0]), np.array([1]), np.array([2.0]))
+        rep = s.reputation_s()
+        assert rep.max() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivateHistoryScheme(2, history_decay=0.0)
+        with pytest.raises(ValueError):
+            PrivateHistoryScheme(2, optimistic_floor=0.0)
+
+
+class TestKarmaScheme:
+    def test_serving_earns_downloading_costs(self):
+        s = KarmaScheme(3, initial_karma=1.0)
+        s.record_transfers(
+            downloader_ids=np.array([0]),
+            source_ids=np.array([1]),
+            amounts=np.array([0.5]),
+        )
+        assert s.balance[1] == pytest.approx(1.5)
+        assert s.balance[0] == pytest.approx(0.5)
+        assert s.balance[2] == pytest.approx(1.0)
+
+    def test_balance_floored_at_zero(self):
+        s = KarmaScheme(2, initial_karma=0.0)
+        s.record_transfers(np.array([0]), np.array([1]), np.array([3.0]))
+        assert s.balance[0] == 0.0
+
+    def test_rich_peer_gets_more_bandwidth(self):
+        s = KarmaScheme(3)
+        s.record_transfers(np.array([2]), np.array([0]), np.array([4.0]))
+        # Peer 0 earned 4 karma; peers 0 and 1 compete at source 2.
+        shares = s.bandwidth_shares(np.array([2, 2]), np.array([0, 1]))
+        assert shares[0] > shares[1]
+
+    def test_karma_is_conserved_above_floor(self):
+        s = KarmaScheme(4, initial_karma=2.0)
+        rng = np.random.default_rng(0)
+        total_before = s.balance.sum()
+        for _ in range(20):
+            d, src = rng.choice(4, size=2, replace=False)
+            s.record_transfers(
+                np.array([d]), np.array([src]), np.array([0.1])
+            )
+        # No balance hit zero, so karma is exactly conserved.
+        assert s.balance.sum() == pytest.approx(total_before)
+
+    def test_reset(self):
+        s = KarmaScheme(2, initial_karma=1.0)
+        s.record_transfers(np.array([0]), np.array([1]), np.array([0.4]))
+        s.reset_reputations()
+        assert np.all(s.balance == 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KarmaScheme(2, initial_karma=-1.0)
+        with pytest.raises(ValueError):
+            KarmaScheme(2, floor=0.0)
+
+
+class TestBaselinesInEngine:
+    @pytest.mark.parametrize("scheme", ["tft", "karma"])
+    def test_engine_runs(self, scheme):
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import run_simulation
+
+        cfg = SimulationConfig(
+            n_agents=24,
+            n_articles=6,
+            training_steps=80,
+            eval_steps=50,
+            scheme=scheme,
+            seed=3,
+        )
+        res = run_simulation(cfg)
+        assert 0.0 <= res.summary["shared_files"] <= 1.0
+
+    def test_scheme_name_validation(self):
+        from repro.sim.config import SimulationConfig
+
+        with pytest.raises(ValueError):
+            SimulationConfig(scheme="barter")
+
+    def test_auto_resolution(self):
+        from repro.sim.config import SimulationConfig
+
+        assert SimulationConfig().resolved_scheme == "reputation"
+        assert (
+            SimulationConfig(incentives_enabled=False).resolved_scheme == "none"
+        )
+        assert SimulationConfig(scheme="tft").resolved_scheme == "tft"
+
+    def test_tft_fails_to_raise_sharing_on_nondirect_workload(self):
+        """The paper's core claim, measured: on the collaboration workload
+        TFT sustains no more sharing than no incentives at all, while the
+        reputation scheme sustains more."""
+        from repro.sim.config import SimulationConfig
+        from repro.sim.sweep import run_sweep
+
+        def mk(scheme, seed):
+            return SimulationConfig(
+                n_agents=60,
+                n_articles=12,
+                training_steps=700,
+                eval_steps=400,
+                scheme=scheme,
+                seed=seed,
+            )
+
+        seeds = (11, 22)
+        configs = [mk(s, sd) for s in ("none", "tft", "reputation") for sd in seeds]
+        results = run_sweep(configs, backend="process")
+        bw = {
+            s: np.mean(
+                [
+                    r.summary["shared_bandwidth"]
+                    for r in results[i * 2 : (i + 1) * 2]
+                ]
+            )
+            for i, s in enumerate(("none", "tft", "reputation"))
+        }
+        assert bw["reputation"] > bw["none"]
+        # TFT's private history cannot separate peers here: it stays within
+        # noise of the baseline and clearly below the reputation scheme.
+        assert bw["tft"] < bw["reputation"]

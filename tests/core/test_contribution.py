@@ -1,0 +1,122 @@
+"""Tests for the contribution ledger (C_S / C_E accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contribution import ContributionLedger
+from repro.core.params import ContributionParams
+
+
+def ledger(n=4, **kwargs) -> ContributionLedger:
+    return ContributionLedger(n, ContributionParams(**kwargs))
+
+
+class TestRecordSharing:
+    def test_weighted_sum(self):
+        led = ledger(2, alpha_s=2.0, beta_s=3.0, d_s=0.0, retention=1.0)
+        led.record_sharing(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert led.sharing.tolist() == [2.0, 3.0]
+
+    def test_decay_applies(self):
+        led = ledger(1, d_s=0.5, retention=1.0)
+        led.record_sharing(np.array([1.0]), np.array([0.0]))
+        expected = 2.0 * 1.0 - 0.5  # alpha_s default 2.0
+        assert led.sharing[0] == pytest.approx(expected)
+
+    def test_floored_at_zero(self):
+        led = ledger(1, d_s=5.0, retention=1.0)
+        led.record_sharing(np.array([0.0]), np.array([0.0]))
+        assert led.sharing[0] == 0.0
+
+    def test_inactive_peer_decays_to_zero(self):
+        led = ledger(1, d_s=0.3, retention=1.0)
+        led.record_sharing(np.array([1.0]), np.array([1.0]))
+        start = float(led.sharing[0])
+        for _ in range(100):
+            led.record_sharing(np.array([0.0]), np.array([0.0]))
+        assert led.sharing[0] == 0.0
+        assert start > 0.0
+
+    def test_ema_steady_state(self):
+        """C converges to (inflow - d) / (1 - retention)."""
+        p = ContributionParams(alpha_s=2.0, beta_s=2.0, d_s=0.02, retention=0.9)
+        led = ContributionLedger(1, p)
+        ones = np.array([1.0])
+        for _ in range(500):
+            led.record_sharing(ones, ones)
+        expected = (2.0 + 2.0 - 0.02) / 0.1
+        assert led.sharing[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_rejects_negative(self):
+        led = ledger()
+        with pytest.raises(ValueError):
+            led.record_sharing(np.array([-1.0, 0, 0, 0]), np.zeros(4))
+
+    def test_rejects_bad_shape(self):
+        led = ledger()
+        with pytest.raises(ValueError):
+            led.record_sharing(np.zeros(3), np.zeros(3))
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=3, max_size=3),
+        st.lists(st.floats(min_value=0, max_value=1), min_size=3, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_non_negative(self, arts, bws):
+        led = ledger(3)
+        for _ in range(5):
+            led.record_sharing(np.array(arts), np.array(bws))
+        assert np.all(led.sharing >= 0)
+
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_more_sharing_more_contribution(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        led = ledger(2)
+        for _ in range(50):
+            led.record_sharing(np.array([lo, hi]), np.array([lo, hi]))
+        assert led.sharing[0] <= led.sharing[1] + 1e-9
+
+
+class TestRecordEditing:
+    def test_weighted_sum(self):
+        led = ledger(2, alpha_e=1.0, beta_e=5.0, d_e=0.0, retention=1.0)
+        led.record_editing(np.array([2.0, 0.0]), np.array([0.0, 1.0]))
+        assert led.editing.tolist() == [2.0, 5.0]
+
+    def test_independent_of_sharing(self):
+        led = ledger(1)
+        led.record_editing(np.array([3.0]), np.array([1.0]))
+        assert led.sharing[0] == 0.0
+        assert led.editing[0] > 0.0
+
+
+class TestResets:
+    def test_reset_peers_sharing_and_editing(self):
+        led = ledger(3)
+        led.record_sharing(np.ones(3), np.ones(3))
+        led.record_editing(np.ones(3), np.ones(3))
+        led.reset_peers(np.array([1]))
+        assert led.sharing[1] == 0.0 and led.editing[1] == 0.0
+        assert led.sharing[0] > 0.0 and led.editing[2] > 0.0
+
+    def test_reset_peers_selective(self):
+        led = ledger(2)
+        led.record_sharing(np.ones(2), np.ones(2))
+        led.record_editing(np.ones(2), np.ones(2))
+        led.reset_peers(np.array([0]), sharing=True, editing=False)
+        assert led.sharing[0] == 0.0
+        assert led.editing[0] > 0.0
+
+    def test_reset_all(self):
+        led = ledger(3)
+        led.record_sharing(np.ones(3), np.ones(3))
+        led.reset_all()
+        assert np.all(led.sharing == 0.0)
+        assert np.all(led.editing == 0.0)
+
+    def test_bad_n_peers(self):
+        with pytest.raises(ValueError):
+            ContributionLedger(0)

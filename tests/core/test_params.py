@@ -1,0 +1,117 @@
+"""Tests for the model constants and their validation."""
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_CONSTANTS,
+    ContributionParams,
+    PaperConstants,
+    ReputationParams,
+    ServiceParams,
+    UtilityParams,
+)
+
+
+class TestReputationParams:
+    def test_paper_defaults(self):
+        p = ReputationParams()
+        assert p.g == 19.0
+        assert p.r_min == 0.05
+        assert p.r_max == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"g": 0.0},
+            {"g": -1.0},
+            {"beta": 0.0},
+            {"r_min": 0.0},
+            {"r_min": 1.0},
+            {"r_min": 0.5, "r_max": 0.4},
+            {"r_max": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ReputationParams(**kwargs)
+
+
+class TestContributionParams:
+    def test_defaults_positive(self):
+        p = ContributionParams()
+        assert p.alpha_s > 0 and p.beta_s > 0 and p.alpha_e > 0 and p.beta_e > 0
+
+    def test_memory_window(self):
+        assert ContributionParams(retention=0.9).memory_window == pytest.approx(10.0)
+        assert ContributionParams(retention=1.0).memory_window == float("inf")
+
+    def test_steady_state_sharing(self):
+        p = ContributionParams(alpha_s=2.0, beta_s=2.0, d_s=0.0, retention=0.9)
+        assert p.steady_state_sharing(1.0, 1.0) == pytest.approx(40.0)
+        assert p.steady_state_sharing(0.0, 0.0) == 0.0
+
+    def test_steady_state_literal_mode_diverges(self):
+        p = ContributionParams(retention=1.0)
+        assert p.steady_state_sharing(1.0, 1.0) == float("inf")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha_s": 0.0},
+            {"beta_e": -1.0},
+            {"d_s": -0.1},
+            {"retention": 0.0},
+            {"retention": 1.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ContributionParams(**kwargs)
+
+
+class TestServiceParams:
+    def test_majority_band_valid(self):
+        p = ServiceParams()
+        assert 0.0 < p.majority_min <= p.majority_max <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"majority_min": 0.8, "majority_max": 0.6},
+            {"majority_min": 0.0},
+            {"majority_max": 1.2},
+            {"vote_punish_threshold": 0},
+            {"edit_punish_threshold": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceParams(**kwargs)
+
+
+class TestPaperConstants:
+    def test_theta_above_r_min(self):
+        """The paper requires theta > R_min_S."""
+        c = PaperConstants()
+        assert c.service.edit_threshold > c.reputation_s.r_min
+
+    def test_rejects_theta_at_or_below_r_min(self):
+        with pytest.raises(ValueError):
+            PaperConstants(
+                reputation_s=ReputationParams(r_min=0.2),
+                service=ServiceParams(edit_threshold=0.2),
+            )
+
+    def test_with_overrides(self):
+        c = DEFAULT_CONSTANTS.with_overrides(utility=UtilityParams(alpha=9.0))
+        assert c.utility.alpha == 9.0
+        assert DEFAULT_CONSTANTS.utility.alpha != 9.0  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONSTANTS.utility = UtilityParams()  # type: ignore[misc]
+
+    def test_default_editing_reputation_steeper(self):
+        """Editing events are rarer, so R_E uses a steeper logistic."""
+        c = PaperConstants()
+        assert c.reputation_e.beta > c.reputation_s.beta

@@ -1,0 +1,104 @@
+"""Tests for malicious-voter/editor punishment (paper III-C2/3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.punishment import EditPunishment, VotePunishment
+
+
+class TestVotePunishment:
+    def test_ban_after_threshold(self):
+        vp = VotePunishment(n_peers=3, threshold=3)
+        for _ in range(2):
+            newly = vp.record_votes(np.array([0]), np.array([False]))
+            assert newly.size == 0
+        newly = vp.record_votes(np.array([0]), np.array([False]))
+        assert newly.tolist() == [0]
+        assert not vp.can_vote()[0]
+        assert vp.can_vote()[1]
+
+    def test_successful_vote_resets_streak(self):
+        vp = VotePunishment(n_peers=1, threshold=3)
+        vp.record_votes(np.array([0, 0]), np.array([False, False]))
+        vp.record_votes(np.array([0]), np.array([True]))
+        assert vp.unsuccessful_votes[0] == 0
+        # Needs the full threshold again.
+        newly = vp.record_votes(np.array([0, 0]), np.array([False, False]))
+        assert newly.size == 0
+
+    def test_ban_reported_once(self):
+        vp = VotePunishment(n_peers=1, threshold=1)
+        first = vp.record_votes(np.array([0]), np.array([False]))
+        second = vp.record_votes(np.array([0]), np.array([False]))
+        assert first.tolist() == [0]
+        assert second.size == 0
+
+    def test_restore(self):
+        vp = VotePunishment(n_peers=2, threshold=1)
+        vp.record_votes(np.array([0, 1]), np.array([False, False]))
+        vp.restore(np.array([0]))
+        assert vp.can_vote().tolist() == [True, False]
+        assert vp.unsuccessful_votes[0] == 0
+
+    def test_reset(self):
+        vp = VotePunishment(n_peers=2, threshold=1)
+        vp.record_votes(np.array([0]), np.array([False]))
+        vp.reset()
+        assert vp.can_vote().all()
+        assert np.all(vp.unsuccessful_votes == 0)
+
+    def test_batch_repeated_voter(self):
+        """One step may contain several votes by the same peer."""
+        vp = VotePunishment(n_peers=1, threshold=3)
+        newly = vp.record_votes(
+            np.array([0, 0, 0]), np.array([False, False, False])
+        )
+        assert newly.tolist() == [0]
+
+    def test_empty_batch(self):
+        vp = VotePunishment(n_peers=2, threshold=1)
+        assert vp.record_votes(np.empty(0, np.int64), np.empty(0, bool)).size == 0
+
+    def test_misaligned_rejected(self):
+        vp = VotePunishment(n_peers=2, threshold=1)
+        with pytest.raises(ValueError):
+            vp.record_votes(np.array([0]), np.array([True, False]))
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            VotePunishment(2, 0)
+
+
+class TestEditPunishment:
+    def test_punish_after_threshold(self):
+        ep = EditPunishment(n_peers=2, threshold=2)
+        assert ep.record_edits(np.array([0]), np.array([False])).size == 0
+        punished = ep.record_edits(np.array([0]), np.array([False]))
+        assert punished.tolist() == [0]
+
+    def test_counter_restarts_after_punishment(self):
+        ep = EditPunishment(n_peers=1, threshold=2)
+        ep.record_edits(np.array([0, 0]), np.array([False, False]))
+        assert ep.declined_edits[0] == 0
+        assert ep.record_edits(np.array([0]), np.array([False])).size == 0
+
+    def test_accepted_edit_clears_streak(self):
+        ep = EditPunishment(n_peers=1, threshold=2)
+        ep.record_edits(np.array([0]), np.array([False]))
+        ep.record_edits(np.array([0]), np.array([True]))
+        assert ep.declined_edits[0] == 0
+
+    def test_reset(self):
+        ep = EditPunishment(n_peers=1, threshold=5)
+        ep.record_edits(np.array([0]), np.array([False]))
+        ep.reset()
+        assert ep.declined_edits[0] == 0
+
+    def test_empty_batch(self):
+        ep = EditPunishment(n_peers=1, threshold=1)
+        assert ep.record_edits(np.empty(0, np.int64), np.empty(0, bool)).size == 0
+
+    def test_misaligned_rejected(self):
+        ep = EditPunishment(n_peers=1, threshold=1)
+        with pytest.raises(ValueError):
+            ep.record_edits(np.array([0, 0]), np.array([False]))

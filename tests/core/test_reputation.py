@@ -1,0 +1,209 @@
+"""Unit + property tests for the reputation functions (paper Figure 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ReputationParams
+from repro.core.reputation import (
+    REPUTATION_FUNCTIONS,
+    ConstantReputation,
+    LinearReputation,
+    LogisticReputation,
+    PowerReputation,
+    StepReputation,
+    reputation_to_state,
+)
+
+ALL_FUNCTION_FACTORIES = [
+    lambda: LogisticReputation(),
+    lambda: LinearReputation(),
+    lambda: PowerReputation(),
+    lambda: StepReputation(),
+    lambda: ConstantReputation(),
+]
+
+
+class TestLogisticReputation:
+    def test_paper_r_min_at_zero(self):
+        """g = 19 pins R(0) = 1/20 = 0.05 exactly (paper section III-A)."""
+        fn = LogisticReputation(ReputationParams(g=19.0, beta=0.2, r_min=0.05))
+        assert fn(0.0) == pytest.approx(0.05)
+
+    def test_approaches_r_max(self):
+        fn = LogisticReputation()
+        assert fn(1e6) == pytest.approx(1.0)
+
+    def test_monotone_on_grid(self):
+        fn = LogisticReputation()
+        c = np.linspace(0, 100, 400)
+        r = fn(c)
+        assert np.all(np.diff(r) >= 0)
+
+    def test_paper_figure1_midpoint(self):
+        """At the inflection point C = ln(g)/beta the value is exactly 1/2."""
+        for beta in (0.1, 0.15, 0.2, 0.3):
+            fn = LogisticReputation(ReputationParams(beta=beta))
+            assert fn(fn.inflection_point()) == pytest.approx(0.5)
+
+    def test_beta_orders_curves(self):
+        """Steeper beta reaches higher reputation at the same contribution."""
+        c = 10.0
+        values = [
+            float(LogisticReputation(ReputationParams(beta=b))(c))
+            for b in (0.1, 0.15, 0.2, 0.3)
+        ]
+        assert values == sorted(values)
+
+    def test_inverse_roundtrip(self):
+        fn = LogisticReputation()
+        c = np.array([1.0, 5.0, 14.7, 40.0])
+        assert fn.inverse(fn(c)) == pytest.approx(c, rel=1e-9)
+
+    def test_inverse_rejects_boundaries(self):
+        fn = LogisticReputation()
+        with pytest.raises(ValueError):
+            fn.inverse(1.0)
+        with pytest.raises(ValueError):
+            fn.inverse(0.0)
+
+    def test_rejects_negative_contribution(self):
+        fn = LogisticReputation()
+        with pytest.raises(ValueError):
+            fn(np.array([-0.1]))
+
+    def test_vectorized_matches_scalar(self):
+        fn = LogisticReputation()
+        c = np.array([0.0, 3.0, 10.0, 30.0])
+        vec = fn(c)
+        for i, ci in enumerate(c):
+            assert vec[i] == pytest.approx(float(fn(float(ci))))
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_property_range(self, c):
+        fn = LogisticReputation()
+        r = float(fn(c))
+        assert 0.05 <= r <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone(self, a, b):
+        fn = LogisticReputation()
+        lo, hi = min(a, b), max(a, b)
+        assert float(fn(lo)) <= float(fn(hi)) + 1e-12
+
+
+class TestAlternativeFunctions:
+    @pytest.mark.parametrize("factory", ALL_FUNCTION_FACTORIES)
+    def test_range_invariant(self, factory):
+        fn = factory()
+        c = np.linspace(0, 200, 300)
+        r = fn(c)
+        assert np.all(r >= fn.r_min - 1e-12)
+        assert np.all(r <= fn.r_max + 1e-12)
+
+    @pytest.mark.parametrize("factory", ALL_FUNCTION_FACTORIES)
+    def test_monotone_invariant(self, factory):
+        fn = factory()
+        c = np.linspace(0, 200, 300)
+        r = fn(c)
+        assert np.all(np.diff(r) >= -1e-12)
+
+    def test_linear_hits_r_max_at_c_full(self):
+        fn = LinearReputation(c_full=30.0)
+        assert float(fn(30.0)) == pytest.approx(1.0)
+        assert float(fn(100.0)) == pytest.approx(1.0)  # clipped
+
+    def test_linear_starts_at_r_min(self):
+        fn = LinearReputation()
+        assert float(fn(0.0)) == pytest.approx(0.05)
+
+    def test_power_concave_below_linear_midpoint(self):
+        """exponent < 1 means faster early growth than the linear ramp."""
+        lin = LinearReputation(c_full=30.0)
+        pow_ = PowerReputation(c_full=30.0, exponent=0.5)
+        assert float(pow_(10.0)) > float(lin(10.0))
+
+    def test_step_produces_discrete_levels(self):
+        fn = StepReputation(c_full=30.0, n_steps=4)
+        c = np.linspace(0, 30, 200)
+        levels = np.unique(np.round(fn(c), 12))
+        assert levels.size <= 5
+
+    def test_constant_ignores_contribution(self):
+        fn = ConstantReputation(value=0.7)
+        assert np.all(fn(np.array([0.0, 10.0, 1e5])) == 0.7)
+
+    def test_constant_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            ConstantReputation(value=0.0)
+        with pytest.raises(ValueError):
+            ConstantReputation(value=1.5)
+
+    def test_registry_complete(self):
+        assert set(REPUTATION_FUNCTIONS) == {
+            "logistic",
+            "linear",
+            "power",
+            "step",
+            "constant",
+        }
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearReputation(c_full=0.0)
+        with pytest.raises(ValueError):
+            PowerReputation(exponent=-1.0)
+        with pytest.raises(ValueError):
+            StepReputation(n_steps=0)
+
+
+class TestReputationToState:
+    def test_paper_ten_states(self):
+        """r in [0.05, 1] falls into 10 equal-width states (paper IV-B)."""
+        r = np.array([0.05, 0.14, 0.15, 0.52, 0.99, 1.0])
+        s = reputation_to_state(r, n_states=10, r_min=0.05)
+        assert s.tolist() == [0, 0, 1, 4, 9, 9]
+
+    def test_full_range_covers_all_states(self):
+        r = np.linspace(0.05, 1.0, 1000)
+        s = reputation_to_state(r)
+        assert set(s.tolist()) == set(range(10))
+
+    def test_clipped_to_valid_states(self):
+        s = reputation_to_state(np.array([0.0, 2.0]), n_states=10, r_min=0.05)
+        assert s.min() >= 0 and s.max() <= 9
+
+    def test_single_state(self):
+        s = reputation_to_state(np.array([0.3, 0.9]), n_states=1)
+        assert np.all(s == 0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            reputation_to_state(np.array([0.5]), n_states=0)
+        with pytest.raises(ValueError):
+            reputation_to_state(np.array([0.5]), r_min=1.0, r_max=0.5)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_state_in_range(self, r, n_states):
+        s = int(reputation_to_state(np.array([r]), n_states=n_states)[0])
+        assert 0 <= s < n_states
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone_states(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        s = reputation_to_state(np.array([lo, hi]))
+        assert s[0] <= s[1]

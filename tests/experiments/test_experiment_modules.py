@@ -1,0 +1,93 @@
+"""Fast structural tests of the simulation-backed experiment drivers.
+
+These run the drivers at tiny scale (serial backend, reduced steps) and
+verify the FigureData contracts — the full-scale numbers live in
+EXPERIMENTS.md and the directional assertions in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_incentive_effect,
+    fig4_population_mix,
+    fig6_edit_coin_flip,
+    fig7_majority_following,
+    scheme_comparison,
+)
+from repro.sim import scenarios
+
+TINY = dict(training_steps=40, eval_steps=30)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    """Shrink the 'fast' scenario constants so drivers finish in seconds."""
+    monkeypatch.setattr(scenarios, "FAST_TRAINING_STEPS", 40)
+    monkeypatch.setattr(scenarios, "FAST_EVAL_STEPS", 30)
+
+
+class TestFig3Driver:
+    def test_figure_contract(self):
+        figs = fig3_incentive_effect.run(fast=True, n_seeds=2, backend="serial")
+        fig = figs[0]
+        assert fig.name == "fig3"
+        assert set(fig.series) == {"incentive", "no_incentive"}
+        assert fig.x.size == 2
+        assert "gain_articles" in fig.meta
+        assert "p_bandwidth" in fig.meta
+
+
+class TestMixtureDrivers:
+    def test_fig4_and_5_from_one_sweep(self):
+        figs = fig4_population_mix.run_fig4_and_fig5(
+            fast=True, n_seeds=1, backend="serial", percentages=[20, 80]
+        )
+        names = {f.name for f in figs}
+        assert names == {
+            "fig4_files",
+            "fig4_bandwidth",
+            "fig5_files",
+            "fig5_bandwidth",
+        }
+        for f in figs:
+            assert f.x.tolist() == [20.0, 80.0]
+            assert set(f.series) == {"altruistic", "irrational"}
+
+    def test_fig4_alone(self):
+        figs = fig4_population_mix.run(
+            fast=True, n_seeds=1, backend="serial", percentages=[50]
+        )
+        assert {f.name for f in figs} == {"fig4_files", "fig4_bandwidth"}
+
+
+class TestFig6Driver:
+    def test_figure_contract(self):
+        figs = fig6_edit_coin_flip.run(
+            fast=True, n_seeds=2, backend="serial", percentages=[40]
+        )
+        fig = figs[0]
+        assert fig.name == "fig6"
+        assert "constructive" in fig.series
+        assert "constructive_std" in fig.series
+        cons = fig.series["constructive"]
+        dest = fig.series["destructive"]
+        assert np.allclose(cons + dest, 1.0, atol=1e-9)
+
+
+class TestFig7Driver:
+    def test_two_panels(self):
+        figs = fig7_majority_following.run(
+            fast=True, n_seeds=1, backend="serial", percentages=[30]
+        )
+        assert {f.name for f in figs} == {"fig7_altruistic", "fig7_irrational"}
+
+
+class TestSchemeComparison:
+    def test_all_schemes_covered(self):
+        figs = scheme_comparison.run(fast=True, n_seeds=1, backend="serial")
+        fig = figs[0]
+        assert fig.meta["schemes"] == "none,tft,karma,reputation"
+        assert fig.series["articles"].size == 4
+        assert np.all(fig.series["bandwidth"] >= 0.0)
+        assert np.all(fig.series["bandwidth"] <= 1.0)

@@ -1,0 +1,41 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, PAPER_FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_all_figures_registered(self):
+        for name in PAPER_FIGURES:
+            assert name in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert "ablation-repfunc" in EXPERIMENTS
+        assert "ablation-rmin" in EXPERIMENTS
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.experiment == "fig1"
+        assert not args.fast
+        assert args.backend == "process"
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_fig1_end_to_end(self, tmp_path, capsys):
+        rc = main(["fig1", "--fast", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig1.csv").exists()
+        assert (tmp_path / "fig1.json").exists()
+        out = capsys.readouterr().out
+        assert "fig1" in out
+
+    def test_fig2_end_to_end(self, tmp_path):
+        rc = main(["fig2", "--fast", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig2_T2.csv").exists()
+        assert (tmp_path / "fig2_T1000.csv").exists()

@@ -1,0 +1,47 @@
+"""Tests for game payoff structures."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.payoffs import COOPERATE, DEFECT, prisoners_dilemma
+
+
+class TestPrisonersDilemma:
+    def test_canonical_values(self):
+        pd = prisoners_dilemma()
+        assert pd.payoff(COOPERATE, COOPERATE) == 3.0
+        assert pd.payoff(COOPERATE, DEFECT) == 0.0
+        assert pd.payoff(DEFECT, COOPERATE) == 5.0
+        assert pd.payoff(DEFECT, DEFECT) == 1.0
+
+    def test_defection_dominant_one_shot(self):
+        pd = prisoners_dilemma()
+        for other in (COOPERATE, DEFECT):
+            assert pd.payoff(DEFECT, other) > pd.payoff(COOPERATE, other)
+
+    def test_mutual_cooperation_socially_optimal(self):
+        pd = prisoners_dilemma()
+        cc = 2 * pd.payoff(COOPERATE, COOPERATE)
+        dc = pd.payoff(DEFECT, COOPERATE) + pd.payoff(COOPERATE, DEFECT)
+        dd = 2 * pd.payoff(DEFECT, DEFECT)
+        assert cc > dc and cc > dd
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            prisoners_dilemma(temptation=1.0)  # breaks T > R
+
+    def test_axelrod_condition_enforced(self):
+        with pytest.raises(ValueError):
+            prisoners_dilemma(temptation=7.0, reward=3.0, punishment=1.0, sucker=0.0)
+
+    def test_vectorized_payoffs(self):
+        pd = prisoners_dilemma()
+        own = np.array([0, 0, 1, 1])
+        other = np.array([0, 1, 0, 1])
+        assert pd.payoffs(own, other).tolist() == [3.0, 0.0, 5.0, 1.0]
+
+    def test_as_array(self):
+        pd = prisoners_dilemma()
+        arr = pd.as_array()
+        assert arr.shape == (2, 2)
+        assert arr[1, 0] == 5.0

@@ -1,0 +1,85 @@
+"""Tests for repeated matches and discounted scoring."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.payoffs import prisoners_dilemma
+from repro.gametheory.repeated_game import discounted_score, play_match
+from repro.gametheory.strategies import (
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    TitForTat,
+)
+
+PD = prisoners_dilemma()
+
+
+class TestPlayMatch:
+    def test_tft_vs_tft_always_cooperates(self):
+        res = play_match(TitForTat(), TitForTat(), PD, rounds=50)
+        assert res.cooperation_rate_a() == 1.0
+        assert res.cooperation_rate_b() == 1.0
+        assert res.total_a == 50 * 3.0
+
+    def test_tft_vs_alld(self):
+        """TFT loses only the first round to a defector."""
+        res = play_match(TitForTat(), AlwaysDefect(), PD, rounds=20)
+        assert res.actions_a[0] == 0  # opens cooperating
+        assert np.all(res.actions_a[1:] == 1)  # then retaliates
+        assert res.total_b - res.total_a == pytest.approx(5.0 - 0.0)
+
+    def test_allc_exploited_by_alld(self):
+        res = play_match(AlwaysCooperate(), AlwaysDefect(), PD, rounds=10)
+        assert res.total_a == 0.0
+        assert res.total_b == 50.0
+
+    def test_grim_never_forgives(self):
+        class DefectOnce(TitForTat):
+            def next_move(self, mine, theirs):
+                return 1 if len(mine) == 1 else 0
+
+        res = play_match(GrimTrigger(), DefectOnce(), PD, rounds=10)
+        # After the betrayal in round 2, grim defects for the rest.
+        assert np.all(res.actions_a[2:] == 1)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            play_match(TitForTat(), TitForTat(), PD, rounds=5, noise=0.1)
+
+    def test_noise_breaks_tft_mutual_cooperation(self, rng):
+        res = play_match(
+            TitForTat(), TitForTat(), PD, rounds=500, noise=0.05, rng=rng
+        )
+        # A single flip locks plain TFT into echo defections.
+        assert res.cooperation_rate_a() < 0.95
+
+    def test_pavlov_recovers_from_noise(self, rng):
+        res = play_match(Pavlov(), Pavlov(), PD, rounds=500, noise=0.05, rng=rng)
+        # Pavlov re-coordinates after a flip, so cooperation stays high.
+        assert res.cooperation_rate_a() > 0.6
+
+    def test_round_validation(self):
+        with pytest.raises(ValueError):
+            play_match(TitForTat(), TitForTat(), PD, rounds=0)
+
+    def test_payoffs_match_actions(self):
+        res = play_match(AlwaysDefect(), AlwaysCooperate(), PD, rounds=3)
+        assert res.payoffs_a.tolist() == [5.0, 5.0, 5.0]
+        assert res.payoffs_b.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestDiscountedScore:
+    def test_no_discount_is_sum(self):
+        assert discounted_score(np.array([1.0, 2.0, 3.0]), 1.0) == 6.0
+
+    def test_full_discount_is_first(self):
+        assert discounted_score(np.array([1.0, 2.0, 3.0]), 0.0) == 1.0
+
+    def test_geometric(self):
+        assert discounted_score(np.array([1.0, 1.0, 1.0]), 0.5) == pytest.approx(1.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            discounted_score(np.array([1.0]), 1.5)

@@ -1,0 +1,72 @@
+"""Tests for replicator dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.payoffs import prisoners_dilemma
+from repro.gametheory.replicator import replicator_dynamics
+from repro.gametheory.strategies import AlwaysCooperate, AlwaysDefect, TitForTat
+from repro.gametheory.tournament import round_robin
+
+
+class TestReplicatorDynamics:
+    def test_shares_stay_normalized(self):
+        f = np.array([[3.0, 0.0], [5.0, 1.0]])
+        traj = replicator_dynamics(f, np.array([0.5, 0.5]), steps=100)
+        assert np.allclose(traj.shares.sum(axis=1), 1.0)
+
+    def test_defectors_invade_cooperators(self):
+        """In pure PD fitness, AllD takes over a C/D mix."""
+        f = np.array([[3.0, 0.0], [5.0, 1.0]])  # rows: C, D
+        traj = replicator_dynamics(
+            f, np.array([0.9, 0.1]), steps=500, names=["C", "D"]
+        )
+        assert traj.final[1] > 0.99
+        assert traj.survivors() == ["D"]
+
+    def test_tft_resists_invasion_in_repeated_game(self):
+        """With repeated-game fitness, TFT + cooperators hold the field."""
+        field = [TitForTat(), AlwaysCooperate(), AlwaysDefect()]
+        res = round_robin(field, prisoners_dilemma(), rounds=200)
+        traj = replicator_dynamics(
+            res.mean_payoff, np.array([0.4, 0.4, 0.2]), steps=500, names=res.names
+        )
+        alld = traj.names.index("always_defect")
+        assert traj.final[alld] < 0.01
+
+    def test_fixed_point_of_pure_population(self):
+        f = np.array([[3.0, 0.0], [5.0, 1.0]])
+        traj = replicator_dynamics(f, np.array([0.0, 1.0]), steps=50)
+        assert traj.final.tolist() == [0.0, 1.0]
+
+    def test_floor_keeps_minorities_alive(self):
+        """The floor is applied before renormalization, so the kept share
+        is the floor up to the normalization factor."""
+        f = np.array([[3.0, 0.0], [5.0, 1.0]])
+        traj = replicator_dynamics(f, np.array([0.5, 0.5]), steps=300, floor=0.01)
+        assert traj.final.min() >= 0.01 * 0.9
+        # Without a floor the minority would be essentially extinct.
+        no_floor = replicator_dynamics(f, np.array([0.5, 0.5]), steps=300)
+        assert no_floor.final.min() < 1e-6
+
+    def test_negative_fitness_handled(self):
+        f = np.array([[-1.0, -2.0], [-0.5, -3.0]])
+        traj = replicator_dynamics(f, np.array([0.5, 0.5]), steps=50)
+        assert np.all(np.isfinite(traj.shares))
+        assert np.allclose(traj.shares.sum(axis=1), 1.0)
+
+    def test_validation(self):
+        f = np.eye(2)
+        with pytest.raises(ValueError):
+            replicator_dynamics(f, np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            replicator_dynamics(f, np.array([0.5, 0.5, 0.0]))
+        with pytest.raises(ValueError):
+            replicator_dynamics(np.zeros((2, 3)), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            replicator_dynamics(f, np.array([0.5, 0.5]), steps=-1)
+
+    def test_trajectory_length(self):
+        f = np.eye(3)
+        traj = replicator_dynamics(f, np.ones(3) / 3, steps=7)
+        assert traj.shares.shape == (8, 3)

@@ -1,0 +1,120 @@
+"""Tests for the classic repeated-game strategies."""
+
+import pytest
+
+from repro.gametheory.payoffs import COOPERATE, DEFECT
+from repro.gametheory.strategies import (
+    STRATEGY_REGISTRY,
+    Alternator,
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    RandomStrategy,
+    SuspiciousTitForTat,
+    TitForTat,
+    TitForTwoTats,
+    make_strategy,
+)
+
+
+class TestTitForTat:
+    def test_opens_cooperating(self):
+        assert TitForTat().first_move() == COOPERATE
+
+    def test_mirrors_last_move(self):
+        tft = TitForTat()
+        assert tft.next_move([COOPERATE], [DEFECT]) == DEFECT
+        assert tft.next_move([DEFECT], [COOPERATE]) == COOPERATE
+
+
+class TestSuspiciousTitForTat:
+    def test_opens_defecting(self):
+        assert SuspiciousTitForTat().first_move() == DEFECT
+
+
+class TestTitForTwoTats:
+    def test_forgives_single_defection(self):
+        s = TitForTwoTats()
+        assert s.next_move([COOPERATE], [DEFECT]) == COOPERATE
+
+    def test_punishes_double_defection(self):
+        s = TitForTwoTats()
+        assert s.next_move([COOPERATE, COOPERATE], [DEFECT, DEFECT]) == DEFECT
+
+
+class TestGrimTrigger:
+    def test_cooperates_until_betrayed(self):
+        s = GrimTrigger()
+        assert s.first_move() == COOPERATE
+        assert s.next_move([COOPERATE], [COOPERATE]) == COOPERATE
+        assert s.next_move([COOPERATE], [DEFECT]) == DEFECT
+        # Never forgives.
+        assert s.next_move([DEFECT], [COOPERATE]) == DEFECT
+
+    def test_reset_clears_trigger(self):
+        s = GrimTrigger()
+        s.next_move([COOPERATE], [DEFECT])
+        s.reset()
+        assert s.next_move([COOPERATE], [COOPERATE]) == COOPERATE
+
+
+class TestPavlov:
+    def test_win_stay(self):
+        s = Pavlov()
+        assert s.next_move([COOPERATE], [COOPERATE]) == COOPERATE
+        assert s.next_move([DEFECT], [COOPERATE]) == DEFECT
+
+    def test_lose_shift(self):
+        s = Pavlov()
+        assert s.next_move([COOPERATE], [DEFECT]) == DEFECT
+        assert s.next_move([DEFECT], [DEFECT]) == COOPERATE
+
+
+class TestConstantStrategies:
+    def test_always_cooperate(self):
+        s = AlwaysCooperate()
+        assert s.first_move() == COOPERATE
+        assert s.next_move([DEFECT], [DEFECT]) == COOPERATE
+
+    def test_always_defect(self):
+        s = AlwaysDefect()
+        assert s.first_move() == DEFECT
+        assert s.next_move([COOPERATE], [COOPERATE]) == DEFECT
+
+    def test_alternator(self):
+        s = Alternator()
+        assert s.first_move() == COOPERATE
+        assert s.next_move([COOPERATE], [COOPERATE]) == DEFECT
+        assert s.next_move([DEFECT], [COOPERATE]) == COOPERATE
+
+
+class TestRandomStrategy:
+    def test_reproducible_after_reset(self):
+        s = RandomStrategy(p_cooperate=0.5, seed=42)
+        seq1 = [s.first_move() for _ in range(10)]
+        s.reset()
+        seq2 = [s.first_move() for _ in range(10)]
+        assert seq1 == seq2
+
+    def test_extreme_probabilities(self):
+        assert RandomStrategy(p_cooperate=1.0).first_move() == COOPERATE
+        assert RandomStrategy(p_cooperate=0.0).first_move() == DEFECT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(p_cooperate=1.5)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert len(STRATEGY_REGISTRY) == 9
+        assert "tit_for_tat" in STRATEGY_REGISTRY
+
+    def test_make_strategy(self):
+        assert isinstance(make_strategy("pavlov"), Pavlov)
+        assert isinstance(make_strategy("random", p_cooperate=0.2), RandomStrategy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_strategy("quantum_tft")

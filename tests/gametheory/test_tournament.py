@@ -1,0 +1,77 @@
+"""Tests for the round-robin tournament."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.payoffs import prisoners_dilemma
+from repro.gametheory.strategies import (
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    TitForTat,
+    TitForTwoTats,
+)
+from repro.gametheory.tournament import round_robin
+
+PD = prisoners_dilemma()
+
+
+def axelrod_field():
+    return [
+        TitForTat(),
+        AlwaysCooperate(),
+        AlwaysDefect(),
+        GrimTrigger(),
+        Pavlov(),
+        TitForTwoTats(),
+    ]
+
+
+class TestRoundRobin:
+    def test_result_shapes(self):
+        res = round_robin(axelrod_field(), PD, rounds=50)
+        k = 6
+        assert res.mean_payoff.shape == (k, k)
+        assert res.cooperation.shape == (k, k)
+        assert len(res.names) == k
+
+    def test_tft_beats_alld_against_cooperative_field(self):
+        """Axelrod's classic: reciprocators outperform pure defectors."""
+        res = round_robin(axelrod_field(), PD, rounds=200)
+        assert res.score_of("tit_for_tat") > res.score_of("always_defect")
+
+    def test_alld_wins_head_to_head_but_loses_field(self):
+        res = round_robin(axelrod_field(), PD, rounds=200)
+        i_tft = res.names.index("tit_for_tat")
+        i_alld = res.names.index("always_defect")
+        # Head-to-head AllD nets more than TFT...
+        assert res.mean_payoff[i_alld, i_tft] >= res.mean_payoff[i_tft, i_alld]
+        # ...yet TFT ranks higher against the whole field.
+        ranking = [name for name, _ in res.ranking()]
+        assert ranking.index("tit_for_tat") < ranking.index("always_defect")
+
+    def test_self_play_diagonal(self):
+        res = round_robin([TitForTat(), AlwaysDefect()], PD, rounds=10)
+        assert res.mean_payoff[0, 0] == pytest.approx(3.0)  # TFT vs itself
+        assert res.mean_payoff[1, 1] == pytest.approx(1.0)  # AllD vs itself
+
+    def test_exclude_self_play(self):
+        res = round_robin(
+            [TitForTat(), AlwaysDefect()], PD, rounds=10, include_self_play=False
+        )
+        assert res.mean_payoff[0, 0] == 0.0
+
+    def test_deterministic(self):
+        r1 = round_robin(axelrod_field(), PD, rounds=30, seed=5)
+        r2 = round_robin(axelrod_field(), PD, rounds=30, seed=5)
+        assert np.array_equal(r1.mean_payoff, r2.mean_payoff)
+
+    def test_needs_two_strategies(self):
+        with pytest.raises(ValueError):
+            round_robin([TitForTat()], PD, rounds=10)
+
+    def test_cooperation_rates_in_range(self):
+        res = round_robin(axelrod_field(), PD, rounds=50)
+        assert np.all(res.cooperation >= 0.0)
+        assert np.all(res.cooperation <= 1.0)

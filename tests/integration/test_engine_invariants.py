@@ -1,0 +1,96 @@
+"""Property-style invariant checks on the running engine.
+
+Each test runs a short simulation while asserting invariants that must
+hold at *every* step, catching state-corruption bugs the summary-level
+tests would average away.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.population import PopulationMix
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import CollaborationSimulation
+
+
+def make_sim(seed, mix=None, **overrides):
+    cfg = SimulationConfig(
+        n_agents=24,
+        n_articles=6,
+        training_steps=200,  # sized above every manual stepping loop below
+        eval_steps=10,
+        mix=mix if mix is not None else PopulationMix(0.5, 0.25, 0.25),
+        seed=seed,
+        **overrides,
+    )
+    return CollaborationSimulation(cfg)
+
+
+class TestPerStepInvariants:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_reputations_always_in_band(self, seed):
+        sim = make_sim(seed)
+        r_min = sim.config.constants.reputation_s.r_min
+        for t in range(40):
+            sim.step(1.0 if t % 2 else float("inf"))
+            rep_s = sim.scheme.reputation_s()
+            rep_e = sim.scheme.reputation_e()
+            assert np.all(rep_s >= r_min - 1e-12)
+            assert np.all(rep_s <= 1.0 + 1e-12)
+            assert np.all(rep_e >= sim.config.constants.reputation_e.r_min - 1e-12)
+            assert np.all(rep_e <= 1.0 + 1e-12)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_contributions_never_negative(self, seed):
+        sim = make_sim(seed)
+        for _ in range(40):
+            sim.step(float("inf"))
+            assert np.all(sim.scheme.ledger.sharing >= 0)
+            assert np.all(sim.scheme.ledger.editing >= 0)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_actions_respect_bounds(self, seed):
+        sim = make_sim(seed)
+        for _ in range(30):
+            sim.step(1.0)
+            assert np.all(sim.peers.offered_bandwidth >= 0)
+            assert np.all(sim.peers.offered_bandwidth <= 1)
+            assert np.all(sim.peers.offered_files >= 0)
+            assert np.all(sim.peers.offered_files <= 1)
+
+    def test_q_matrices_stay_finite(self):
+        sim = make_sim(3)
+        for t in range(120):
+            sim.step(1.0 if t > 60 else float("inf"))
+        assert np.all(np.isfinite(sim.sharing_learner.q))
+        assert np.all(np.isfinite(sim.edit_learner.q))
+
+    @pytest.mark.parametrize("scheme", ["reputation", "none", "tft", "karma"])
+    def test_all_schemes_keep_invariants(self, scheme):
+        sim = make_sim(5, scheme=scheme)
+        for _ in range(30):
+            sim.step(float("inf"))
+            rep = sim.scheme.reputation_s()
+            assert np.all(rep >= 0) and np.all(rep <= 1.0 + 1e-12)
+
+    def test_metrics_proposals_match_acceptances(self):
+        """Accepted counts can never exceed proposal counts, per type."""
+        sim = make_sim(7, edit_attempt_prob=0.3, enforce_edit_threshold=False)
+        for _ in range(60):
+            sim.step(float("inf"))
+        props = sim.metrics.proposals[: sim.step_count].sum(axis=0)
+        accs = sim.metrics.accepted[: sim.step_count].sum(axis=0)
+        assert np.all(accs <= props + 1e-9)
+
+    def test_vote_rights_subset_of_population(self):
+        sim = make_sim(11)
+        for _ in range(30):
+            sim.step(float("inf"))
+            can = sim.scheme.may_vote()
+            assert can.shape == (sim.config.n_agents,)
+            assert can.dtype == bool

@@ -1,0 +1,87 @@
+"""Tests for the article store, edits and voter eligibility."""
+
+import numpy as np
+import pytest
+
+from repro.network.articles import Article, ArticleStore, EditProposal
+
+
+@pytest.fixture
+def store(rng):
+    return ArticleStore(n_articles=5, n_peers=20, rng=rng, founders_per_article=4)
+
+
+class TestBootstrap:
+    def test_founder_seeding(self, store):
+        for art in store.articles:
+            assert len(art.voter_ids) == 4
+            assert all(0 <= v < 20 for v in art.voter_ids)
+
+    def test_founders_unique_per_article(self, rng):
+        store = ArticleStore(3, 10, rng, founders_per_article=10)
+        for art in store.articles:
+            assert len(art.voter_ids) == 10
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            ArticleStore(0, 10, rng)
+        with pytest.raises(ValueError):
+            ArticleStore(1, 10, rng, founders_per_article=0)
+        with pytest.raises(ValueError):
+            ArticleStore(1, 5, rng, founders_per_article=6)
+
+
+class TestEligibleVoters:
+    def test_filters_by_vote_rights(self, store):
+        can_vote = np.zeros(20, dtype=bool)
+        voters = store.eligible_voters(0, can_vote)
+        assert voters.size == 0
+        can_vote[:] = True
+        voters = store.eligible_voters(0, can_vote)
+        assert set(voters.tolist()) == store.articles[0].voter_ids
+
+    def test_excludes_editor(self, store):
+        can_vote = np.ones(20, dtype=bool)
+        editor = next(iter(store.articles[0].voter_ids))
+        voters = store.eligible_voters(0, can_vote, exclude=editor)
+        assert editor not in voters.tolist()
+
+
+class TestOutcomes:
+    def test_accepted_constructive_edit(self, store):
+        p = EditProposal(article_id=1, editor_id=13, constructive=True, step=0)
+        store.apply_outcome(p, accepted=True)
+        art = store.articles[1]
+        assert art.quality == 1.0
+        assert art.n_versions == 1
+        assert 13 in art.voter_ids  # successful editor gains vote rights
+
+    def test_accepted_destructive_edit_lowers_quality(self, store):
+        p = EditProposal(article_id=1, editor_id=13, constructive=False, step=0)
+        store.apply_outcome(p, accepted=True)
+        assert store.articles[1].quality == -1.0
+
+    def test_rejected_edit_leaves_no_trace(self, store):
+        art = store.articles[2]
+        editor = next(i for i in range(20) if i not in art.voter_ids)
+        p = EditProposal(article_id=2, editor_id=editor, constructive=True, step=0)
+        store.apply_outcome(p, accepted=False)
+        assert art.n_versions == 0
+        assert editor not in art.voter_ids
+
+    def test_aggregate_views(self, store):
+        store.apply_outcome(EditProposal(0, 1, True, 0), True)
+        store.apply_outcome(EditProposal(1, 2, False, 0), True)
+        good, bad = store.accepted_counts()
+        assert (good, bad) == (1, 1)
+        assert store.total_quality() == 0.0
+
+
+class TestSampling:
+    def test_sample_articles_in_range(self, store, rng):
+        ids = store.sample_articles(rng, 100)
+        assert ids.min() >= 0 and ids.max() < 5
+
+    def test_len_and_getitem(self, store):
+        assert len(store) == 5
+        assert isinstance(store[0], Article)

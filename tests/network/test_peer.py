@@ -1,0 +1,76 @@
+"""Tests for the peer population arrays."""
+
+import numpy as np
+import pytest
+
+from repro.network.peer import (
+    ALTRUISTIC,
+    IRRATIONAL,
+    RATIONAL,
+    TYPE_NAMES,
+    PeerArrays,
+)
+
+
+def make_peers(n=6):
+    types = np.array([RATIONAL, RATIONAL, ALTRUISTIC, ALTRUISTIC, IRRATIONAL, IRRATIONAL][:n])
+    return PeerArrays.create(types)
+
+
+class TestCreate:
+    def test_defaults(self):
+        peers = make_peers()
+        assert peers.n == 6
+        assert peers.online.all()
+        assert np.all(peers.upload_capacity == 1.0)
+        assert np.all(peers.offered_bandwidth == 0.0)
+
+    def test_counts(self):
+        peers = make_peers()
+        assert peers.counts() == {"rational": 2, "altruistic": 2, "irrational": 2}
+
+    def test_mask(self):
+        peers = make_peers()
+        assert peers.mask(RATIONAL).sum() == 2
+        assert peers.mask(ALTRUISTIC).tolist()[2:4] == [True, True]
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            PeerArrays.create(np.array([0, 7]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PeerArrays.create(np.array([], dtype=np.int8))
+
+    def test_type_names_complete(self):
+        assert set(TYPE_NAMES.values()) == {"rational", "altruistic", "irrational"}
+
+
+class TestActions:
+    def test_set_actions(self):
+        peers = make_peers()
+        bw = np.full(6, 0.5)
+        files = np.full(6, 1.0)
+        peers.set_actions(bw, files)
+        assert np.all(peers.offered_bandwidth == 0.5)
+        assert np.all(peers.offered_files == 1.0)
+
+    def test_sharing_mask_requires_files_and_online(self):
+        peers = make_peers()
+        files = np.array([1.0, 0.0, 0.5, 0.0, 1.0, 0.0])
+        peers.set_actions(np.ones(6), files)
+        peers.online[0] = False
+        mask = peers.sharing_mask()
+        assert mask.tolist() == [False, False, True, False, True, False]
+
+    def test_rejects_out_of_range(self):
+        peers = make_peers()
+        with pytest.raises(ValueError):
+            peers.set_actions(np.full(6, 1.5), np.zeros(6))
+        with pytest.raises(ValueError):
+            peers.set_actions(np.zeros(6), np.full(6, -0.1))
+
+    def test_rejects_bad_shape(self):
+        peers = make_peers()
+        with pytest.raises(ValueError):
+            peers.set_actions(np.zeros(3), np.zeros(3))

@@ -1,0 +1,75 @@
+"""Tests for simulation checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import CollaborationSimulation
+
+
+def make_sim(seed=9, n_agents=20):
+    cfg = SimulationConfig(
+        n_agents=n_agents,
+        n_articles=5,
+        training_steps=60,
+        eval_steps=30,
+        seed=seed,
+    )
+    return CollaborationSimulation(cfg)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        sim = make_sim()
+        for _ in range(50):
+            sim.step(float("inf"))
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+
+        fresh = make_sim()
+        assert not np.array_equal(fresh.sharing_learner.q, sim.sharing_learner.q)
+        load_checkpoint(fresh, path)
+        assert np.array_equal(fresh.sharing_learner.q, sim.sharing_learner.q)
+        assert np.array_equal(fresh.edit_learner.q, sim.edit_learner.q)
+        assert np.array_equal(fresh.scheme.ledger.sharing, sim.scheme.ledger.sharing)
+        assert fresh.step_count == sim.step_count
+
+    def test_restored_sim_continues(self, tmp_path):
+        sim = make_sim()
+        for _ in range(30):
+            sim.step(float("inf"))
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_sim()
+        load_checkpoint(fresh, path)
+        fresh.step(1.0)  # must not raise
+        assert fresh.step_count == sim.step_count + 1
+
+    def test_population_mismatch_rejected(self, tmp_path):
+        sim = make_sim(n_agents=20)
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        other = make_sim(n_agents=24)
+        with pytest.raises(ValueError, match="population mismatch"):
+            load_checkpoint(other, path)
+
+    def test_type_layout_mismatch_rejected(self, tmp_path):
+        sim = make_sim(seed=9)
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        from repro.agents.population import PopulationMix
+
+        other = CollaborationSimulation(
+            SimulationConfig(
+                n_agents=20,
+                n_articles=5,
+                training_steps=10,
+                eval_steps=10,
+                mix=PopulationMix(0.5, 0.25, 0.25),
+                seed=9,
+            )
+        )
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        sim = make_sim()
+        path = save_checkpoint(sim, tmp_path / "deep" / "nest" / "ck.npz")
+        assert path.exists()

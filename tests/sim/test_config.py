@@ -1,0 +1,58 @@
+"""Tests for the simulation configuration."""
+
+import pickle
+
+import pytest
+
+from repro.agents.population import PopulationMix
+from repro.sim.config import SimulationConfig
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        cfg = SimulationConfig()
+        assert cfg.n_agents == 100
+        assert cfg.n_states == 10
+        assert cfg.training_steps == 10_000
+        assert cfg.t_train == float("inf")
+        assert cfg.t_eval == 1.0
+        assert cfg.incentives_enabled
+
+    def test_with_(self):
+        cfg = SimulationConfig()
+        cfg2 = cfg.with_(seed=99, incentives_enabled=False)
+        assert cfg2.seed == 99
+        assert not cfg2.incentives_enabled
+        assert cfg.seed == 0  # original untouched
+
+    def test_total_steps(self):
+        cfg = SimulationConfig(training_steps=100, eval_steps=50)
+        assert cfg.total_steps == 150
+
+    def test_picklable(self):
+        cfg = SimulationConfig(mix=PopulationMix(0.5, 0.25, 0.25))
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert clone == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_agents": 1},
+            {"n_states": 0},
+            {"eval_steps": 0},
+            {"training_steps": -1},
+            {"t_eval": 0.0},
+            {"download_probability": 1.5},
+            {"edit_attempt_prob": -0.1},
+            {"max_voters_per_edit": 0},
+            {"measure_window": 0.0},
+            {"measure_window": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+    def test_describe(self):
+        assert "incentive" in SimulationConfig().describe()
+        assert "no-incentive" in SimulationConfig(incentives_enabled=False).describe()

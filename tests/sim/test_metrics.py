@@ -1,0 +1,111 @@
+"""Tests for the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.network.peer import ALTRUISTIC, IRRATIONAL, RATIONAL
+from repro.sim.metrics import MetricsCollector, StepStats
+
+
+def make_stats(n=4, files=0.5, bw=0.25, proposals=None, accepted=None):
+    return StepStats(
+        offered_files=np.full(n, files),
+        offered_bandwidth=np.full(n, bw),
+        reputation_s=np.full(n, 0.3),
+        reputation_e=np.full(n, 0.2),
+        sharing_utility=np.full(n, 1.0),
+        editing_utility=np.zeros(n),
+        proposals=proposals if proposals is not None else np.zeros((3, 2)),
+        accepted=accepted if accepted is not None else np.zeros((3, 2)),
+        votes_cast=10,
+        votes_successful=7,
+        vote_bans=1,
+        reputation_resets=0,
+    )
+
+
+@pytest.fixture
+def types():
+    return np.array([RATIONAL, RATIONAL, ALTRUISTIC, IRRATIONAL], dtype=np.int8)
+
+
+class TestRecord:
+    def test_record_and_summary(self, types):
+        mc = MetricsCollector(5, types)
+        for _ in range(5):
+            mc.record(make_stats())
+        s = mc.summary(0, 5)
+        assert s["shared_files"] == pytest.approx(0.5)
+        assert s["shared_bandwidth"] == pytest.approx(0.25)
+        assert s["vote_success_rate"] == pytest.approx(0.7)
+        assert s["vote_bans"] == 5.0
+
+    def test_overflow_guarded(self, types):
+        mc = MetricsCollector(1, types)
+        mc.record(make_stats())
+        with pytest.raises(RuntimeError):
+            mc.record(make_stats())
+
+    def test_per_type_series(self, types):
+        mc = MetricsCollector(2, types)
+        stats = make_stats()
+        stats.offered_files[:] = [1.0, 1.0, 0.0, 0.0]
+        mc.record(stats)
+        mc.record(stats)
+        s = mc.summary(0, 2)
+        assert s["shared_files_rational"] == pytest.approx(1.0)
+        assert s["shared_files_altruistic"] == pytest.approx(0.0)
+
+    def test_missing_type_is_nan(self):
+        types = np.array([RATIONAL, RATIONAL], dtype=np.int8)
+        mc = MetricsCollector(1, types)
+        mc.record(make_stats(n=2))
+        s = mc.summary(0, 1)
+        assert np.isnan(s["shared_files_altruistic"])
+
+
+class TestEditMetrics:
+    def test_constructive_fraction(self, types):
+        mc = MetricsCollector(1, types)
+        proposals = np.zeros((3, 2))
+        proposals[RATIONAL, 1] = 3  # constructive
+        proposals[RATIONAL, 0] = 1  # destructive
+        accepted = np.zeros((3, 2))
+        accepted[RATIONAL, 1] = 2
+        mc.record(make_stats(proposals=proposals, accepted=accepted))
+        s = mc.summary(0, 1)
+        assert s["edit_constructive_fraction_rational"] == pytest.approx(0.75)
+        assert s["edit_accept_rate_rational"] == pytest.approx(0.5)
+        assert s["accepted_constructive_rate"] == pytest.approx(2 / 3)
+
+    def test_no_edits_is_nan(self, types):
+        mc = MetricsCollector(1, types)
+        mc.record(make_stats())
+        s = mc.summary(0, 1)
+        assert np.isnan(s["edit_constructive_fraction_rational"])
+
+
+class TestWindows:
+    def test_bad_window_rejected(self, types):
+        mc = MetricsCollector(3, types)
+        mc.record(make_stats())
+        with pytest.raises(ValueError):
+            mc.summary(0, 2)  # only 1 step recorded
+        with pytest.raises(ValueError):
+            mc.summary(1, 1)
+
+    def test_window_selects_steps(self, types):
+        mc = MetricsCollector(4, types)
+        mc.record(make_stats(files=0.0))
+        mc.record(make_stats(files=0.0))
+        mc.record(make_stats(files=1.0))
+        mc.record(make_stats(files=1.0))
+        assert mc.summary(0, 2)["shared_files"] == 0.0
+        assert mc.summary(2, 4)["shared_files"] == 1.0
+
+    def test_series_accessor(self, types):
+        mc = MetricsCollector(3, types)
+        mc.record(make_stats())
+        assert mc.series("files_all").shape == (1,)
+        with pytest.raises(KeyError):
+            mc.series("does_not_exist")

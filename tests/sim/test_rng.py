@@ -1,0 +1,47 @@
+"""Tests for reproducible RNG streams."""
+
+import numpy as np
+
+from repro.sim.rng import make_rng, spawn_rngs, spawn_seeds
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        s1 = spawn_seeds(42, 5)
+        s2 = spawn_seeds(42, 5)
+        assert s1 == s2
+        assert len(s1) == 5
+
+    def test_children_pairwise_distinct(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_independent_of_sibling_count_prefix(self):
+        """The first k children are the same regardless of how many are
+        spawned — sweeps can grow without invalidating earlier runs."""
+        assert spawn_seeds(9, 3) == spawn_seeds(9, 6)[:3]
+
+    def test_zero(self):
+        assert spawn_seeds(1, 0) == []
+
+
+class TestSpawnRngs:
+    def test_streams_independent(self):
+        rngs = spawn_rngs(123, 3)
+        draws = [r.random(4).tolist() for r in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_deterministic(self):
+        a = spawn_rngs(5, 2)[1].random(3)
+        b = spawn_rngs(5, 2)[1].random(3)
+        assert np.array_equal(a, b)

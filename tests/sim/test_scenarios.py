@@ -1,0 +1,73 @@
+"""Tests for the canned experiment scenarios."""
+
+from repro.sim.scenarios import (
+    FAST_EVAL_STEPS,
+    FAST_TRAINING_STEPS,
+    base_config,
+    fig3_configs,
+    fig6_configs,
+    mixture_configs,
+)
+
+
+class TestBaseConfig:
+    def test_paper_scale_by_default(self):
+        cfg = base_config()
+        assert cfg.training_steps == 10_000
+
+    def test_fast_mode(self):
+        cfg = base_config(fast=True)
+        assert cfg.training_steps == FAST_TRAINING_STEPS
+        assert cfg.eval_steps == FAST_EVAL_STEPS
+
+    def test_overrides(self):
+        cfg = base_config(fast=True, seed=9, incentives_enabled=False)
+        assert cfg.seed == 9
+        assert not cfg.incentives_enabled
+
+
+class TestFig3Configs:
+    def test_pairs(self):
+        with_inc, without = fig3_configs([1, 2], fast=True)
+        assert len(with_inc) == len(without) == 2
+        assert all(c.incentives_enabled for c in with_inc)
+        assert all(not c.incentives_enabled for c in without)
+        assert all(c.mix.rational == 1.0 for c in with_inc)
+
+
+class TestMixtureConfigs:
+    def test_paper_percentages(self):
+        grid = mixture_configs("altruistic", [1], fast=True)
+        pcts = [p for p, _ in grid]
+        assert pcts == list(range(10, 100, 10))
+
+    def test_mix_follows_rule(self):
+        grid = mixture_configs("irrational", [1], fast=True, percentages=[40])
+        _, configs = grid[0]
+        mix = configs[0].mix
+        assert mix.irrational == 0.4
+        assert mix.rational == 0.3
+        assert mix.altruistic == 0.3
+
+    def test_editing_gate_disabled_for_figures(self):
+        grid = mixture_configs("irrational", [1], fast=True, percentages=[40])
+        assert not grid[0][1][0].enforce_edit_threshold
+
+    def test_strict_variant(self):
+        grid = mixture_configs(
+            "irrational", [1], fast=True, percentages=[40], strict_editing=True
+        )
+        assert grid[0][1][0].enforce_edit_threshold
+
+
+class TestFig6Configs:
+    def test_remainder_split_equally(self):
+        grid = fig6_configs([1], fast=True, percentages=[20])
+        mix = grid[0][1][0].mix
+        assert mix.rational == 0.2
+        assert mix.altruistic == mix.irrational == 0.4
+
+    def test_includes_100_percent(self):
+        grid = fig6_configs([1], fast=True)
+        assert grid[-1][0] == 100
+        assert grid[-1][1][0].mix.rational == 1.0

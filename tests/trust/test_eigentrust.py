@@ -1,0 +1,93 @@
+"""Tests for EigenTrust, including the collusion weakness the paper cites."""
+
+import numpy as np
+import pytest
+
+from repro.trust.eigentrust import eigentrust
+from repro.trust.local_trust import normalize_trust
+
+
+def random_c(n, seed):
+    rng = np.random.default_rng(seed)
+    return normalize_trust(rng.random((n, n)))
+
+
+class TestEigenTrust:
+    def test_converges(self):
+        res = eigentrust(random_c(10, 0))
+        assert res.converged
+        assert res.residual < 1e-9
+
+    def test_trust_is_probability_vector(self):
+        res = eigentrust(random_c(8, 1))
+        assert res.trust.sum() == pytest.approx(1.0)
+        assert np.all(res.trust >= 0)
+
+    def test_matches_principal_eigenvector_when_alpha_zero(self):
+        """With no damping, the fixpoint is the left principal eigenvector."""
+        c = random_c(6, 2)
+        res = eigentrust(c, alpha=0.0, max_iter=20000, tol=1e-14)
+        w, v = np.linalg.eig(c.T)
+        principal = np.real(v[:, np.argmax(np.real(w))])
+        principal = np.abs(principal) / np.abs(principal).sum()
+        assert res.trust == pytest.approx(principal, abs=1e-6)
+
+    def test_good_peer_ranks_above_bad_peer(self):
+        # Peer 2 receives consistently positive ratings, peer 3 none.
+        n = 4
+        scores = np.zeros((n, n))
+        scores[0, 2] = scores[1, 2] = scores[3, 2] = 5.0
+        scores[0, 1] = 1.0
+        c = normalize_trust(scores)
+        res = eigentrust(c)
+        assert res.trust[2] > res.trust[3]
+
+    def test_pretrusted_peers_boosted(self):
+        c = random_c(5, 3)
+        p = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        res_uniform = eigentrust(c)
+        res_pre = eigentrust(c, pretrusted=p, alpha=0.5)
+        assert res_pre.trust[0] > res_uniform.trust[0]
+
+    def test_collusion_boosts_clique(self):
+        """The paper's critique: a clique rating itself inflates its trust."""
+        n = 8
+        honest = np.zeros((n, n))
+        # Honest peers (0..5) rate each other positively.
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    honest[i, j] = 1.0
+        baseline = eigentrust(normalize_trust(honest), alpha=0.05)
+        colluding = honest.copy()
+        # Colluders 6, 7 rate each other massively.
+        colluding[6, 7] = colluding[7, 6] = 100.0
+        # One naive honest peer gives them a little trust (the entry point).
+        colluding[0, 6] = 1.0
+        boosted = eigentrust(normalize_trust(colluding), alpha=0.05)
+        assert boosted.trust[6] + boosted.trust[7] > (
+            baseline.trust[6] + baseline.trust[7] + 0.05
+        )
+
+    def test_non_convergence_reported(self):
+        res = eigentrust(random_c(10, 4), max_iter=1, tol=1e-16)
+        assert not res.converged
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": -0.1},
+            {"alpha": 1.5},
+        ],
+    )
+    def test_alpha_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            eigentrust(random_c(4, 5), **kwargs)
+
+    def test_rejects_unnormalized_matrix(self):
+        with pytest.raises(ValueError):
+            eigentrust(np.ones((3, 3)))
+
+    def test_rejects_bad_pretrusted(self):
+        with pytest.raises(ValueError):
+            eigentrust(random_c(3, 6), pretrusted=np.array([0.5, 0.5, 0.5]))

@@ -1,0 +1,58 @@
+"""Tests for private/shared interaction histories."""
+
+import numpy as np
+import pytest
+
+from repro.trust.history import PrivateHistory, SharedHistory
+
+
+class TestPrivateHistory:
+    def test_record_and_opinion(self):
+        h = PrivateHistory(4)
+        h.record(
+            np.array([0, 0, 0]), np.array([1, 1, 1]), np.array([True, True, False])
+        )
+        assert h.opinion(0, 1) == pytest.approx(2 / 3)
+
+    def test_unobserved_is_neutral(self):
+        h = PrivateHistory(3)
+        assert h.opinion(0, 2) == 0.5
+        assert not h.observed(0, 2)
+
+    def test_coverage(self):
+        h = PrivateHistory(3)
+        assert h.coverage() == 0.0
+        h.record(np.array([0]), np.array([1]), np.array([True]))
+        assert h.coverage() == pytest.approx(1 / 6)
+
+    def test_coverage_excludes_diagonal(self):
+        h = PrivateHistory(2)
+        h.record(np.array([0, 1]), np.array([1, 0]), np.array([True, True]))
+        assert h.coverage() == 1.0
+
+
+class TestSharedHistory:
+    def test_global_opinions(self):
+        h = SharedHistory(3)
+        h.record(
+            np.array([0, 1, 2]),
+            np.array([2, 2, 1]),
+            np.array([True, False, True]),
+        )
+        ops = h.opinions()
+        assert ops[2] == pytest.approx(0.5)
+        assert ops[1] == pytest.approx(1.0)
+        assert ops[0] == 0.5  # unobserved
+
+    def test_records_disabled_by_default(self):
+        h = SharedHistory(2)
+        h.record(np.array([0]), np.array([1]), np.array([True]))
+        assert h.records == []
+
+    def test_records_kept_when_enabled(self):
+        h = SharedHistory(2)
+        h.keep_records = True
+        h.record(np.array([0]), np.array([1]), np.array([True]), step=5)
+        assert len(h.records) == 1
+        assert h.records[0].step == 5
+        assert h.records[0].subject_id == 1

@@ -1,0 +1,72 @@
+"""Tests for local trust accounting and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.trust.local_trust import LocalTrustMatrix, normalize_trust
+
+
+class TestNormalizeTrust:
+    def test_rows_sum_to_one(self):
+        scores = np.array([[0.0, 3.0, 1.0], [2.0, 0.0, 2.0], [0.0, 0.0, 0.0]])
+        c = normalize_trust(scores)
+        assert np.allclose(c.sum(axis=1), 1.0)
+
+    def test_negative_scores_floored(self):
+        scores = np.array([[0.0, -5.0], [1.0, 0.0]])
+        c = normalize_trust(scores)
+        assert c[0].tolist() == [0.5, 0.5]  # empty row -> uniform prior
+
+    def test_prior_used_for_empty_rows(self):
+        scores = np.zeros((3, 3))
+        prior = np.array([1.0, 0.0, 0.0])
+        c = normalize_trust(scores, prior)
+        assert np.allclose(c, np.tile(prior, (3, 1)))
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError):
+            normalize_trust(np.zeros((2, 2)), np.array([0.7, 0.7]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_trust(np.zeros((2, 3)))
+
+
+class TestLocalTrustMatrix:
+    def test_record_batch(self):
+        lt = LocalTrustMatrix(3)
+        lt.record(
+            raters=np.array([0, 0, 1]),
+            ratees=np.array([1, 2, 2]),
+            satisfactory=np.array([True, False, True]),
+        )
+        assert lt.sat[0, 1] == 1
+        assert lt.unsat[0, 2] == 1
+        assert lt.sat[1, 2] == 1
+
+    def test_scores_sat_minus_unsat(self):
+        lt = LocalTrustMatrix(2)
+        lt.record(np.array([0, 0, 0]), np.array([1, 1, 1]), np.array([True, True, False]))
+        assert lt.scores()[0, 1] == 1.0
+
+    def test_diagonal_zeroed(self):
+        lt = LocalTrustMatrix(2)
+        s = lt.scores()
+        assert np.all(np.diag(s) == 0)
+
+    def test_self_rating_rejected(self):
+        lt = LocalTrustMatrix(2)
+        with pytest.raises(ValueError):
+            lt.record(np.array([0]), np.array([0]), np.array([True]))
+
+    def test_matrix_normalized(self):
+        lt = LocalTrustMatrix(3)
+        lt.record(np.array([0]), np.array([1]), np.array([True]))
+        c = lt.matrix()
+        assert np.allclose(c.sum(axis=1), 1.0)
+        assert c[0, 1] == pytest.approx(1.0)
+
+    def test_misaligned_rejected(self):
+        lt = LocalTrustMatrix(3)
+        with pytest.raises(ValueError):
+            lt.record(np.array([0]), np.array([1, 2]), np.array([True]))

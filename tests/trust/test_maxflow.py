@@ -1,0 +1,119 @@
+"""Tests for max-flow trust, validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trust.maxflow import max_flow_trust, pairwise_trust_matrix
+
+
+def nx_max_flow(capacity: np.ndarray, s: int, t: int) -> float:
+    g = nx.DiGraph()
+    n = capacity.shape[0]
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and capacity[i, j] > 0:
+                g.add_edge(i, j, capacity=float(capacity[i, j]))
+    return float(nx.maximum_flow_value(g, s, t)) if g.has_node(s) else 0.0
+
+
+class TestMaxFlowTrust:
+    def test_simple_path(self):
+        cap = np.zeros((3, 3))
+        cap[0, 1] = 2.0
+        cap[1, 2] = 1.5
+        assert max_flow_trust(cap, 0, 2) == pytest.approx(1.5)
+
+    def test_parallel_paths_add(self):
+        cap = np.zeros((4, 4))
+        cap[0, 1] = cap[1, 3] = 1.0
+        cap[0, 2] = cap[2, 3] = 2.0
+        assert max_flow_trust(cap, 0, 3) == pytest.approx(3.0)
+
+    def test_no_path(self):
+        cap = np.zeros((3, 3))
+        cap[0, 1] = 1.0
+        assert max_flow_trust(cap, 0, 2) == 0.0
+
+    def test_classic_example(self):
+        # CLRS-style network with a known max flow of 23.
+        cap = np.zeros((6, 6))
+        cap[0, 1] = 16
+        cap[0, 2] = 13
+        cap[1, 2] = 10
+        cap[1, 3] = 12
+        cap[2, 1] = 4
+        cap[2, 4] = 14
+        cap[3, 2] = 9
+        cap[3, 5] = 20
+        cap[4, 3] = 7
+        cap[4, 5] = 4
+        assert max_flow_trust(cap, 0, 5) == pytest.approx(23.0)
+
+    def test_matches_networkx_random(self):
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            cap = rng.random((7, 7)) * (rng.random((7, 7)) < 0.5)
+            np.fill_diagonal(cap, 0.0)
+            ours = max_flow_trust(cap, 0, 6)
+            theirs = nx_max_flow(cap, 0, 6)
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        cap = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+        np.fill_diagonal(cap, 0.0)
+        assert max_flow_trust(cap, 0, n - 1) == pytest.approx(
+            nx_max_flow(cap, 0, n - 1), abs=1e-9
+        )
+
+    def test_collusion_resistant(self):
+        """A clique inflating internal edges gains no inbound trust."""
+        n = 5
+        cap = np.zeros((n, n))
+        # Honest: 0 -> 1 -> 2 modest trust.
+        cap[0, 1] = cap[1, 2] = 1.0
+        # Colluders 3, 4 trust each other enormously.
+        cap[3, 4] = cap[4, 3] = 1000.0
+        assert max_flow_trust(cap, 0, 3) == 0.0
+        assert max_flow_trust(cap, 0, 4) == 0.0
+
+    def test_input_validation(self):
+        cap = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            max_flow_trust(cap, 0, 0)
+        with pytest.raises(IndexError):
+            max_flow_trust(cap, 0, 5)
+        with pytest.raises(ValueError):
+            max_flow_trust(np.full((2, 2), -1.0), 0, 1)
+        with pytest.raises(ValueError):
+            max_flow_trust(np.zeros((2, 3)), 0, 1)
+
+    def test_does_not_mutate_input(self):
+        cap = np.zeros((3, 3))
+        cap[0, 1] = cap[1, 2] = 1.0
+        before = cap.copy()
+        max_flow_trust(cap, 0, 2)
+        assert np.array_equal(cap, before)
+
+
+class TestPairwiseTrustMatrix:
+    def test_shape_and_diagonal(self):
+        rng = np.random.default_rng(3)
+        cap = rng.random((4, 4))
+        m = pairwise_trust_matrix(cap)
+        assert m.shape == (4, 4)
+        assert np.all(np.diag(m) == 0)
+
+    def test_subset_of_sources(self):
+        rng = np.random.default_rng(3)
+        cap = rng.random((4, 4))
+        m = pairwise_trust_matrix(cap, sources=np.array([1]))
+        assert m.shape == (1, 4)
+        assert m[0, 2] == pytest.approx(max_flow_trust(cap, 1, 2))
