@@ -1,0 +1,46 @@
+"""Benchmarks for the experiment store: hashing and put/get round trips.
+
+Config hashing sits on the hot path of every cached sweep (one hash per
+config per lookup), so it is benchmarked like a kernel; the store round
+trip bounds the per-run persistence overhead, which must stay negligible
+next to even the fastest simulation (~tens of milliseconds).
+"""
+
+from conftest import bench_config
+
+from repro.sim.engine import run_simulation
+from repro.store.hashing import config_hash
+from repro.store.runstore import RunStore
+
+
+def test_bench_store_config_hash(benchmark):
+    config = bench_config()
+    digest = benchmark(config_hash, config)
+    assert len(digest) == 64
+
+
+def test_bench_store_put_get(benchmark, tmp_path):
+    config = bench_config(training_steps=20, eval_steps=10, n_agents=10)
+    result = run_simulation(config)
+    store = RunStore(tmp_path)
+
+    def roundtrip():
+        store.put(result)
+        return store.get(config)
+
+    cached = benchmark(roundtrip)
+    assert cached is not None
+    assert cached.summary.keys() == result.summary.keys()
+
+
+def test_bench_store_open_loaded(benchmark, tmp_path):
+    """Opening a store re-reads the index; must stay cheap as runs pile up."""
+    config = bench_config(training_steps=20, eval_steps=10, n_agents=10)
+    result = run_simulation(config)
+    seed_store = RunStore(tmp_path)
+    for seed in range(50):
+        result.config = config.with_(seed=seed)
+        seed_store.put(result)
+
+    store = benchmark(RunStore, tmp_path)
+    assert len(store) == 50

@@ -12,8 +12,15 @@ from pathlib import Path
 import numpy as np
 
 from .figures import FigureData
+from .stats import mean_ci
 
-__all__ = ["load_results", "reproduction_table", "render_markdown_table"]
+__all__ = [
+    "load_results",
+    "reproduction_table",
+    "render_markdown_table",
+    "aggregate_stored_runs",
+    "render_stored_table",
+]
 
 
 def load_results(results_dir: str | Path) -> dict[str, FigureData]:
@@ -133,3 +140,102 @@ def render_markdown_table(rows: list[dict[str, str]]) -> str:
         for r in rows
     ]
     return "\n".join([header, sep, *body])
+
+
+# ----------------------------------------------------------------------
+# Stored-run reports (the `repro report` command)
+# ----------------------------------------------------------------------
+def _flatten(config: dict, prefix: str = "") -> dict[str, object]:
+    out: dict[str, object] = {}
+    for key, value in config.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{dotted}."))
+        else:
+            out[dotted] = value
+    return out
+
+
+def aggregate_stored_runs(
+    records: list,
+    metrics: tuple[str, ...] = ("shared_files", "shared_bandwidth"),
+) -> list[dict]:
+    """Group stored runs by config-minus-seed and aggregate each metric.
+
+    ``records`` are :class:`repro.store.StoredRun`-shaped objects (need
+    ``.config`` as a nested dict and ``.summary``); records without a
+    config payload are skipped.  Each returned row carries a ``label``
+    built from the config fields that actually vary across groups, the
+    seed count ``n``, and ``(mean, half_width)`` per metric.
+    """
+    from ..store.hashing import canonical_json, revive_floats
+
+    groups: dict[str, list] = {}
+    flats: dict[str, dict[str, object]] = {}
+    for rec in records:
+        if rec.config is None:
+            continue
+        flat = _flatten(rec.config)
+        flat.pop("seed", None)
+        key = canonical_json(flat)
+        groups.setdefault(key, []).append(rec)
+        flats[key] = flat
+
+    # Label each group by the fields that distinguish it from the others.
+    varying: list[str] = []
+    if len(flats) > 1:
+        all_keys = sorted({k for flat in flats.values() for k in flat})
+        for k in all_keys:
+            seen = {canonical_json(flat.get(k)) for flat in flats.values()}
+            if len(seen) > 1:
+                varying.append(k)
+
+    rows: list[dict] = []
+    for key in sorted(groups):
+        recs = groups[key]
+        flat = flats[key]
+        if varying:
+            label = " ".join(
+                f"{k}={revive_floats(flat.get(k))}" for k in varying
+            )
+        else:
+            label = "base"
+        row: dict = {"label": label, "n": len(recs)}
+        for metric in metrics:
+            values = [r.summary.get(metric, float("nan")) for r in recs]
+            ci = mean_ci(np.asarray(values, dtype=np.float64))
+            row[metric] = ci.mean
+            row[f"{metric}_hw"] = ci.half_width
+        rows.append(row)
+    return rows
+
+
+def render_stored_table(
+    rows: list[dict],
+    metrics: tuple[str, ...] = ("shared_files", "shared_bandwidth"),
+) -> str:
+    """Plain-text table for :func:`aggregate_stored_runs` rows."""
+    if not rows:
+        return "(no stored runs)"
+    headers = ["group", "n", *metrics]
+    cells = [
+        [
+            str(row["label"]),
+            str(row["n"]),
+            *(
+                f"{_fmt(row[m])} ± {_fmt(row.get(f'{m}_hw'))}"
+                for m in metrics
+            ),
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(c[i]) for c in cells))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join(lines)

@@ -24,14 +24,22 @@ def run_grid(
     grid: list[tuple[int, list[SimulationConfig]]],
     backend: str = "process",
     workers: int | None = None,
+    store=None,
+    progress=None,
 ) -> list[tuple[int, list[SimulationResult]]]:
-    """Run a (label, configs) grid as one flat sweep, regroup results."""
+    """Run a (label, configs) grid as one flat sweep, regroup results.
+
+    ``store``/``progress`` pass straight through to :func:`run_sweep`
+    (the ambient default store applies when ``store`` is None).
+    """
     flat: list[SimulationConfig] = []
     spans: list[tuple[int, int, int]] = []
     for label, configs in grid:
         spans.append((label, len(flat), len(flat) + len(configs)))
         flat.extend(configs)
-    results = run_sweep(flat, backend=backend, workers=workers)
+    results = run_sweep(
+        flat, backend=backend, workers=workers, store=store, progress=progress
+    )
     return [(label, results[a:b]) for label, a, b in spans]
 
 

@@ -46,6 +46,10 @@ EXPERIMENTS = {
 
 PAPER_FIGURES = ["fig1", "fig2", "fig3", "fig4+5", "fig6", "fig7"]
 
+#: Added to ``all`` by ``--extras``: not part of the paper's figure set,
+#: so regenerating them by default would triple the runtime of ``all``.
+EXTRA_EXPERIMENTS = ["ablation-repfunc", "ablation-rmin", "scheme-comparison"]
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -67,13 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument(
+        "--extras",
+        action="store_true",
+        help="with 'all': also run the ablations and the scheme comparison",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="cache sweeps in this run-store directory (skips cached configs)",
+    )
     return parser
 
 
-def run_experiment(name: str, args: argparse.Namespace) -> list:
+def run_experiment(name: str, args: argparse.Namespace, store=None) -> list:
     kwargs = dict(fast=args.fast, backend=args.backend, workers=args.workers)
     if args.seeds is not None:
         kwargs["n_seeds"] = args.seeds
+    cache0 = (store.hits, store.misses) if store is not None else (0, 0)
     t0 = time.perf_counter()
     figs = EXPERIMENTS[name](**kwargs)
     dt = time.perf_counter() - t0
@@ -82,15 +98,37 @@ def run_experiment(name: str, args: argparse.Namespace) -> list:
         csv_path = fig.to_csv(args.out / f"{fig.name}.csv")
         fig.to_json(args.out / f"{fig.name}.json")
         print(f"-> wrote {csv_path}")
+    if store is not None:
+        print(
+            f"[{name}] cache: {store.hits - cache0[0]} hits / "
+            f"{store.misses - cache0[1]} misses"
+        )
     print(f"[{name}] done in {dt:.1f}s\n")
     return figs
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    names = PAPER_FIGURES if args.experiment == "all" else [args.experiment]
-    for name in names:
-        run_experiment(name, args)
+    if args.experiment == "all":
+        names = PAPER_FIGURES + (EXTRA_EXPERIMENTS if args.extras else [])
+    else:
+        names = [args.experiment]
+    store = None
+    if args.store is not None:
+        # The experiment modules call run_sweep themselves, so the store
+        # is installed as the ambient default rather than threaded through
+        # every figure module's signature.
+        from ..sim.sweep import set_default_store
+        from ..store.runstore import RunStore
+
+        store = RunStore(args.store)
+        previous = set_default_store(store)
+    try:
+        for name in names:
+            run_experiment(name, args, store=store)
+    finally:
+        if store is not None:
+            set_default_store(previous)
     return 0
 
 

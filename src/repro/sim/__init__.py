@@ -6,7 +6,14 @@ from .engine import CollaborationSimulation, SimulationResult, run_simulation
 from .metrics import MetricsCollector, StepStats
 from .rng import make_rng, spawn_rngs, spawn_seeds
 from .scenarios import base_config, fig3_configs, fig6_configs, mixture_configs
-from .sweep import available_workers, replicate, run_sweep
+from .sweep import (
+    SweepWorkerError,
+    available_workers,
+    get_default_store,
+    replicate,
+    run_sweep,
+    set_default_store,
+)
 
 __all__ = [
     "load_checkpoint",
@@ -27,4 +34,7 @@ __all__ = [
     "available_workers",
     "replicate",
     "run_sweep",
+    "SweepWorkerError",
+    "set_default_store",
+    "get_default_store",
 ]

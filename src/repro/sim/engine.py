@@ -231,6 +231,43 @@ class CollaborationSimulation:
             extras=extras,
         )
 
+    def summarize(self, measure_window: float | None = None) -> SimulationResult:
+        """Summarize the steps recorded *so far* into a result.
+
+        :meth:`run` drives both phases itself; this is for workflows that
+        drive phases manually — e.g. restore a trained checkpoint, run
+        only the evaluation phase, and persist the outcome in a
+        :class:`repro.store.RunStore`.  The summary window is the last
+        ``measure_window`` fraction (default: the config's) of whatever
+        this instance recorded; ``training_summary`` stays empty because
+        a restored sim never saw its own training steps.
+        """
+        recorded = self.metrics.steps_recorded
+        if recorded < 1:
+            raise ValueError("no steps recorded; nothing to summarize")
+        frac = (
+            self.config.measure_window if measure_window is None else measure_window
+        )
+        if not 0.0 < frac <= 1.0:
+            raise ValueError("measure_window must be in (0, 1]")
+        start = min(int(recorded * (1.0 - frac)), recorded - 1)
+        return SimulationResult(
+            config=self.config,
+            summary=self.metrics.summary(start, recorded),
+            training_summary={},
+            wall_time_s=0.0,
+            events=self.events,
+            extras={
+                "whitewash_count": float(self.whitewash_count),
+                # Provenance marker: this summary came from manual phase
+                # driving, not the canonical run() protocol.  RunStore
+                # refuses it unless the caller explicitly vouches for it
+                # (allow_partial=True) — a manually windowed summary under
+                # a config's hash would otherwise poison the cache.
+                "manual_summary": 1.0,
+            },
+        )
+
     # ------------------------------------------------------------------
     # One step
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Parameter sweeps with pluggable parallel backends.
+"""Parameter sweeps with pluggable parallel backends and a run cache.
 
 A sweep is a list of :class:`SimulationConfig`; each runs independently
 with its own seeded RNG, so execution order and backend never change the
@@ -10,6 +10,19 @@ numbers.  Backends:
 * ``process`` — ``ProcessPoolExecutor``; true parallelism, the default for
   multi-config experiment grids.
 
+With a :class:`repro.store.RunStore` attached (``store=`` argument, or the
+ambient default installed via :func:`set_default_store`), a sweep becomes
+*incremental and resumable*: configs already in the store are served from
+cache without executing, duplicate configs within one grid execute once,
+and every freshly finished run is persisted the moment it completes — an
+interrupted sweep re-run against the same store only executes the missing
+configs.  Execution uses a submit/``as_completed`` loop so persistence and
+progress reporting happen as results land, not after the whole grid.
+
+Worker failures are wrapped in :class:`SweepWorkerError`, which names the
+failing config's position and content hash; remaining queued work is
+cancelled (results persisted before the failure stay in the store).
+
 The worker function is module-level so it pickles under the ``spawn`` start
 method.  Results are returned in input order.
 """
@@ -17,13 +30,75 @@ method.  Results are returned in input order.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any, Callable
 
 from .config import SimulationConfig
 from .engine import SimulationResult, run_simulation
 from .rng import spawn_seeds
 
-__all__ = ["run_sweep", "replicate", "available_workers"]
+__all__ = [
+    "run_sweep",
+    "replicate",
+    "available_workers",
+    "SweepWorkerError",
+    "set_default_store",
+    "get_default_store",
+]
+
+#: Ambient store used by sweeps that are not passed one explicitly; lets
+#: the experiment runner cache every figure sweep without threading a
+#: ``store=`` argument through each experiment module's signature.
+_DEFAULT_STORE: Any = None
+
+#: ``progress(done, total, index, result, cached)`` — invoked once per
+#: input config as its result becomes available.  ``cached`` is True when
+#: no simulation executed for that slot (store hit, or duplicate of an
+#: earlier config in the same sweep).
+ProgressCallback = Callable[[int, int, int, SimulationResult, bool], None]
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep worker raised; identifies which config failed.
+
+    Attributes: ``index`` (position in the input list), ``config`` and
+    ``config_hash`` (the store's content hash, so the failure can be
+    correlated with cache state).
+    """
+
+    def __init__(self, index: int, config: SimulationConfig, cause: BaseException):
+        self.index = index
+        self.config = config
+        try:
+            # Imported lazily: repro.store imports repro.sim at package
+            # init, so a top-level import here would be circular.
+            from ..store.hashing import config_hash
+
+            self.config_hash = config_hash(config)
+        except Exception:  # pragma: no cover - hashing is total over configs
+            self.config_hash = "unknown"
+        super().__init__(
+            f"sweep config #{index} [{self.config_hash[:12]}] "
+            f"({config.describe()}) failed: {cause!r}"
+        )
+
+
+def set_default_store(store: Any) -> Any:
+    """Install the ambient run store; returns the previous one."""
+    global _DEFAULT_STORE
+    previous = _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    return previous
+
+
+def get_default_store() -> Any:
+    return _DEFAULT_STORE
 
 
 def available_workers() -> int:
@@ -39,22 +114,111 @@ def run_sweep(
     configs: list[SimulationConfig],
     backend: str = "process",
     workers: int | None = None,
+    store: Any = None,
+    progress: ProgressCallback | None = None,
 ) -> list[SimulationResult]:
-    """Run every config; results align with the input list."""
+    """Run every config; results align with the input list.
+
+    ``store`` (or the ambient default) enables cache-skip and immediate
+    persistence; ``progress`` observes each completed slot.
+    """
+    if backend not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
     if not configs:
         return []
-    if backend == "serial" or len(configs) == 1:
-        return [_worker(c) for c in configs]
-    workers = workers if workers is not None else available_workers()
-    workers = max(1, min(workers, len(configs)))
-    if backend == "thread":
-        pool_cls = ThreadPoolExecutor
-    elif backend == "process":
-        pool_cls = ProcessPoolExecutor
-    else:
-        raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
-    with pool_cls(max_workers=workers) as pool:
-        return list(pool.map(_worker, configs))
+    store = store if store is not None else _DEFAULT_STORE
+    n = len(configs)
+    results: list[SimulationResult | None] = [None] * n
+    done = 0
+
+    def notify(index: int, cached: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, n, index, results[index], cached)
+
+    # Cache phase: serve hits and — only when a store provides identity —
+    # dedupe identical configs so one execution feeds every duplicate
+    # slot.  Without a store every slot executes independently and owns
+    # its result object, preserving the store-less semantics.
+    pending: list[tuple[SimulationConfig, list[int]]] = []
+    groups: dict[SimulationConfig, list[int]] = {}
+    for i, cfg in enumerate(configs):
+        if cfg in groups:
+            # Duplicate of a config already queued: don't re-probe the
+            # store (that would count a spurious miss per duplicate);
+            # the slot is filled — and counted as a hit — when the one
+            # execution lands in the store.
+            groups[cfg].append(i)
+            continue
+        cached = store.get(cfg) if store is not None else None
+        if cached is not None:
+            results[i] = cached
+            notify(i, cached=True)
+        elif store is not None and not cfg.collect_events:
+            groups[cfg] = [i]
+            pending.append((cfg, groups[cfg]))
+        else:
+            # No store identity, or an event-collecting run (whose events
+            # the store cannot persist): every slot executes on its own.
+            pending.append((cfg, [i]))
+
+    def complete(cfg: SimulationConfig, indices: list[int], result: SimulationResult):
+        if store is not None and not cfg.collect_events:
+            store.put(result)
+        results[indices[0]] = result
+        notify(indices[0], cached=False)
+        for idx in indices[1:]:
+            # Duplicate slots (storable configs only, see above) get their
+            # own result object — a fresh cache read — so in-place
+            # mutation of one slot can't alias another.
+            results[idx] = store.get(cfg)
+            notify(idx, cached=True)
+
+    if pending:
+        if backend == "serial" or len(pending) == 1:
+            for cfg, indices in pending:
+                try:
+                    result = _worker(cfg)
+                except Exception as exc:
+                    raise SweepWorkerError(indices[0], cfg, exc) from exc
+                complete(cfg, indices, result)
+        else:
+            pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+            workers = workers if workers is not None else available_workers()
+            workers = max(1, min(workers, len(pending)))
+            with pool_cls(max_workers=workers) as pool:
+                futures: dict[Future, tuple[SimulationConfig, list[int]]] = {
+                    pool.submit(_worker, cfg): (cfg, indices)
+                    for cfg, indices in pending
+                }
+                not_done = set(futures)
+                try:
+                    while not_done:
+                        finished, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED
+                        )
+                        # Drain every success in the batch before raising:
+                        # finished work must reach the store even when a
+                        # sibling future in the same batch failed.
+                        failure: tuple[int, SimulationConfig, Exception] | None = None
+                        for fut in finished:
+                            cfg, indices = futures[fut]
+                            try:
+                                result = fut.result()
+                            except Exception as exc:
+                                if failure is None:
+                                    failure = (indices[0], cfg, exc)
+                                continue
+                            complete(cfg, indices, result)
+                        if failure is not None:
+                            raise SweepWorkerError(*failure) from failure[2]
+                except BaseException:
+                    for fut in not_done:
+                        fut.cancel()
+                    raise
+
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 def replicate(

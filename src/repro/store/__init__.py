@@ -1,0 +1,46 @@
+"""Experiment store: content-addressed run cache and scenario registry.
+
+* :mod:`repro.store.hashing` — canonical config serialization + sha256
+  keys, so a :class:`~repro.sim.config.SimulationConfig` is its own
+  cache key;
+* :mod:`repro.store.runstore` — durable, corruption-tolerant on-disk
+  store of finished runs (JSONL index + per-run payload files);
+* :mod:`repro.store.registry` — named scenario packs expanding to config
+  grids (paper figures plus churn, overlay, capacity and scheme grids);
+* :mod:`repro.store.cli` — the unified ``repro`` console command
+  (imported on demand; not re-exported here to keep import cost low).
+"""
+
+from .hashing import (
+    CONFIG_SCHEMA_VERSION,
+    canonical_config_dict,
+    canonical_json,
+    config_hash,
+    short_hash,
+)
+from .registry import (
+    ScenarioPack,
+    expand_scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from .runstore import STORE_SCHEMA_VERSION, RunStore, StoredRun
+
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "canonical_config_dict",
+    "canonical_json",
+    "config_hash",
+    "short_hash",
+    "ScenarioPack",
+    "expand_scenario",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "StoredRun",
+]

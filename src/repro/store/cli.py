@@ -1,0 +1,325 @@
+"""Unified ``repro`` CLI: run scenarios, sweep grids, inspect the store.
+
+Layered over the experiment infrastructure rather than replacing it —
+``repro-experiments`` keeps regenerating the paper figures; this command
+drives the scenario registry and the content-addressed run store::
+
+    repro scenarios                      # what can I run?
+    repro run schemes/shootout --fast    # run a named pack, cached
+    repro run paper/fig3 --seeds 5
+    repro sweep --set scheme=karma,tft --set n_agents=50,100
+    repro ls                             # stored runs, no simulation
+    repro report --metric shared_files   # aggregate table, no simulation
+
+``run`` and ``sweep`` persist into ``--store`` (default ``./runstore``),
+so repeating a command is free and an interrupted grid resumes where it
+stopped.  ``ls`` and ``report`` only read the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..analysis.report import aggregate_stored_runs, render_stored_table
+from ..sim.config import SimulationConfig
+from ..sim.scenarios import base_config
+from ..sim.sweep import run_sweep
+from .hashing import revive_floats, short_hash
+from .registry import get_scenario, iter_scenarios
+from .runstore import RunStore, StoredRun
+
+__all__ = ["build_parser", "main"]
+
+# --set reaches every scalar config field; the structured fields (mix,
+# constants) need real objects and are set by scenario builders instead.
+_CONFIG_FIELDS = {
+    f.name for f in dataclasses.fields(SimulationConfig)
+} - {"mix", "constants"}
+_DEFAULT_METRICS = ("shared_files", "shared_bandwidth")
+_DEFAULT_SEEDS = 3
+
+
+def _parse_value(token: str) -> Any:
+    """One ``--set`` value: JSON scalar if it parses, else a string."""
+    stripped = token.strip()
+    special = {"inf": float("inf"), "+inf": float("inf"),
+               "-inf": float("-inf"), "nan": float("nan")}
+    if stripped.lower() in special:
+        return special[stripped.lower()]
+    try:
+        return json.loads(stripped)
+    except json.JSONDecodeError:
+        return stripped
+
+
+def _parse_set(
+    entries: list[str] | None, allow_dotted: bool = False
+) -> dict[str, list[Any]]:
+    """``["k=v1,v2", ...]`` -> ``{k: [v1, v2], ...}`` with field checks."""
+    all_fields = {f.name for f in dataclasses.fields(SimulationConfig)}
+    out: dict[str, list[Any]] = {}
+    for entry in entries or []:
+        key, sep, raw = entry.partition("=")
+        key = key.strip()
+        if not sep or not key or not raw:
+            raise SystemExit(f"error: --set expects key=value[,value...], got {entry!r}")
+        root = key.split(".", 1)[0]
+        valid = root in all_fields if allow_dotted else key in _CONFIG_FIELDS
+        if not valid:
+            known = ", ".join(sorted(all_fields if allow_dotted else _CONFIG_FIELDS))
+            raise SystemExit(f"error: unknown config field {key!r}; fields: {known}")
+        if allow_dotted and key in ("mix", "constants"):
+            # A structured field can never equal a scalar filter value;
+            # without this the query would silently match nothing.
+            raise SystemExit(
+                f"error: {key!r} is a structured field; filter a leaf "
+                f"field instead (e.g. mix.rational)"
+            )
+        out[key] = [_parse_value(v) for v in raw.split(",")]
+    return out
+
+
+def _single_overrides(grid: dict[str, list[Any]]) -> dict[str, Any]:
+    """Collapse a --set grid into plain overrides (each key one value)."""
+    bad = [k for k, vs in grid.items() if len(vs) != 1]
+    if bad:
+        raise SystemExit(
+            f"error: multi-value --set only makes sense for 'repro sweep' "
+            f"(got multiple values for {', '.join(bad)})"
+        )
+    return {k: vs[0] for k, vs in grid.items()}
+
+
+def _expand_grid(
+    grid: dict[str, list[Any]], base: SimulationConfig
+) -> list[SimulationConfig]:
+    """Cartesian product of the --set axes applied to ``base``."""
+    configs = [base]
+    for key, values in grid.items():
+        configs = [c.with_(**{key: v}) for c in configs for v in values]
+    return configs
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(done, total, index, result, cached):
+        tag = "cache" if cached else f"{result.wall_time_s:6.2f}s"
+        print(
+            f"  [{done}/{total}] {short_hash(result.config)} "
+            f"{result.config.describe()}  ({tag})"
+        )
+
+    return progress
+
+
+def _run_and_report(
+    configs: list[SimulationConfig], args: argparse.Namespace
+) -> int:
+    store = None if args.no_store else RunStore(args.store)
+    results = run_sweep(
+        configs,
+        backend=args.backend,
+        workers=args.workers,
+        store=store,
+        progress=_progress_printer(args.quiet),
+    )
+    records = [StoredRun.from_result(r) for r in results]
+    metrics = tuple(args.metric or _DEFAULT_METRICS)
+    print(render_stored_table(aggregate_stored_runs(records, metrics), metrics))
+    if store is not None:
+        # The store was opened above with zeroed counters, so the session
+        # totals are exactly this command's hits/misses.
+        print(
+            f"cache: {store.hits} hits / {store.misses} misses "
+            f"({len(store)} runs stored in {store.root})"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    for pack in iter_scenarios():
+        if args.tag and args.tag not in pack.tags:
+            continue
+        tags = f" [{', '.join(pack.tags)}]" if pack.tags else ""
+        print(f"{pack.name:<26} {pack.description}{tags}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        pack = get_scenario(args.scenario)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    overrides = _single_overrides(_parse_set(args.set))
+    configs = pack.expand(
+        fast=args.fast,
+        n_seeds=args.seeds if args.seeds is not None else _DEFAULT_SEEDS,
+        overrides=overrides or None,
+    )
+    if not args.quiet:
+        print(f"scenario {pack.name}: {len(configs)} configs")
+    return _run_and_report(configs, args)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    grid = _parse_set(args.set)
+    seeds_axis = grid.pop("seed", None)
+    if seeds_axis is not None and args.seeds is not None:
+        raise SystemExit(
+            "error: --seeds and an explicit '--set seed=...' axis are "
+            "mutually exclusive"
+        )
+    configs = _expand_grid(grid, base_config(args.fast))
+    if seeds_axis is not None:
+        configs = [c.with_(seed=s) for c in configs for s in seeds_axis]
+    else:
+        from ..sim.rng import spawn_seeds
+
+        n_seeds = args.seeds if args.seeds is not None else _DEFAULT_SEEDS
+        configs = [
+            c.with_(seed=s)
+            for c in configs
+            for s in spawn_seeds(c.seed, n_seeds)
+        ]
+    if not args.quiet:
+        print(f"sweep: {len(configs)} configs")
+    return _run_and_report(configs, args)
+
+
+def cmd_ls(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    records = store.records()
+    if args.limit:
+        records = records[-args.limit :]
+    if not records:
+        print(f"(store {store.root} is empty)")
+        return 0
+    for rec in records:
+        cfg = revive_floats(rec.config) if rec.config else {}
+        mix = cfg.get("mix") or {}
+        mix_str = (
+            f"{mix.get('rational', '?')}/{mix.get('altruistic', '?')}"
+            f"/{mix.get('irrational', '?')}"
+        )
+        metrics = "  ".join(
+            f"{m}={rec.summary.get(m, float('nan')):.3f}"
+            for m in (args.metric or _DEFAULT_METRICS)
+            if m in rec.summary
+        )
+        print(
+            f"{short_hash(rec.config_hash)}  scheme={cfg.get('scheme', '?'):<10} "
+            f"n={cfg.get('n_agents', '?'):<4} mix={mix_str:<14} "
+            f"seed={cfg.get('seed', '?'):<11} {metrics}  "
+            f"({rec.wall_time_s:.2f}s)"
+        )
+    print(f"{len(records)} runs in {store.root}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    metrics = tuple(args.metric or _DEFAULT_METRICS)
+    where = (
+        _single_overrides(_parse_set(args.where, allow_dotted=True))
+        if args.where
+        else {}
+    )
+    records = store.query(**where) if where else store.records()
+    print(render_stored_table(aggregate_stored_runs(records, metrics), metrics))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_store_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=Path("runstore"),
+        help="run-store directory (default: ./runstore)",
+    )
+
+
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    _add_store_arg(p)
+    p.add_argument("--no-store", action="store_true", help="do not cache results")
+    p.add_argument("--fast", action="store_true", help="reduced horizon")
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="seeds per grid point (default 3; exclusive with --set seed=...)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="process",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VAL[,VAL...]",
+        help="config override (repeatable); multi-value only for 'sweep'",
+    )
+    p.add_argument("--metric", action="append", help="summary metric(s) to report")
+    p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-addressed experiment store and scenario runner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scenarios", help="list registered scenario packs")
+    p.add_argument("--tag", help="only packs carrying this tag")
+    p.set_defaults(func=cmd_scenarios)
+
+    p = sub.add_parser("run", help="run a named scenario pack (cached)")
+    p.add_argument("scenario", help="registered scenario name (see 'scenarios')")
+    _add_exec_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="run an ad-hoc --set grid (cached)")
+    _add_exec_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("ls", help="list stored runs (no simulation)")
+    _add_store_arg(p)
+    p.add_argument("--limit", type=int, default=None, help="show only the last N")
+    p.add_argument("--metric", action="append", help="summary metric(s) to show")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("report", help="aggregate stored runs (no simulation)")
+    _add_store_arg(p)
+    p.add_argument("--metric", action="append", help="summary metric(s) to report")
+    p.add_argument(
+        "--where",
+        action="append",
+        metavar="KEY=VAL",
+        help="filter by config field (dotted paths reach nested fields)",
+    )
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""Scenario registry: named, discoverable grid-expansion functions.
+
+A *scenario pack* maps a name like ``"churn/whitewash"`` to a function
+that expands into a flat list of :class:`SimulationConfig` — the unit the
+sweep runner, the run store and the ``repro`` CLI all speak.  Packs cover
+the paper's simulation-backed figures (so ``repro run paper/fig3``
+regenerates the Figure 3 grid) plus the incentive-design grids the figure
+modules cannot express: churn storms, whitewashing pressure, sparse
+overlays, heterogeneous capacity and scheme shootouts.
+
+Every builder takes ``(fast, n_seeds, **params)`` and the pack applies an
+optional ``overrides`` dict (``SimulationConfig.with_`` keywords) to each
+expanded config — that is how tests and the CLI shrink any pack to a
+smoke-test horizon without the pack having to anticipate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..agents.population import PopulationMix
+from ..sim.config import SimulationConfig
+from ..sim.rng import spawn_seeds
+from ..sim.scenarios import base_config, fig3_configs, fig6_configs, mixture_configs
+
+__all__ = [
+    "ScenarioPack",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "expand_scenario",
+]
+
+#: Root seed scenario packs derive per-run seeds from (kept distinct from
+#: the experiment modules' root so stored grids never collide with them).
+REGISTRY_ROOT_SEED = 20080414
+
+_REGISTRY: dict[str, "ScenarioPack"] = {}
+
+
+def _seeds(n_seeds: int) -> list[int]:
+    if n_seeds < 1:
+        raise ValueError("n_seeds must be >= 1")
+    return spawn_seeds(REGISTRY_ROOT_SEED, n_seeds)
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """A named grid of configs, expandable on demand."""
+
+    name: str
+    description: str
+    build: Callable[..., list[SimulationConfig]]
+    tags: tuple[str, ...] = ()
+    default_params: dict[str, Any] = field(default_factory=dict)
+
+    def expand(
+        self,
+        fast: bool = False,
+        n_seeds: int = 3,
+        overrides: dict[str, Any] | None = None,
+        **params: Any,
+    ) -> list[SimulationConfig]:
+        """The pack's configs; ``overrides`` patches every config last."""
+        merged = dict(self.default_params)
+        merged.update(params)
+        configs = list(self.build(fast=fast, n_seeds=n_seeds, **merged))
+        if overrides:
+            configs = [c.with_(**overrides) for c in configs]
+        return configs
+
+
+def register_scenario(
+    name: str, description: str, tags: tuple[str, ...] = (), **default_params: Any
+):
+    """Decorator registering a grid-expansion function under ``name``."""
+
+    def decorate(fn: Callable[..., list[SimulationConfig]]):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioPack(
+            name=name,
+            description=description,
+            build=fn,
+            tags=tuple(tags),
+            default_params=dict(default_params),
+        )
+        return fn
+
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioPack:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def scenario_names(tag: str | None = None) -> list[str]:
+    if tag is None:
+        return sorted(_REGISTRY)
+    return sorted(n for n, p in _REGISTRY.items() if tag in p.tags)
+
+
+def iter_scenarios() -> list[ScenarioPack]:
+    return [_REGISTRY[n] for n in sorted(_REGISTRY)]
+
+
+def expand_scenario(name: str, **kwargs: Any) -> list[SimulationConfig]:
+    return get_scenario(name).expand(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Paper figure packs (the simulation-backed figures; Figures 1/2 are
+# analytic curves with no grid to store)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "paper/fig3",
+    "Figure 3 grid: all-rational population, incentives on vs off.",
+    tags=("paper",),
+)
+def _paper_fig3(fast: bool, n_seeds: int, **_: Any) -> list[SimulationConfig]:
+    with_inc, without = fig3_configs(_seeds(n_seeds), fast=fast)
+    return with_inc + without
+
+
+@register_scenario(
+    "paper/fig4",
+    "Figure 4/5 mixture grid: altruistic and irrational share 10-90%.",
+    tags=("paper",),
+)
+def _paper_fig4(
+    fast: bool,
+    n_seeds: int,
+    percentages: list[int] | None = None,
+    **_: Any,
+) -> list[SimulationConfig]:
+    seeds = _seeds(n_seeds)
+    out: list[SimulationConfig] = []
+    for vary in ("altruistic", "irrational"):
+        for _pct, cfgs in mixture_configs(vary, seeds, fast=fast, percentages=percentages):
+            out.extend(cfgs)
+    return out
+
+
+@register_scenario(
+    "paper/fig6",
+    "Figure 6 grid: rational share 10-100%, the rest split half/half.",
+    tags=("paper",),
+)
+def _paper_fig6(
+    fast: bool,
+    n_seeds: int,
+    percentages: list[int] | None = None,
+    **_: Any,
+) -> list[SimulationConfig]:
+    out: list[SimulationConfig] = []
+    for _pct, cfgs in fig6_configs(_seeds(n_seeds), fast=fast, percentages=percentages):
+        out.extend(cfgs)
+    return out
+
+
+@register_scenario(
+    "paper/fig7",
+    "Figure 7 grid: majority following, altruistic then irrational varied.",
+    tags=("paper",),
+)
+def _paper_fig7(
+    fast: bool,
+    n_seeds: int,
+    percentages: list[int] | None = None,
+    **_: Any,
+) -> list[SimulationConfig]:
+    seeds = _seeds(n_seeds)
+    out: list[SimulationConfig] = []
+    for vary in ("altruistic", "irrational"):
+        for _pct, cfgs in mixture_configs(vary, seeds, fast=fast, percentages=percentages):
+            out.extend(cfgs)
+    return out
+
+
+# ----------------------------------------------------------------------
+# New grids beyond the paper figures
+# ----------------------------------------------------------------------
+@register_scenario(
+    "churn/storm",
+    "Symmetric join/leave churn storms under the reputation scheme.",
+    tags=("churn",),
+)
+def _churn_storm(
+    fast: bool,
+    n_seeds: int,
+    rates: tuple[float, ...] = (0.0, 0.002, 0.01, 0.05),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(leave_rate=r, join_rate=r, seed=s)
+        for r in rates
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "churn/whitewash",
+    "Whitewashing pressure: identity-reset rates across incentive schemes.",
+    tags=("churn", "schemes"),
+)
+def _churn_whitewash(
+    fast: bool,
+    n_seeds: int,
+    rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    schemes: tuple[str, ...] = ("reputation", "tft", "karma"),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(scheme=scheme, whitewash_rate=r, seed=s)
+        for scheme in schemes
+        for r in rates
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "overlay/sparse",
+    "Sparse/clustered overlays: random, small-world and scale-free graphs.",
+    tags=("overlay",),
+)
+def _overlay_sparse(
+    fast: bool,
+    n_seeds: int,
+    kinds: tuple[str, ...] = ("random", "smallworld", "scalefree"),
+    degrees: tuple[int, ...] = (4, 8),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(overlay_kind=kind, overlay_degree=deg, seed=s)
+        for kind in kinds
+        for deg in degrees
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "capacity/heterogeneous",
+    "Heterogeneous upload capacity: log-normal sigma sweep (0 = paper).",
+    tags=("capacity",),
+)
+def _capacity_heterogeneous(
+    fast: bool,
+    n_seeds: int,
+    sigmas: tuple[float, ...] = (0.0, 0.5, 1.0),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(capacity_sigma=sig, seed=s)
+        for sig in sigmas
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "schemes/shootout",
+    "Karma vs tit-for-tat vs reputation vs none, pure and mixed populations.",
+    tags=("schemes",),
+)
+def _schemes_shootout(
+    fast: bool,
+    n_seeds: int,
+    schemes: tuple[str, ...] = ("none", "tft", "karma", "reputation"),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    mixes = (
+        PopulationMix(rational=1.0, altruistic=0.0, irrational=0.0),
+        PopulationMix(rational=0.7, altruistic=0.15, irrational=0.15),
+    )
+    return [
+        base.with_(scheme=scheme, mix=mix, seed=s)
+        for scheme in schemes
+        for mix in mixes
+        for s in _seeds(n_seeds)
+    ]

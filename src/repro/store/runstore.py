@@ -1,0 +1,331 @@
+"""On-disk, content-addressed store of finished simulation runs.
+
+Layout under the store root::
+
+    index.jsonl        one slim record per stored run (append-only)
+    runs/<hash>.json   full payload: record + canonical config dict
+
+The index is the fast path — it is loaded once at open and answers
+``contains``/``get`` without touching payload files.  Payloads carry the
+canonical config dict so ``repro ls`` / ``repro report`` can render runs
+without re-hydrating a :class:`SimulationConfig`.
+
+Durability model (pure stdlib, no locking daemon):
+
+* ``put`` writes the payload to a temp file and ``os.replace``s it into
+  place, then appends one index line — a crash between the two leaves an
+  *orphan* payload which the next open adopts back into the index;
+* loading tolerates corruption: malformed JSON lines, records with a
+  foreign schema version and index entries whose payload vanished are
+  skipped, never fatal.  A sweep interrupted by SIGKILL therefore resumes
+  from exactly the set of runs whose payloads hit the disk.
+
+Only summary statistics are persisted; per-step event logs
+(``SimulationResult.events``) are diagnostics and are dropped on ``put``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..sim.config import SimulationConfig
+from ..sim.engine import SimulationResult
+from .hashing import canonical_config_dict, config_hash
+
+__all__ = ["STORE_SCHEMA_VERSION", "StoredRun", "RunStore"]
+
+#: Version of the on-disk record layout (independent of the config-hash
+#: schema version; both are embedded in every record).
+STORE_SCHEMA_VERSION = 1
+
+_INDEX_NAME = "index.jsonl"
+_RUNS_DIR = "runs"
+_INDEX_FIELDS = (
+    "config_hash",
+    "schema_version",
+    "summary",
+    "training_summary",
+    "wall_time_s",
+    "extras",
+)
+
+
+@dataclass
+class StoredRun:
+    """One persisted run: everything needed to skip re-executing it."""
+
+    config_hash: str
+    summary: dict[str, float]
+    training_summary: dict[str, float]
+    wall_time_s: float
+    extras: dict[str, float] = field(default_factory=dict)
+    schema_version: int = STORE_SCHEMA_VERSION
+    #: Canonical config dict (present on payload-backed records only).
+    config: dict[str, Any] | None = None
+    created_at: float | None = None
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "StoredRun":
+        return cls(
+            config_hash=config_hash(result.config),
+            summary=dict(result.summary),
+            training_summary=dict(result.training_summary),
+            wall_time_s=float(result.wall_time_s),
+            extras=dict(result.extras),
+            config=canonical_config_dict(result.config),
+            created_at=time.time(),
+        )
+
+    @classmethod
+    def from_record(cls, record: Any) -> "StoredRun | None":
+        """Validate a parsed JSON record; ``None`` if it is unusable."""
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema_version") != STORE_SCHEMA_VERSION:
+            return None
+        if not isinstance(record.get("config_hash"), str):
+            return None
+        if not all(k in record for k in _INDEX_FIELDS):
+            return None
+        if not isinstance(record["summary"], dict):
+            return None
+        if not isinstance(record["training_summary"], dict):
+            return None
+        if not isinstance(record.get("extras") or {}, dict):
+            return None
+        try:
+            return cls(
+                config_hash=record["config_hash"],
+                summary=record["summary"],
+                training_summary=record["training_summary"],
+                wall_time_s=float(record["wall_time_s"]),
+                extras=record.get("extras") or {},
+                schema_version=int(record["schema_version"]),
+                config=record.get("config"),
+                created_at=record.get("created_at"),
+            )
+        except (TypeError, ValueError):
+            return None
+
+    def index_record(self) -> dict[str, Any]:
+        return {k: getattr(self, k) for k in _INDEX_FIELDS}
+
+    def payload_record(self) -> dict[str, Any]:
+        rec = self.index_record()
+        rec["config"] = self.config
+        rec["created_at"] = self.created_at
+        return rec
+
+    def to_result(self, config: SimulationConfig) -> SimulationResult:
+        """Re-materialize a :class:`SimulationResult` for the given config
+        (events are never persisted, so they come back as ``None``)."""
+        return SimulationResult(
+            config=config,
+            summary=dict(self.summary),
+            training_summary=dict(self.training_summary),
+            wall_time_s=self.wall_time_s,
+            events=None,
+            extras=dict(self.extras),
+        )
+
+
+class RunStore:
+    """Content-addressed store of :class:`SimulationResult` summaries.
+
+    ``hits``/``misses`` count ``get`` outcomes since the store was opened;
+    the experiment runner prints them per experiment.
+    """
+
+    def __init__(self, root: str | Path, recover_orphans: bool = True):
+        self.root = Path(root)
+        self.runs_dir = self.root / _RUNS_DIR
+        self.index_path = self.root / _INDEX_NAME
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self._records: dict[str, StoredRun] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load_index()
+        if recover_orphans:
+            self._recover_orphans()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        if not self.index_path.exists():
+            return
+        with self.index_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    parsed = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write / corruption: skip, never fatal
+                rec = StoredRun.from_record(parsed)
+                if rec is not None:
+                    self._records[rec.config_hash] = rec  # last write wins
+
+    def _recover_orphans(self) -> None:
+        """Adopt payload files whose index line never made it to disk."""
+        for path in sorted(self.runs_dir.glob("*.json")):
+            h = path.stem
+            if h in self._records:
+                continue
+            rec = self._read_payload(h)
+            if rec is not None:
+                self._records[h] = rec
+                self._append_index(rec)
+
+    def _read_payload(self, config_hash_: str) -> StoredRun | None:
+        path = self.runs_dir / f"{config_hash_}.json"
+        try:
+            parsed = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        rec = StoredRun.from_record(parsed)
+        if rec is None or rec.config_hash != config_hash_:
+            return None
+        return rec
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append_index(self, rec: StoredRun) -> None:
+        with self.index_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec.index_record()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def put(self, result: SimulationResult, allow_partial: bool = False) -> str:
+        """Persist one finished run; returns its config hash.
+
+        Re-putting an already stored hash overwrites the payload and
+        appends a superseding index line (loading keeps the last record
+        per hash).  Event-collecting runs are not
+        stored (see :meth:`get`); putting one raises to keep cache
+        contents and cache keys consistent.  Results carrying the
+        ``manual_summary`` provenance marker (from
+        :meth:`~repro.sim.engine.CollaborationSimulation.summarize`,
+        i.e. manually driven phases rather than the canonical ``run()``
+        protocol) are refused unless ``allow_partial=True`` — the caller
+        thereby vouches that the summary stands in for a full run of its
+        config; the marker stays visible in the stored extras.
+        """
+        if result.config.collect_events:
+            raise ValueError(
+                "refusing to store a collect_events run: event logs are "
+                "not persisted, so serving it from cache would change "
+                "results"
+            )
+        if result.extras.get("manual_summary") and not allow_partial:
+            raise ValueError(
+                "refusing to store a manually summarized run under its "
+                "config hash: it would be served as if produced by the "
+                "canonical run() protocol; pass allow_partial=True to "
+                "store it anyway"
+            )
+        rec = StoredRun.from_result(result)
+        payload = json.dumps(rec.payload_record())
+        final = self.runs_dir / f"{rec.config_hash}.json"
+        tmp = self.runs_dir / f".{rec.config_hash}.tmp"
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, final)
+        # Always append, even for an overwrite: the index is an append-only
+        # log and loading takes the last record per hash, so a reopened
+        # store agrees with the payload instead of serving the stale line.
+        self._append_index(rec)
+        self._records[rec.config_hash] = rec
+        return rec.config_hash
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def contains(self, config: SimulationConfig) -> bool:
+        return config_hash(config) in self._records
+
+    __contains__ = contains
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, config: SimulationConfig) -> SimulationResult | None:
+        """Cached result for ``config``, or ``None`` (counted as a miss).
+
+        Configs with ``collect_events=True`` are never served from cache:
+        the store persists summaries only, so a cached answer would drop
+        the event log the caller explicitly asked for.
+        """
+        if config.collect_events:
+            self.misses += 1
+            return None
+        rec = self._records.get(config_hash(config))
+        if rec is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rec.to_result(config)
+
+    def get_record(self, config_hash_: str) -> StoredRun | None:
+        """Payload-backed record (with config dict) for one hash."""
+        rec = self._records.get(config_hash_)
+        if rec is None:
+            return None
+        if rec.config is not None:
+            return rec
+        full = self._read_payload(config_hash_)
+        if full is not None:
+            self._records[config_hash_] = full
+            return full
+        return rec  # index-only record: payload lost, summary still usable
+
+    def records(self) -> list[StoredRun]:
+        """All stored runs, payload-backed where possible, oldest first."""
+        out = [self.get_record(h) for h in self._records]
+        recs = [r for r in out if r is not None]
+        recs.sort(key=lambda r: (r.created_at or 0.0, r.config_hash))
+        return recs
+
+    def query(self, **filters: Any) -> list[StoredRun]:
+        """Stored runs whose config matches every filter.
+
+        Keys are config field names; dotted paths reach nested dataclass
+        fields (``mix.rational``).  Records without a config payload never
+        match.
+        """
+        canon_filters = {k: _canon_scalar(v) for k, v in filters.items()}
+
+        def matches(rec: StoredRun) -> bool:
+            if rec.config is None:
+                return False
+            for dotted, want in canon_filters.items():
+                node: Any = rec.config
+                for part in dotted.split("."):
+                    if not isinstance(node, dict) or part not in node:
+                        return False
+                    node = node[part]
+                if node != want:
+                    return False
+            return True
+
+        return [r for r in self.records() if matches(r)]
+
+    def iter_hashes(self) -> Iterator[str]:
+        return iter(self._records)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"stored": len(self._records), "hits": self.hits, "misses": self.misses}
+
+
+def _canon_scalar(value: Any) -> Any:
+    """Apply the float sentinel encoding to a query scalar."""
+    from .hashing import _canonical  # same rules as config canonicalization
+
+    return _canonical(value)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.runner import EXPERIMENTS, PAPER_FIGURES, build_parser, main
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    EXTRA_EXPERIMENTS,
+    PAPER_FIGURES,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -24,6 +30,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_extras_are_registered_experiments(self):
+        for name in EXTRA_EXPERIMENTS:
+            assert name in EXPERIMENTS
+            assert name not in PAPER_FIGURES
+
+    def test_parser_store_and_extras(self):
+        args = build_parser().parse_args(["all", "--extras", "--store", "cache"])
+        assert args.extras
+        assert str(args.store) == "cache"
+        assert build_parser().parse_args(["fig1"]).store is None
+
 
 class TestMain:
     def test_fig1_end_to_end(self, tmp_path, capsys):
@@ -39,3 +56,23 @@ class TestMain:
         assert rc == 0
         assert (tmp_path / "fig2_T2.csv").exists()
         assert (tmp_path / "fig2_T1000.csv").exists()
+
+
+class TestStoreIntegration:
+    def test_store_line_printed_and_ambient_reset(self, tmp_path, capsys):
+        from repro.sim.sweep import get_default_store
+
+        rc = main(
+            [
+                "fig1",
+                "--fast",
+                "--out",
+                str(tmp_path / "out"),
+                "--store",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[fig1] cache:" in out  # fig1 is analytic: 0 hits / 0 misses
+        assert get_default_store() is None  # ambient store uninstalled after main

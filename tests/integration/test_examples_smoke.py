@@ -31,6 +31,12 @@ class TestFastExamples:
         assert "EigenTrust" in out
         assert "Max-flow" in out
 
+    def test_experiment_store(self, capsys):
+        out = run_example("experiment_store.py", capsys)
+        assert "first sweep" in out
+        assert "'hits': 0" in out.split("second sweep")[0]
+        assert "'misses': 0" in out.split("second sweep")[1]
+
     def test_examples_have_docstrings_and_main(self):
         for path in EXAMPLES.glob("*.py"):
             text = path.read_text()

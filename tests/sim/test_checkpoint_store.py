@@ -1,0 +1,126 @@
+"""Checkpoint <-> experiment store interplay.
+
+A checkpoint persists *learned* state (Q-matrices, ledgers) mid-run; the
+run store persists *finished* summaries keyed by config hash.  The
+train-once / evaluate-many workflow uses both: restore a trained sim,
+evaluate it under several service configurations, and store each
+evaluation — which must then be cache hits on the next sweep.
+"""
+
+import numpy as np
+import pytest
+
+import repro.sim.sweep as sweep_mod
+from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import CollaborationSimulation
+from repro.sim.sweep import run_sweep
+from repro.store.runstore import RunStore
+
+
+def make_config(seed=9, **kw):
+    base = dict(
+        n_agents=20, n_articles=5, training_steps=60, eval_steps=30, seed=seed
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def make_sim(seed=9, **kw):
+    return CollaborationSimulation(make_config(seed=seed, **kw))
+
+
+class TestCheckpointStoreRoundTrip:
+    def test_save_restore_resumed_sweep(self, tmp_path, monkeypatch):
+        # 1. Train once, checkpoint the learned state.
+        sim = make_sim()
+        for _ in range(sim.config.training_steps):
+            sim.step(float("inf"))
+        ckpt = save_checkpoint(sim, tmp_path / "trained.npz")
+
+        # 2. Restore into a fresh sim, finish evaluation, store the result.
+        restored = make_sim()
+        load_checkpoint(restored, ckpt)
+        assert np.array_equal(restored.sharing_learner.q, sim.sharing_learner.q)
+        restored.scheme.reset_reputations()
+        for _ in range(restored.config.eval_steps):
+            restored.step(1.0)
+        result = restored.summarize()
+
+        store = RunStore(tmp_path / "store")
+        # A manually summarized result needs an explicit vouch: under its
+        # config hash it stands in for a full run() of that config.
+        with pytest.raises(ValueError, match="manually summarized"):
+            store.put(result)
+        store.put(result, allow_partial=True)
+
+        # 3. A sweep over [restored config + a new config] resumes: only
+        # the config absent from the store executes.
+        calls = []
+        original = sweep_mod._worker
+
+        def counted(config):
+            calls.append(config)
+            return original(config)
+
+        monkeypatch.setattr(sweep_mod, "_worker", counted)
+        new_cfg = make_config(seed=10)
+        results = run_sweep(
+            [restored.config, new_cfg],
+            backend="serial",
+            store=RunStore(tmp_path / "store"),
+        )
+        assert [c.seed for c in calls] == [10]
+        assert [r.config.seed for r in results] == [9, 10]
+
+    def test_checkpointed_eval_is_storable(self, tmp_path):
+        sim = make_sim()
+        for _ in range(30):
+            sim.step(float("inf"))
+        ckpt = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_sim()
+        load_checkpoint(fresh, ckpt)
+        fresh.step(1.0)
+        result = fresh.summarize()
+        assert result.extras["manual_summary"] == 1.0  # provenance marker
+        store = RunStore(tmp_path / "store")
+        store.put(result, allow_partial=True)
+        assert store.contains(fresh.config)
+
+
+class TestCheckpointErrorPaths:
+    def test_version_mismatch_rejected(self, tmp_path):
+        sim = make_sim()
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.int64(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_checkpoint(make_sim(), path)
+
+    def test_q_shape_mismatch_rejected(self, tmp_path):
+        # Same population/types (same seed & mix) but different state
+        # discretization: Q-matrix shapes disagree.
+        sim = make_sim(n_states=10)
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        other = make_sim(n_states=5)
+        with pytest.raises(ValueError, match="Q-matrix shape mismatch"):
+            load_checkpoint(other, path)
+
+    def test_rational_count_mismatch_rejected(self, tmp_path):
+        from repro.agents.population import PopulationMix
+
+        sim = make_sim()
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        other = make_sim(mix=PopulationMix(0.5, 0.25, 0.25))
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_truncated_checkpoint_rejected(self, tmp_path):
+        sim = make_sim()
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            load_checkpoint(make_sim(), path)

@@ -1,0 +1,193 @@
+"""Tests for the unified ``repro`` CLI."""
+
+import pytest
+
+import repro.sim.sweep as sweep_mod
+from repro.store.cli import build_parser, main
+from repro.store.runstore import RunStore
+
+#: CLI overrides shrinking any scenario to a smoke-test horizon.
+TINY_SETS = [
+    "--set", "n_agents=20",
+    "--set", "n_articles=5",
+    "--set", "training_steps=30",
+    "--set", "eval_steps=20",
+]
+
+
+def run_tiny(store_dir, scenario="capacity/heterogeneous", extra=()):
+    return main(
+        [
+            "run", scenario,
+            "--fast", "--seeds", "1",
+            "--backend", "serial",
+            "--store", str(store_dir),
+            *TINY_SETS,
+            *extra,
+        ]
+    )
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["scenarios"],
+            ["run", "paper/fig3"],
+            ["sweep"],
+            ["ls"],
+            ["report"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_set_field(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--set", "no_such_field=1", "--store", str(tmp_path)])
+
+    def test_bad_set_syntax(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--set", "n_agents", "--store", str(tmp_path)])
+
+    def test_structured_fields_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--set", "mix=1", "--store", str(tmp_path)])
+
+    def test_special_float_values_parse(self):
+        from repro.store.cli import _parse_value
+
+        assert _parse_value("inf") == float("inf")
+        assert _parse_value("-inf") == float("-inf")
+        assert _parse_value("NaN") != _parse_value("NaN")  # genuine nan
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("karma") == "karma"
+
+    def test_where_rejects_non_leaf_structured_field(self, tmp_path):
+        with pytest.raises(SystemExit, match="structured field"):
+            main(["report", "--store", str(tmp_path), "--where", "mix=0.5"])
+
+    def test_seeds_and_seed_axis_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "sweep",
+                    "--seeds", "5",
+                    "--set", "seed=1,2",
+                    "--store", str(tmp_path),
+                ]
+            )
+
+
+class TestScenarios:
+    def test_lists_packs(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "paper/fig3" in out
+        assert "schemes/shootout" in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["scenarios", "--tag", "churn"]) == 0
+        out = capsys.readouterr().out
+        assert "churn/storm" in out
+        assert "paper/fig3" not in out
+
+
+class TestRun:
+    def test_run_populates_store(self, tmp_path, capsys):
+        assert run_tiny(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "0 hits / 3 misses" in out
+        assert len(RunStore(tmp_path)) == 3
+
+    def test_second_run_all_cache_hits(self, tmp_path, capsys, monkeypatch):
+        run_tiny(tmp_path)
+        capsys.readouterr()
+        monkeypatch.setattr(
+            sweep_mod, "_worker", _raise_worker, raising=True
+        )  # any execution would blow up
+        assert run_tiny(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "3 hits / 0 misses" in out
+
+    def test_unknown_scenario_clean_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["run", "no/such", "--store", str(tmp_path)])
+
+    def test_no_store_flag(self, tmp_path, capsys):
+        assert run_tiny(tmp_path, extra=("--no-store",)) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+        assert len(RunStore(tmp_path)) == 0
+
+
+class TestSweep:
+    def test_grid_expansion(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--seeds", "1",
+                "--backend", "serial",
+                "--store", str(tmp_path),
+                "--quiet",
+                *TINY_SETS,
+                "--set", "scheme=karma,tft",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheme=karma" in out
+        assert "scheme=tft" in out
+        assert len(RunStore(tmp_path)) == 2
+
+
+class TestLsReport:
+    """`ls` and `report` must render without executing any simulation."""
+
+    @pytest.fixture()
+    def populated(self, tmp_path, capsys):
+        run_tiny(tmp_path)
+        capsys.readouterr()
+        return tmp_path
+
+    def test_ls_renders_runs(self, populated, capsys, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_worker", _raise_worker)
+        monkeypatch.setattr("repro.sim.engine.run_simulation", _raise_worker)
+        assert main(["ls", "--store", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "3 runs" in out
+        assert "shared_files=" in out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert main(["ls", "--store", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_report_aggregates(self, populated, capsys, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_worker", _raise_worker)
+        monkeypatch.setattr("repro.sim.engine.run_simulation", _raise_worker)
+        assert main(["report", "--store", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "capacity_sigma" in out
+        assert "shared_files" in out
+
+    def test_report_where_filter(self, populated, capsys):
+        rc = main(
+            ["report", "--store", str(populated), "--where", "capacity_sigma=0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "base" in out  # single group left after filtering
+
+    def test_report_custom_metric(self, populated, capsys):
+        rc = main(
+            ["report", "--store", str(populated), "--metric", "utility_sharing"]
+        )
+        assert rc == 0
+        assert "utility_sharing" in capsys.readouterr().out
+
+
+def _raise_worker(*args, **kwargs):  # pragma: no cover - must never run
+    raise AssertionError("a simulation executed where none was allowed")

@@ -1,0 +1,101 @@
+"""Tests for the scenario registry (paper packs + new grids)."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_simulation
+from repro.store.registry import (
+    ScenarioPack,
+    expand_scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+#: Shrinks any pack's configs to a smoke-test horizon.
+TINY = dict(n_agents=20, n_articles=5, training_steps=30, eval_steps=20)
+
+NEW_PACKS = (
+    "churn/storm",
+    "churn/whitewash",
+    "overlay/sparse",
+    "capacity/heterogeneous",
+    "schemes/shootout",
+)
+
+
+class TestRegistryBasics:
+    def test_paper_packs_registered(self):
+        names = scenario_names()
+        for name in ("paper/fig3", "paper/fig4", "paper/fig6", "paper/fig7"):
+            assert name in names
+
+    def test_new_packs_registered(self):
+        names = scenario_names()
+        for name in NEW_PACKS:
+            assert name in names
+        non_paper = [n for n in names if not n.startswith("paper/")]
+        assert len(non_paper) >= 3
+
+    def test_tag_filter(self):
+        churn = scenario_names(tag="churn")
+        assert "churn/storm" in churn
+        assert "paper/fig3" not in churn
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no/such/pack")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("churn/storm", "dup")(lambda fast, n_seeds: [])
+
+    def test_iter_scenarios_sorted_packs(self):
+        packs = iter_scenarios()
+        assert all(isinstance(p, ScenarioPack) for p in packs)
+        assert [p.name for p in packs] == sorted(p.name for p in packs)
+        assert all(p.description for p in packs)
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("name", NEW_PACKS + ("paper/fig3", "paper/fig6"))
+    def test_expands_to_valid_configs(self, name):
+        configs = expand_scenario(name, fast=True, n_seeds=2, overrides=TINY)
+        assert len(configs) >= 2
+        assert all(isinstance(c, SimulationConfig) for c in configs)
+        # Overrides applied to every config; grid points are distinct.
+        assert all(c.n_agents == 20 for c in configs)
+        assert len(set(configs)) == len(configs)
+
+    def test_n_seeds_scales_grid(self):
+        one = expand_scenario("capacity/heterogeneous", n_seeds=1)
+        two = expand_scenario("capacity/heterogeneous", n_seeds=2)
+        assert len(two) == 2 * len(one)
+
+    def test_seeds_deterministic(self):
+        a = expand_scenario("churn/storm", n_seeds=3)
+        b = expand_scenario("churn/storm", n_seeds=3)
+        assert a == b
+
+    def test_builder_params_forwarded(self):
+        configs = expand_scenario(
+            "schemes/shootout", n_seeds=1, schemes=("karma",), overrides=TINY
+        )
+        assert {c.scheme for c in configs} == {"karma"}
+
+    def test_invalid_n_seeds(self):
+        with pytest.raises(ValueError):
+            expand_scenario("churn/storm", n_seeds=0)
+
+
+class TestSmokeRuns:
+    """Each new pack's first grid point must actually simulate."""
+
+    @pytest.mark.parametrize("name", NEW_PACKS)
+    def test_new_pack_first_config_runs(self, name):
+        configs = expand_scenario(name, fast=True, n_seeds=1, overrides=TINY)
+        # Pick a non-default grid point (the last one) to exercise the
+        # dimension the pack varies, not just the base config.
+        result = run_simulation(configs[-1])
+        assert 0.0 <= result.summary["shared_files"] <= 1.0

@@ -1,0 +1,189 @@
+"""Tests for the on-disk run store."""
+
+import json
+
+import pytest
+
+from tests.conftest import assert_summaries_equal
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_simulation
+from repro.store.hashing import config_hash
+from repro.store.runstore import STORE_SCHEMA_VERSION, RunStore, StoredRun
+
+
+def tiny(seed=0, **kw):
+    return SimulationConfig(
+        n_agents=20, n_articles=5, training_steps=40, eval_steps=30, seed=seed, **kw
+    )
+
+
+class TestPutGet:
+    def test_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        result = run_simulation(tiny(seed=3))
+        h = store.put(result)
+        assert h == config_hash(tiny(seed=3))
+        cached = store.get(tiny(seed=3))
+        assert cached is not None
+        assert_summaries_equal(cached.summary, result.summary)
+        assert_summaries_equal(cached.training_summary, result.training_summary)
+        assert cached.extras == result.extras
+        assert cached.wall_time_s == result.wall_time_s
+        assert cached.events is None
+        assert cached.config == tiny(seed=3)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.get(tiny()) is None
+        assert not store.contains(tiny())
+        assert tiny() not in store
+
+    def test_contains_and_len(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        assert store.contains(tiny(seed=1))
+        assert tiny(seed=1) in store
+        assert not store.contains(tiny(seed=2))
+        assert len(store) == 1
+
+    def test_hit_miss_counters(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        store.get(tiny(seed=1))
+        store.get(tiny(seed=2))
+        assert store.stats == {"stored": 1, "hits": 1, "misses": 1}
+
+    def test_reput_last_write_wins_after_reopen(self, tmp_path):
+        store = RunStore(tmp_path)
+        result = run_simulation(tiny(seed=1))
+        store.put(result)
+        changed = run_simulation(tiny(seed=1))
+        changed.summary = dict(changed.summary)
+        changed.summary["shared_files"] = 0.123456
+        store.put(changed)
+        assert len(store) == 1
+        # A reopened store must agree with the latest put (index and
+        # payload stay consistent), not serve the stale first line.
+        reopened = RunStore(tmp_path)
+        cached = reopened.get(tiny(seed=1))
+        assert cached is not None
+        assert cached.summary["shared_files"] == 0.123456
+        assert reopened.records()[0].summary["shared_files"] == 0.123456
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        RunStore(tmp_path).put(run_simulation(tiny(seed=5)))
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.contains(tiny(seed=5))
+
+    def test_index_layout(self, tmp_path):
+        store = RunStore(tmp_path)
+        h = store.put(run_simulation(tiny(seed=5)))
+        line = json.loads((tmp_path / "index.jsonl").read_text())
+        assert set(line) == {
+            "config_hash",
+            "schema_version",
+            "summary",
+            "training_summary",
+            "wall_time_s",
+            "extras",
+        }
+        assert line["config_hash"] == h
+        payload = json.loads((tmp_path / "runs" / f"{h}.json").read_text())
+        assert payload["config"]["seed"] == 5
+        assert payload["created_at"] is not None
+
+
+class TestCorruptionTolerance:
+    def test_garbage_index_lines_skipped(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        with (tmp_path / "index.jsonl").open("a") as fh:
+            fh.write("{torn json\n")
+            fh.write("\n")
+            fh.write('"not a dict"\n')
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 1
+
+    def test_foreign_schema_version_skipped(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        record = json.loads((tmp_path / "index.jsonl").read_text())
+        record["schema_version"] = STORE_SCHEMA_VERSION + 1
+        record["config_hash"] = "f" * 64
+        with (tmp_path / "index.jsonl").open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 1
+        assert "f" * 64 not in set(reopened.iter_hashes())
+
+    def test_orphan_payload_adopted(self, tmp_path):
+        # Simulates a crash between payload write and index append.
+        store = RunStore(tmp_path)
+        h = store.put(run_simulation(tiny(seed=1)))
+        (tmp_path / "index.jsonl").unlink()
+        reopened = RunStore(tmp_path)
+        assert reopened.contains(tiny(seed=1))
+        # The adopted record was re-indexed for the next open.
+        assert h in (tmp_path / "index.jsonl").read_text()
+
+    def test_invalid_training_summary_skipped(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        record = json.loads((tmp_path / "index.jsonl").read_text())
+        record["training_summary"] = None
+        record["config_hash"] = "e" * 64
+        with (tmp_path / "index.jsonl").open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 1  # corrupt record skipped, not fatal
+
+    def test_collect_events_run_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        result = run_simulation(tiny(seed=1, collect_events=True))
+        with pytest.raises(ValueError, match="collect_events"):
+            store.put(result)
+        assert store.get(tiny(seed=1, collect_events=True)) is None
+
+    def test_corrupt_payload_ignored_for_records(self, tmp_path):
+        store = RunStore(tmp_path)
+        h = store.put(run_simulation(tiny(seed=1)))
+        (tmp_path / "runs" / f"{h}.json").write_text("{nope")
+        reopened = RunStore(tmp_path)
+        # Index-only record still answers get(); records() falls back too.
+        assert reopened.get(tiny(seed=1)) is not None
+        assert len(reopened.records()) == 1
+
+
+class TestQueryRecords:
+    def test_query_by_field(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1, scheme="karma")))
+        store.put(run_simulation(tiny(seed=2, scheme="karma")))
+        store.put(run_simulation(tiny(seed=3, scheme="tft")))
+        assert len(store.query(scheme="karma")) == 2
+        assert len(store.query(scheme="karma", seed=1)) == 1
+        assert store.query(scheme="reputation") == []
+
+    def test_query_dotted_path(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        assert len(store.query(**{"mix.rational": 1.0})) == 1
+        assert store.query(**{"mix.rational": 0.5}) == []
+
+    def test_query_float_sentinels(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(run_simulation(tiny(seed=1)))
+        assert len(store.query(t_train=float("inf"))) == 1
+
+    def test_records_sorted_and_config_backed(self, tmp_path):
+        store = RunStore(tmp_path)
+        for seed in (3, 1, 2):
+            store.put(run_simulation(tiny(seed=seed)))
+        records = store.records()
+        assert len(records) == 3
+        assert [r.config["seed"] for r in records] == [3, 1, 2]  # insertion order
+        assert all(isinstance(r, StoredRun) for r in records)
