@@ -16,7 +16,6 @@ from repro.trust import (
     LocalTrustMatrix,
     eigentrust,
     max_flow_trust,
-    normalize_trust,
 )
 
 N_HONEST = 12

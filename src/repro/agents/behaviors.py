@@ -18,7 +18,7 @@ from ..network.peer import ALTRUISTIC, IRRATIONAL, RATIONAL
 from .actions import EditActionSpace, SharingActionSpace
 from .qlearning import VectorQLearner
 
-__all__ = ["BehaviorEngine"]
+__all__ = ["BehaviorEngine", "BatchedBehaviorEngine"]
 
 
 class BehaviorEngine:
@@ -94,6 +94,137 @@ class BehaviorEngine:
         ``actions`` and ``rewards`` are indexed by peer; states are already
         restricted to the rational subset.
         """
+        if not self.rational_idx.size:
+            return
+        self.sharing_learner.update(
+            states,
+            actions[self.rational_idx],
+            rewards[self.rational_idx],
+            next_states,
+        )
+
+    def learn_editing(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+    ) -> None:
+        if not self.rational_idx.size:
+            return
+        self.edit_learner.update(
+            states,
+            actions[self.rational_idx],
+            rewards[self.rational_idx],
+            next_states,
+        )
+
+
+class BatchedBehaviorEngine:
+    """Replicate-stacked behaviour engine over flat ``R * N`` peer slots.
+
+    One learner holds the Q-matrices of *all* replicates' rational peers
+    (stacked in replicate order), so action selection and TD updates are
+    single vectorized calls regardless of ``R``.  Randomness stays
+    per-replicate: each replicate's uniforms (or ``T = inf`` integers)
+    are drawn from that replicate's own generator, in the same order and
+    shapes a solo :class:`BehaviorEngine` run would draw them — which is
+    what makes a batched replicate reproduce its sequential twin seed for
+    seed.  ``R = 1`` with a single rng behaves exactly like
+    :class:`BehaviorEngine` (including the no-rational degenerate case,
+    which draws nothing).
+    """
+
+    def __init__(
+        self,
+        types: np.ndarray,
+        sharing_space: SharingActionSpace,
+        edit_space: EditActionSpace,
+        sharing_learner: VectorQLearner,
+        edit_learner: VectorQLearner,
+    ) -> None:
+        types = np.asarray(types, dtype=np.int8)
+        if types.ndim != 2:
+            raise ValueError("types must be (n_replicates, n_agents)")
+        self.n_replicates, self.n_agents = types.shape
+        self.types = types.reshape(-1)
+        self.n = self.types.size
+        self.sharing_space = sharing_space
+        self.edit_space = edit_space
+        self.rational_idx = np.flatnonzero(self.types == RATIONAL)
+        self.altruistic_idx = np.flatnonzero(self.types == ALTRUISTIC)
+        self.irrational_idx = np.flatnonzero(self.types == IRRATIONAL)
+        self.rational_counts = [
+            int((types[r] == RATIONAL).sum()) for r in range(self.n_replicates)
+        ]
+        n_rational = self.rational_idx.size
+        expected = max(n_rational, 1)
+        if sharing_learner.n_agents != expected:
+            raise ValueError("sharing learner must cover exactly the rational peers")
+        if edit_learner.n_agents != expected:
+            raise ValueError("edit learner must cover exactly the rational peers")
+        self.sharing_learner = sharing_learner
+        self.edit_learner = edit_learner
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_rngs(rngs) -> list:
+        """Normalize a single rng-like (Generator, BufferedRNG, ...) or a
+        per-replicate sequence of them into a list."""
+        return list(rngs) if isinstance(rngs, (list, tuple)) else [rngs]
+
+    def _select(
+        self, learner: VectorQLearner, states: np.ndarray, temperature: float, rngs
+    ) -> np.ndarray:
+        """Stacked rational action selection with per-replicate streams."""
+        rngs = self._as_rngs(rngs)
+        if np.isinf(temperature):
+            parts = [
+                rngs[r].integers(0, learner.n_actions, size=k)
+                for r, k in enumerate(self.rational_counts)
+                if k
+            ]
+            return np.concatenate(parts)
+        u = np.concatenate(
+            [
+                rngs[r].random((k, 1))
+                for r, k in enumerate(self.rational_counts)
+                if k
+            ]
+        )
+        return learner.select_actions(states, temperature, u=u)
+
+    def sharing_actions(self, states: np.ndarray, temperature: float, rngs):
+        """Per-slot sharing action indices; ``states`` covers the stacked
+        rational peers (ordered like ``rational_idx``)."""
+        actions = np.empty(self.n, dtype=np.int64)
+        actions[self.altruistic_idx] = self.sharing_space.max_action
+        actions[self.irrational_idx] = self.sharing_space.min_action
+        if self.rational_idx.size:
+            actions[self.rational_idx] = self._select(
+                self.sharing_learner, states, temperature, rngs
+            )
+        return actions
+
+    def edit_actions(self, states: np.ndarray, temperature: float, rngs):
+        """Per-slot edit/vote behaviour action indices (same contract)."""
+        actions = np.empty(self.n, dtype=np.int64)
+        actions[self.altruistic_idx] = self.edit_space.constructive_action
+        actions[self.irrational_idx] = self.edit_space.destructive_action
+        if self.rational_idx.size:
+            actions[self.rational_idx] = self._select(
+                self.edit_learner, states, temperature, rngs
+            )
+        return actions
+
+    # ------------------------------------------------------------------
+    def learn_sharing(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+    ) -> None:
         if not self.rational_idx.size:
             return
         self.sharing_learner.update(

@@ -45,12 +45,20 @@ def boltzmann_probabilities(q_values: np.ndarray, temperature: float) -> np.ndar
 
 
 def sample_categorical(
-    probabilities: np.ndarray, rng: np.random.Generator
+    probabilities: np.ndarray,
+    rng: np.random.Generator | None = None,
+    u: np.ndarray | None = None,
 ) -> np.ndarray:
     """Vectorized categorical draw: one sample per row of ``probabilities``.
 
     Inverse-CDF method: cumulative sums per row, one uniform per row, then
     a row-wise count of how many CDF entries the uniform exceeds.
+
+    The uniforms come from ``rng``, or from ``u`` (shape ``(rows, 1)``) if
+    pre-drawn.  Pre-drawn uniforms are how the batched engine keeps per-
+    replicate RNG streams bit-identical to sequential runs: it draws each
+    replicate's uniforms from that replicate's generator, stacks them, and
+    samples all replicates with one vectorized pass.
     """
     p = np.asarray(probabilities, dtype=np.float64)
     if p.ndim != 2:
@@ -58,7 +66,12 @@ def sample_categorical(
     cdf = np.cumsum(p, axis=1)
     # Guard against rounding: force the last CDF entry to 1.
     cdf[:, -1] = 1.0
-    u = rng.random((p.shape[0], 1))
+    if u is None:
+        if rng is None:
+            raise ValueError("need an rng or pre-drawn uniforms u")
+        u = rng.random((p.shape[0], 1))
+    elif u.shape != (p.shape[0], 1):
+        raise ValueError("u must have shape (rows, 1)")
     return (u > cdf).sum(axis=1)
 
 
@@ -97,23 +110,32 @@ class VectorQLearner:
         self,
         states: np.ndarray,
         temperature: float,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None = None,
         subset: np.ndarray | None = None,
+        u: np.ndarray | None = None,
     ) -> np.ndarray:
         """Boltzmann action selection for all agents (or a subset).
 
         ``states`` has one entry per *selected* agent.  ``T = inf`` takes a
-        fast path that skips the softmax entirely.
+        fast path that skips the softmax entirely (it requires ``rng``).
+
+        ``u`` is the replicate-axis hook: a learner stacked over the
+        rational agents of several replicates can be sampled in one call
+        while every replicate consumes its own RNG stream — the caller
+        draws ``(k_r, 1)`` uniforms per replicate, concatenates them, and
+        passes the stack here.
         """
         idx = self._agent_idx if subset is None else np.asarray(subset)
         states = np.asarray(states)
         if states.shape != idx.shape:
             raise ValueError("states must align with the selected agents")
         if np.isinf(temperature):
+            if rng is None:
+                raise ValueError("the T=inf fast path draws from rng directly")
             return rng.integers(0, self.n_actions, size=idx.size)
         q_rows = self.q[idx, states]  # (k, n_actions) gather
         probs = boltzmann_probabilities(q_rows, temperature)
-        return sample_categorical(probs, rng)
+        return sample_categorical(probs, rng, u=u)
 
     def greedy_actions(
         self, states: np.ndarray, subset: np.ndarray | None = None

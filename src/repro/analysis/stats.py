@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -87,5 +88,11 @@ def welch_t_test(
     xb = xb[~np.isnan(xb)]
     if xa.size < 2 or xb.size < 2:
         return float("nan"), float("nan")
-    t, p = sps.ttest_ind(xa, xb, equal_var=False)
+    with warnings.catch_warnings():
+        # Near-identical samples trip scipy's catastrophic-cancellation
+        # note; the resulting p ~ 1 is exactly the right answer there.
+        warnings.filterwarnings(
+            "ignore", message=".*catastrophic cancellation.*", category=RuntimeWarning
+        )
+        t, p = sps.ttest_ind(xa, xb, equal_var=False)
     return float(t), float(p)

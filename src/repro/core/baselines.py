@@ -41,9 +41,11 @@ class _UndifferentiatedEditingMixin:
     unweighted votes, simple majority, no punishment."""
 
     n_peers: int
+    #: Total peer slots across stacked replicates (== n_peers when R=1).
+    n_slots: int
 
     def reputation_e(self) -> np.ndarray:
-        return np.ones(self.n_peers)
+        return np.ones(self.n_slots)
 
     def vote_weights(self, voter_ids: np.ndarray) -> np.ndarray:
         voter_ids = np.asarray(voter_ids)
@@ -55,10 +57,10 @@ class _UndifferentiatedEditingMixin:
         return 0.5
 
     def may_edit(self) -> np.ndarray:
-        return np.ones(self.n_peers, dtype=bool)
+        return np.ones(self.n_slots, dtype=bool)
 
     def may_vote(self) -> np.ndarray:
-        return np.ones(self.n_peers, dtype=bool)
+        return np.ones(self.n_slots, dtype=bool)
 
     def record_vote_outcomes(
         self, voter_ids: np.ndarray, successful: np.ndarray
@@ -90,25 +92,44 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         constants: PaperConstants | None = None,
         optimistic_floor: float = 0.05,
         history_decay: float = 0.995,
+        n_replicates: int = 1,
     ) -> None:
         if not 0.0 < history_decay <= 1.0:
             raise ValueError("history_decay must be in (0, 1]")
         if optimistic_floor <= 0.0:
             raise ValueError("optimistic_floor must be positive (unchoke)")
+        if n_replicates < 1:
+            raise ValueError("n_replicates must be >= 1")
         self.n_peers = int(n_peers)
+        self.n_replicates = int(n_replicates)
+        self.n_slots = self.n_peers * self.n_replicates
         self.constants = constants if constants is not None else PaperConstants()
         self.optimistic_floor = float(optimistic_floor)
         self.history_decay = float(history_decay)
-        self.given = np.zeros((n_peers, n_peers), dtype=np.float64)
+        # One (N, N) direct-experience matrix per replicate; histories are
+        # strictly per-replicate (a peer never remembers service from a
+        # sibling universe), so replicate batching keeps a (R, N, N) stack
+        # rather than a quadratically larger flat (R*N, R*N) matrix.
+        self._given = np.zeros(
+            (self.n_replicates, n_peers, n_peers), dtype=np.float64
+        )
         # Contributions tracked only for comparable metrics.
-        self.ledger = ContributionLedger(n_peers, self.constants.contribution)
+        self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
+
+    @property
+    def given(self) -> np.ndarray:
+        """Direct-experience matrix: ``(N, N)`` for a single run (the
+        historical shape), ``(R, N, N)`` when replicates are stacked."""
+        return self._given[0] if self.n_replicates == 1 else self._given
 
     def reputation_s(self) -> np.ndarray:
         """No global reputation exists; expose each peer's total recent
-        service (normalized) purely for metrics."""
-        totals = self.given.sum(axis=1)
-        top = totals.max()
-        return totals / top if top > 0 else np.zeros(self.n_peers)
+        service (normalized per replicate) purely for metrics."""
+        totals = self._given.sum(axis=2)  # (R, N)
+        top = totals.max(axis=1, keepdims=True)
+        out = np.zeros_like(totals)
+        np.divide(totals, top, out=out, where=top > 0)
+        return out.reshape(-1)
 
     def bandwidth_shares(
         self, source_ids: np.ndarray, downloader_ids: np.ndarray
@@ -117,8 +138,11 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         downloader_ids = np.asarray(downloader_ids, dtype=np.int64)
         if source_ids.size == 0:
             return np.zeros(0, dtype=np.float64)
-        weights = self.optimistic_floor + self.given[downloader_ids, source_ids]
-        return grouped_shares(source_ids, weights, self.n_peers)
+        n = self.n_peers
+        weights = self.optimistic_floor + self._given[
+            source_ids // n, downloader_ids % n, source_ids % n
+        ]
+        return grouped_shares(source_ids, weights, self.n_slots)
 
     def record_sharing(
         self, shared_articles: np.ndarray, served_bandwidth: np.ndarray
@@ -136,12 +160,27 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         source_ids: np.ndarray,
         amounts: np.ndarray,
     ) -> None:
-        """After settlement: the source remembers what it gave whom."""
-        self.given *= self.history_decay
-        np.add.at(self.given, (source_ids, downloader_ids), amounts)
+        """After settlement: the source remembers what it gave whom.
+
+        The rolling history decays one notch per settlement round — but
+        only in replicates that actually settled transfers this step, so
+        a stacked run decays each replicate exactly as often as running
+        it alone would (the engine skips the hook on request-free steps).
+        """
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        downloader_ids = np.asarray(downloader_ids, dtype=np.int64)
+        n = self.n_peers
+        rep_ids = source_ids // n
+        if self.n_replicates == 1:
+            self._given *= self.history_decay
+        else:
+            self._given[np.unique(rep_ids)] *= self.history_decay
+        np.add.at(
+            self._given, (rep_ids, source_ids % n, downloader_ids % n), amounts
+        )
 
     def reset_reputations(self) -> None:
-        self.given.fill(0.0)
+        self._given.fill(0.0)
         self.ledger.reset_all()
 
 
@@ -163,22 +202,32 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         constants: PaperConstants | None = None,
         initial_karma: float = 1.0,
         floor: float = 0.05,
+        n_replicates: int = 1,
     ) -> None:
         if initial_karma < 0:
             raise ValueError("initial_karma must be non-negative")
         if floor <= 0:
             raise ValueError("floor must be positive")
+        if n_replicates < 1:
+            raise ValueError("n_replicates must be >= 1")
         self.n_peers = int(n_peers)
+        self.n_replicates = int(n_replicates)
+        self.n_slots = self.n_peers * self.n_replicates
         self.constants = constants if constants is not None else PaperConstants()
         self.initial_karma = float(initial_karma)
         self.floor = float(floor)
-        self.balance = np.full(n_peers, self.initial_karma, dtype=np.float64)
-        self.ledger = ContributionLedger(n_peers, self.constants.contribution)
+        self.balance = np.full(self.n_slots, self.initial_karma, dtype=np.float64)
+        self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
 
     def reputation_s(self) -> np.ndarray:
-        """Balances normalized into [0, 1] for the metrics pipeline."""
-        top = self.balance.max()
-        return self.balance / top if top > 0 else np.zeros(self.n_peers)
+        """Balances normalized into [0, 1], per replicate (karma is a
+        currency within one universe — a rich sibling replicate must not
+        deflate everyone else's normalized standing)."""
+        b = self.balance.reshape(self.n_replicates, self.n_peers)
+        top = b.max(axis=1, keepdims=True)
+        out = np.zeros_like(b)
+        np.divide(b, top, out=out, where=top > 0)
+        return out.reshape(-1)
 
     def bandwidth_shares(
         self, source_ids: np.ndarray, downloader_ids: np.ndarray
@@ -188,7 +237,7 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         if source_ids.size == 0:
             return np.zeros(0, dtype=np.float64)
         weights = self.floor + self.balance[downloader_ids]
-        return grouped_shares(source_ids, weights, self.n_peers)
+        return grouped_shares(source_ids, weights, self.n_slots)
 
     def record_sharing(
         self, shared_articles: np.ndarray, served_bandwidth: np.ndarray

@@ -37,7 +37,15 @@ __all__ = ["ReputationIncentiveScheme", "NoIncentiveScheme", "make_scheme"]
 
 
 class ReputationIncentiveScheme:
-    """The reputation-based incentive scheme of Bocek et al. (2008)."""
+    """The reputation-based incentive scheme of Bocek et al. (2008).
+
+    With ``n_replicates > 1`` the scheme keeps the books for ``R``
+    independent stacked populations in flat ``R * n_peers`` arrays
+    (replicate ``r`` owns slots ``[r*N, (r+1)*N)``).  Every operation here
+    is elementwise or grouped by peer slot, so one scheme instance drives
+    all replicates bit-identically to ``R`` separate instances; ``R = 1``
+    reduces to the historical behaviour exactly.
+    """
 
     differentiates_service = True
 
@@ -47,15 +55,24 @@ class ReputationIncentiveScheme:
         constants: PaperConstants | None = None,
         reputation_fn_s: ReputationFunction | None = None,
         reputation_fn_e: ReputationFunction | None = None,
+        n_replicates: int = 1,
     ) -> None:
+        if n_replicates < 1:
+            raise ValueError("n_replicates must be >= 1")
         self.n_peers = int(n_peers)
+        self.n_replicates = int(n_replicates)
+        self.n_slots = self.n_peers * self.n_replicates
         self.constants = constants if constants is not None else PaperConstants()
         c = self.constants
         self.fn_s = reputation_fn_s or LogisticReputation(c.reputation_s)
         self.fn_e = reputation_fn_e or LogisticReputation(c.reputation_e)
-        self.ledger = ContributionLedger(n_peers, c.contribution)
-        self.vote_punishment = VotePunishment(n_peers, c.service.vote_punish_threshold)
-        self.edit_punishment = EditPunishment(n_peers, c.service.edit_punish_threshold)
+        self.ledger = ContributionLedger(self.n_slots, c.contribution)
+        self.vote_punishment = VotePunishment(
+            self.n_slots, c.service.vote_punish_threshold
+        )
+        self.edit_punishment = EditPunishment(
+            self.n_slots, c.service.edit_punish_threshold
+        )
 
     # ------------------------------------------------------------------
     # Reputation views
@@ -76,7 +93,7 @@ class ReputationIncentiveScheme:
     ) -> np.ndarray:
         """Fraction of each source's upload bandwidth granted per request."""
         rep = self.reputation_s()[downloader_ids]
-        return allocate_by_reputation(source_ids, rep, self.n_peers)
+        return allocate_by_reputation(source_ids, rep, self.n_slots)
 
     def vote_weights(self, voter_ids: np.ndarray) -> np.ndarray:
         """Normalized voting power of one edit's voter set."""
@@ -154,12 +171,17 @@ class NoIncentiveScheme:
         self,
         n_peers: int,
         constants: PaperConstants | None = None,
+        n_replicates: int = 1,
     ) -> None:
+        if n_replicates < 1:
+            raise ValueError("n_replicates must be >= 1")
         self.n_peers = int(n_peers)
+        self.n_replicates = int(n_replicates)
+        self.n_slots = self.n_peers * self.n_replicates
         self.constants = constants if constants is not None else PaperConstants()
         # Contributions are still tracked so metrics stay comparable, but
         # they never influence any service decision.
-        self.ledger = ContributionLedger(n_peers, self.constants.contribution)
+        self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
         self._flat = ConstantReputation(self.constants.reputation_s, value=1.0)
 
     def reputation_s(self) -> np.ndarray:
@@ -171,7 +193,7 @@ class NoIncentiveScheme:
     def bandwidth_shares(
         self, source_ids: np.ndarray, downloader_ids: np.ndarray
     ) -> np.ndarray:
-        return allocate_equal_split(source_ids, self.n_peers)
+        return allocate_equal_split(source_ids, self.n_slots)
 
     def vote_weights(self, voter_ids: np.ndarray) -> np.ndarray:
         voter_ids = np.asarray(voter_ids)
@@ -184,10 +206,10 @@ class NoIncentiveScheme:
         return 0.5
 
     def may_edit(self) -> np.ndarray:
-        return np.ones(self.n_peers, dtype=bool)
+        return np.ones(self.n_slots, dtype=bool)
 
     def may_vote(self) -> np.ndarray:
-        return np.ones(self.n_peers, dtype=bool)
+        return np.ones(self.n_slots, dtype=bool)
 
     def record_sharing(
         self, shared_articles: np.ndarray, served_bandwidth: np.ndarray
@@ -219,6 +241,7 @@ def make_scheme(
     constants: PaperConstants | None = None,
     reputation_fn_s: ReputationFunction | None = None,
     reputation_fn_e: ReputationFunction | None = None,
+    n_replicates: int = 1,
 ):
     """Factory used by the simulation config."""
     if incentives_enabled:
@@ -227,5 +250,6 @@ def make_scheme(
             constants,
             reputation_fn_s=reputation_fn_s,
             reputation_fn_e=reputation_fn_e,
+            n_replicates=n_replicates,
         )
-    return NoIncentiveScheme(n_peers, constants)
+    return NoIncentiveScheme(n_peers, constants, n_replicates=n_replicates)

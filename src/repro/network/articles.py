@@ -47,6 +47,13 @@ class Article:
     n_constructive_accepted: int = 0
     n_destructive_accepted: int = 0
     voter_ids: set[int] = field(default_factory=set)
+    #: Array mirror of ``voter_ids``, rebuilt lazily after mutations so the
+    #: per-proposal voting hot path runs pure array ops (the set is the
+    #: source of truth; mutate it only through :meth:`record_accepted` or
+    #: :meth:`invalidate_voter_cache`).
+    _voter_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def record_accepted(self, editor_id: int, constructive: bool) -> None:
         self.n_versions += 1
@@ -58,6 +65,21 @@ class Article:
             self.n_destructive_accepted += 1
         # A successful editor gains voting rights on this article.
         self.voter_ids.add(int(editor_id))
+        self._voter_cache = None
+
+    def invalidate_voter_cache(self) -> None:
+        """Call after mutating ``voter_ids`` directly."""
+        self._voter_cache = None
+
+    def voter_array(self) -> np.ndarray:
+        """The qualified voters as an int64 array (cached between edits)."""
+        if self._voter_cache is None or self._voter_cache.size != len(
+            self.voter_ids
+        ):
+            self._voter_cache = np.fromiter(
+                self.voter_ids, dtype=np.int64, count=len(self.voter_ids)
+            )
+        return self._voter_cache
 
 
 class ArticleStore:
@@ -101,14 +123,17 @@ class ArticleStore:
         """Voter ids for one article, filtered by global voting rights.
 
         The proposing editor is excluded from voting on their own edit.
+        Runs on the article's cached voter array (voter sets only change
+        when an edit is accepted), so the per-proposal hot path is a
+        couple of gathers rather than Python set algebra.
         """
-        ids = self.articles[article_id].voter_ids
-        if exclude is not None:
-            ids = ids - {int(exclude)}
-        if not ids:
+        arr = self.articles[article_id].voter_array()
+        if not arr.size:
             return np.empty(0, dtype=np.int64)
-        arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
-        return arr[can_vote_mask[arr]]
+        keep = can_vote_mask[arr]
+        if exclude is not None:
+            keep &= arr != exclude
+        return arr[keep]
 
     def apply_outcome(
         self, proposal: EditProposal, accepted: bool

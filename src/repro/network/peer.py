@@ -25,7 +25,15 @@ TYPE_NAMES = {RATIONAL: "rational", ALTRUISTIC: "altruistic", IRRATIONAL: "irrat
 
 @dataclass
 class PeerArrays:
-    """Mutable per-peer state advanced by the engine every step."""
+    """Mutable per-peer state advanced by the engine every step.
+
+    With ``n_replicates > 1`` the arrays hold ``R`` stacked independent
+    populations flattened to ``R * N`` slots (replicate ``r`` owns slots
+    ``[r*N, (r+1)*N)``).  Every elementwise kernel works on the flat view
+    unchanged; per-replicate kernels reshape to ``(R, N)`` — a zero-copy
+    view, so the single-run case (``R = 1``) is byte-identical to the
+    historical layout.
+    """
 
     types: np.ndarray  # int8 behaviour codes
     online: np.ndarray  # bool, churn support
@@ -34,6 +42,7 @@ class PeerArrays:
     # Current actions (set by the behaviour policies each step):
     offered_bandwidth: np.ndarray  # float64 fraction in [0, 1]
     offered_files: np.ndarray  # float64 fraction in [0, 1] of max_files
+    n_replicates: int = 1
 
     @classmethod
     def create(
@@ -42,9 +51,21 @@ class PeerArrays:
         upload_capacity: float = 1.0,
         max_files: float = 100.0,
     ) -> "PeerArrays":
+        """Build a population from type codes.
+
+        ``types`` is ``(N,)`` for a single run or ``(R, N)`` for ``R``
+        stacked replicates (one row per replicate's shuffled population).
+        """
         types = np.asarray(types, dtype=np.int8)
-        if types.ndim != 1 or types.size == 0:
-            raise ValueError("types must be a non-empty 1-D array")
+        if types.ndim == 2:
+            n_replicates = types.shape[0]
+            types = types.reshape(-1)
+        elif types.ndim == 1:
+            n_replicates = 1
+        else:
+            raise ValueError("types must be 1-D (one run) or 2-D (replicates)")
+        if types.size == 0:
+            raise ValueError("types must be non-empty")
         if not np.isin(types, (RATIONAL, ALTRUISTIC, IRRATIONAL)).all():
             raise ValueError("unknown behaviour type code present")
         n = types.size
@@ -55,11 +76,17 @@ class PeerArrays:
             max_files=np.full(n, float(max_files)),
             offered_bandwidth=np.zeros(n, dtype=np.float64),
             offered_files=np.zeros(n, dtype=np.float64),
+            n_replicates=n_replicates,
         )
 
     @property
     def n(self) -> int:
+        """Total number of peer slots (``R * N``; equals ``N`` when R=1)."""
         return self.types.size
+
+    @property
+    def n_per_replicate(self) -> int:
+        return self.types.size // self.n_replicates
 
     def mask(self, type_code: int) -> np.ndarray:
         """Boolean mask selecting one behaviour type."""

@@ -1,9 +1,17 @@
-"""Simulation engine: config, RNG streams, metrics, engine, sweeps, scenarios."""
+"""Simulation engine: config, RNG streams, metrics, phase-kernel engine
+(single-run and replicate-batched), sweeps, scenarios, checkpoints."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
 from .config import SimulationConfig
-from .engine import CollaborationSimulation, SimulationResult, run_simulation
+from .engine import (
+    BatchedSimulation,
+    CollaborationSimulation,
+    SimulationResult,
+    run_replicates,
+    run_simulation,
+)
 from .metrics import MetricsCollector, StepStats
+from .state import SimState, build_sim_state
 from .rng import make_rng, spawn_rngs, spawn_seeds
 from .scenarios import base_config, fig3_configs, fig6_configs, mixture_configs
 from .sweep import (
@@ -20,8 +28,12 @@ __all__ = [
     "save_checkpoint",
     "SimulationConfig",
     "CollaborationSimulation",
+    "BatchedSimulation",
     "SimulationResult",
     "run_simulation",
+    "run_replicates",
+    "SimState",
+    "build_sim_state",
     "MetricsCollector",
     "StepStats",
     "make_rng",

@@ -48,7 +48,10 @@ def load_checkpoint(sim: CollaborationSimulation, path: str | Path) -> None:
     count; its behaviour types must match exactly (the Q-matrices are
     indexed by rational-peer order).
     """
-    with np.load(Path(path)) as data:
+    # Open the handle ourselves: np.load leaks its internal FileIO when it
+    # raises on a corrupt archive, which surfaces as an unraisable
+    # ResourceWarning at the next GC point.
+    with open(Path(path), "rb") as fh, np.load(fh) as data:
         version = int(data["version"])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint version {version}")

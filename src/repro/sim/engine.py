@@ -12,58 +12,47 @@ One :class:`CollaborationSimulation` reproduces the paper's protocol:
    on by default, which is what lets rational agents converge onto the
    majority behaviour (Figures 6/7).
 
-Each step, every peer simultaneously (vectorized over the population):
+The per-step protocol itself lives in the composable phase kernels of
+:mod:`repro.sim.phases` (churn -> act -> download -> edit_vote -> learn ->
+record) operating on an explicit :class:`repro.sim.state.SimState`.  The
+state carries a replicate axis, which yields two front-ends:
 
-* picks a sharing action (bandwidth level x files level) and an edit/vote
-  behaviour (constructive/destructive) according to its type;
-* downloads from a uniformly random sharing peer; concurrent downloads at
-  one source split its upload bandwidth according to the scheme;
-* may propose an article edit (if edit-eligible) which is decided by a
-  weighted vote of the article's qualified voters;
-* receives utilities ``U_S``/``U_E`` that feed the Q-learning update.
+* :class:`CollaborationSimulation` — the historical single-run API, now a
+  thin wrapper over an ``R = 1`` state (all attributes are the state's own
+  arrays, so checkpointing and introspection work unchanged);
+* :class:`BatchedSimulation` — ``R`` seed-varied replicates of one config
+  advanced in lock-step as stacked ``(R, N)`` populations, amortizing the
+  Python per-step overhead over the whole ensemble.  Batched replicate
+  ``r`` reproduces the sequential run with the same seed **bit for bit**
+  (each replicate owns an independent RNG stream consumed in the
+  sequential order; all cross-replicate math is elementwise or grouped by
+  disjoint slot ranges).
 
-Hot paths (action selection, downloads, contributions, learning) are pure
-NumPy over the population; only the per-proposal voting rounds run in a
-short Python loop (a handful of proposals per step).
+:func:`run_replicates` is the ensemble entry point the sweep layer and the
+``repro`` CLI build on: per-replicate results are returned (and cached)
+individually, so batched and sequential execution share one cache.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
-import numpy as np
-
-from ..agents.actions import EditActionSpace, SharingActionSpace
-from ..agents.behaviors import BehaviorEngine
-from ..agents.qlearning import VectorQLearner
-from ..core.baselines import KarmaScheme, PrivateHistoryScheme
-from ..core.incentives import make_scheme
-from ..core.reputation import REPUTATION_FUNCTIONS, reputation_to_state
-from ..core.service import (
-    allocate_by_reputation,
-    allocate_equal_split,
-    required_majority,
-)
-from ..core.utility import editing_utility, sharing_utility
-from ..network.articles import ArticleStore
-from ..network.bandwidth import (
-    sample_download_requests,
-    sample_download_requests_overlay,
-    settle_downloads,
-)
-from ..network.events import (
-    EditEvent,
-    EventLog,
-    PunishmentEvent,
-)
-from ..network.overlay import ChurnModel, OverlayNetwork
-from ..network.peer import PeerArrays, RATIONAL
+from ..network.events import EventLog
 from .config import SimulationConfig
-from .metrics import MetricsCollector, StepStats
-from .rng import make_rng
+from .phases import step_state
+from .rng import spawn_seeds
+from .state import SimState, build_sim_state
 
-__all__ = ["SimulationResult", "CollaborationSimulation", "run_simulation"]
+__all__ = [
+    "SimulationResult",
+    "CollaborationSimulation",
+    "BatchedSimulation",
+    "run_simulation",
+    "run_replicates",
+    "replicate_configs",
+]
 
 
 @dataclass
@@ -81,154 +70,116 @@ class SimulationResult:
         return self.summary[key]
 
 
-def _make_reputation_fn(name: str, params):
-    try:
-        cls = REPUTATION_FUNCTIONS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown reputation function {name!r}; "
-            f"choose from {sorted(REPUTATION_FUNCTIONS)}"
-        ) from None
-    return cls(params)
+def _summary_window(cfg: SimulationConfig) -> int:
+    """First step of the evaluation window the summary reduces over."""
+    eval_start = cfg.training_steps
+    return eval_start + int(cfg.eval_steps * (1.0 - cfg.measure_window))
+
+
+def replicate_configs(
+    config: SimulationConfig, n_replicates: int, root_seed: int | None = None
+) -> list[SimulationConfig]:
+    """``n_replicates`` copies of ``config`` with independent derived seeds.
+
+    This is the single seed-derivation rule every ensemble path uses —
+    :func:`run_replicates`, :func:`repro.sim.sweep.replicate` and through
+    them the ``repro`` CLI — so batched and per-seed executions always
+    address the same RunStore entries.
+    """
+    if n_replicates < 1:
+        raise ValueError("n_replicates must be >= 1")
+    root = config.seed if root_seed is None else root_seed
+    return [config.with_(seed=s) for s in spawn_seeds(root, n_replicates)]
+
+
+def _run_protocol(state) -> float:
+    """Drive the paper's protocol on a state: train at ``T = t_train``,
+    reset reputations at the phase boundary, evaluate at ``T = t_eval``.
+
+    Shared by the single-run and batched front-ends so the protocol can
+    never diverge between them (the batched == sequential bit-identity
+    contract depends on that).  Returns the wall time consumed.
+    """
+    cfg = state.config
+    t0 = time.perf_counter()
+    for _ in range(cfg.training_steps):
+        step_state(state, cfg.t_train, learn=True)
+    state.scheme.reset_reputations()
+    for _ in range(cfg.eval_steps):
+        step_state(state, cfg.t_eval, learn=cfg.learn_during_eval)
+    return time.perf_counter() - t0
+
+
+def _phase_summaries(state, replicate: int) -> tuple[dict, dict]:
+    """(evaluation-window summary, training summary) for one replicate."""
+    cfg = state.config
+    summary = state.metrics.summary(
+        _summary_window(cfg), cfg.total_steps, replicate=replicate
+    )
+    if cfg.training_steps > 0:
+        training = state.metrics.summary(
+            0, cfg.training_steps, replicate=replicate
+        )
+    else:
+        training = {}
+    return summary, training
 
 
 class CollaborationSimulation:
-    """A fully assembled run of the collaboration-network model."""
+    """A fully assembled single run of the collaboration-network model.
+
+    This is the ``R = 1`` specialization of the phase-kernel pipeline:
+    every public attribute (``peers``, ``scheme``, ``metrics``,
+    ``sharing_learner``, ...) *is* the underlying state's object, with the
+    historical single-run shapes.
+    """
 
     def __init__(self, config: SimulationConfig):
         self.config = config
-        self.rng = make_rng(config.seed)
-        c = config.constants
+        self.state = build_sim_state([config])
+        s = self.state
+        self.rng = s.rngs[0]
+        self.peers = s.peers
+        self.overlay = s.overlays[0] if s.overlays is not None else None
+        self.scheme = s.scheme
+        self.articles = s.articles[0]
+        self.sharing_space = s.sharing_space
+        self.edit_space = s.edit_space
+        self.rational_idx = s.rational_idx
+        self.sharing_learner = s.sharing_learner
+        self.edit_learner = s.edit_learner
+        self.behavior = s.behavior
+        self.churn = s.churn
+        self.metrics = s.metrics
+        self.events = s.events[0]
 
-        types = config.mix.build(config.n_agents, self.rng)
-        self.peers = PeerArrays.create(types)
-        if config.capacity_sigma > 0.0:
-            # Log-normal heterogeneous capacities, mean preserved at 1.
-            sigma = config.capacity_sigma
-            caps = self.rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma,
-                                      size=config.n_agents)
-            self.peers.upload_capacity[:] = caps
-        self.overlay = (
-            None
-            if config.overlay_kind == "full"
-            else OverlayNetwork(
-                config.n_agents,
-                kind=config.overlay_kind,
-                rng=self.rng,
-                degree=config.overlay_degree,
-            )
-        )
-        scheme_name = config.resolved_scheme
-        if scheme_name == "reputation":
-            self.scheme = make_scheme(
-                config.n_agents,
-                True,
-                c,
-                reputation_fn_s=_make_reputation_fn(
-                    config.reputation_fn_s, c.reputation_s
-                ),
-                reputation_fn_e=_make_reputation_fn(
-                    config.reputation_fn_e, c.reputation_e
-                ),
-            )
-        elif scheme_name == "none":
-            self.scheme = make_scheme(config.n_agents, False, c)
-        elif scheme_name == "tft":
-            self.scheme = PrivateHistoryScheme(config.n_agents, c)
-        elif scheme_name == "karma":
-            self.scheme = KarmaScheme(config.n_agents, c)
-        else:  # pragma: no cover - config validates names
-            raise ValueError(f"unknown scheme {scheme_name!r}")
-        # Optional hook: baselines track per-pair transfers.
-        self._transfer_hook = getattr(self.scheme, "record_transfers", None)
-        self.articles = ArticleStore(
-            config.n_articles,
-            config.n_agents,
-            self.rng,
-            founders_per_article=config.founders_per_article,
-        )
-        self.sharing_space = SharingActionSpace()
-        self.edit_space = EditActionSpace()
-        self.rational_idx = np.flatnonzero(types == RATIONAL)
-        n_rational = self.rational_idx.size
-        self.sharing_learner = VectorQLearner(
-            max(n_rational, 1),
-            config.n_states,
-            self.sharing_space.n_actions,
-            learning_rate=config.learning_rate,
-            discount=config.discount,
-        )
-        self.edit_learner = VectorQLearner(
-            max(n_rational, 1),
-            config.n_states,
-            self.edit_space.n_actions,
-            learning_rate=config.learning_rate,
-            discount=config.discount,
-        )
-        if n_rational == 0:
-            # Placeholder learners keep the API uniform; BehaviorEngine
-            # requires exact sizing, so rebuild them empty-compatible.
-            self.sharing_learner = VectorQLearner(
-                1, config.n_states, self.sharing_space.n_actions
-            )
-            self.edit_learner = VectorQLearner(
-                1, config.n_states, self.edit_space.n_actions
-            )
-            self.behavior = _FixedOnlyBehavior(
-                types, self.sharing_space, self.edit_space
-            )
-        else:
-            self.behavior = BehaviorEngine(
-                types,
-                self.sharing_space,
-                self.edit_space,
-                self.sharing_learner,
-                self.edit_learner,
-            )
-        self.churn = ChurnModel(
-            leave_rate=config.leave_rate,
-            join_rate=config.join_rate,
-            whitewash_rate=config.whitewash_rate,
-        )
-        self.metrics = MetricsCollector(config.total_steps, types)
-        self.events: EventLog | None = EventLog() if config.collect_events else None
-        self.step_count = 0
-        self.whitewash_count = 0
+    # ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        return self.state.step_count
 
-        # Scratch buffers reused every step (no per-step allocation).
-        n = config.n_agents
-        self._succ_votes = np.zeros(n, dtype=np.float64)
-        self._acc_edits = np.zeros(n, dtype=np.float64)
+    @step_count.setter
+    def step_count(self, value: int) -> None:
+        self.state.step_count = int(value)
+
+    @property
+    def whitewash_count(self) -> int:
+        return int(self.state.whitewash_counts[0])
 
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute training + evaluation and summarize the eval window."""
-        cfg = self.config
-        t0 = time.perf_counter()
-        for _ in range(cfg.training_steps):
-            self.step(cfg.t_train, learn=True)
-        self.scheme.reset_reputations()
-        for _ in range(cfg.eval_steps):
-            self.step(cfg.t_eval, learn=cfg.learn_during_eval)
-        wall = time.perf_counter() - t0
-
-        eval_start = cfg.training_steps
-        window_start = eval_start + int(cfg.eval_steps * (1.0 - cfg.measure_window))
-        summary = self.metrics.summary(window_start, cfg.total_steps)
-        if cfg.training_steps > 0:
-            training_summary = self.metrics.summary(0, cfg.training_steps)
-        else:
-            training_summary = {}
-        extras = {"whitewash_count": float(self.whitewash_count)}
+        wall = _run_protocol(self.state)
+        summary, training_summary = _phase_summaries(self.state, replicate=0)
         return SimulationResult(
-            config=cfg,
+            config=self.config,
             summary=summary,
             training_summary=training_summary,
             wall_time_s=wall,
             events=self.events,
-            extras=extras,
+            extras={"whitewash_count": float(self.whitewash_count)},
         )
 
     def summarize(self, measure_window: float | None = None) -> SimulationResult:
@@ -272,288 +223,105 @@ class CollaborationSimulation:
     # One step
     # ------------------------------------------------------------------
     def step(self, temperature: float, learn: bool = True) -> None:
-        cfg = self.config
-        rng = self.rng
-        n = cfg.n_agents
-        scheme = self.scheme
-        rep_p = cfg.constants.reputation_s
+        """Advance one step through the phase-kernel pipeline."""
+        step_state(self.state, temperature, learn=learn)
 
-        # -- churn ------------------------------------------------------
-        if self.churn.active:
-            for ev in self.churn.step(rng, self.peers.online):
-                if ev.kind == "whitewash":
-                    scheme.ledger.reset_peers(np.array([ev.peer_id]))
-                    self.whitewash_count += 1
 
-        # -- observe state, choose actions ------------------------------
-        rep_s = scheme.reputation_s()
-        rep_e = scheme.reputation_e()
-        states_s = reputation_to_state(
-            rep_s[self.rational_idx], cfg.n_states, rep_p.r_min, rep_p.r_max
-        )
-        states_e = reputation_to_state(
-            rep_e[self.rational_idx],
-            cfg.n_states,
-            cfg.constants.reputation_e.r_min,
-            cfg.constants.reputation_e.r_max,
-        )
-        share_actions = self.behavior.sharing_actions(states_s, temperature, rng)
-        bw, files = self.sharing_space.decode(share_actions)
-        online = self.peers.online
-        bw = bw * online
-        files = files * online
-        self.peers.set_actions(bw, files)
-        edit_actions = self.behavior.edit_actions(states_e, temperature, rng)
-        edit_constructive, vote_constructive = self.edit_space.decode(edit_actions)
+class BatchedSimulation:
+    """``R`` seed-varied replicates of one config, stepped in lock-step.
 
-        # -- downloads ----------------------------------------------------
-        sharing_mask = self.peers.sharing_mask()
-        if self.overlay is None:
-            requests = sample_download_requests(
-                rng, sharing_mask, cfg.download_probability
+    ``configs`` must be identical except for their seeds.  Event
+    collection is not supported here — use sequential runs for
+    event-level diagnostics (``run_replicates`` falls back
+    automatically).
+    """
+
+    def __init__(self, configs: list[SimulationConfig]):
+        if not configs:
+            raise ValueError("need at least one config")
+        if any(c.collect_events for c in configs):
+            raise ValueError(
+                "BatchedSimulation does not collect events; "
+                "run event-collecting configs sequentially"
             )
-        else:
-            requests = sample_download_requests_overlay(
-                rng, sharing_mask, self.overlay, cfg.download_probability
-            )
-        shares = scheme.bandwidth_shares(requests.source_ids, requests.downloader_ids)
-        received, served = settle_downloads(
-            requests,
-            shares,
-            self.peers.offered_bandwidth,
-            self.peers.upload_capacity,
-            n,
-        )
-        if self._transfer_hook is not None and requests.n:
-            amounts = (
-                self.peers.offered_bandwidth[requests.source_ids]
-                * self.peers.upload_capacity[requests.source_ids]
-                * shares
-            )
-            self._transfer_hook(requests.downloader_ids, requests.source_ids, amounts)
+        self.configs = list(configs)
+        self.state: SimState = build_sim_state(self.configs)
 
-        # -- sharing utilities & contributions ---------------------------
-        u_s = sharing_utility(received, files, bw, cfg.constants.utility)
-        scheme.record_sharing(files, bw)
+    @property
+    def n_replicates(self) -> int:
+        return self.state.n_replicates
 
-        # -- editing & voting --------------------------------------------
-        self._succ_votes.fill(0.0)
-        self._acc_edits.fill(0.0)
-        proposals_count = np.zeros((3, 2))
-        accepted_count = np.zeros((3, 2))
-        votes_cast = 0
-        votes_successful = 0
-        vote_bans = 0
-        reputation_resets = 0
+    def step(self, temperature: float, learn: bool = True) -> None:
+        """Advance every replicate by one simultaneous step."""
+        step_state(self.state, temperature, learn=learn)
 
-        if cfg.enforce_edit_threshold:
-            may_edit = scheme.may_edit() & online
-        else:
-            may_edit = online.copy()
-        proposer_mask = may_edit & (rng.random(n) < cfg.edit_attempt_prob)
-        proposers = np.flatnonzero(proposer_mask)
-        if proposers.size:
-            (
-                votes_cast,
-                votes_successful,
-                vote_bans,
-                reputation_resets,
-            ) = self._editing_phase(
-                proposers,
-                edit_constructive,
-                vote_constructive,
-                rep_e,
-                online,
-                proposals_count,
-                accepted_count,
-            )
+    def run(self) -> list[SimulationResult]:
+        """Execute the full protocol; one result per replicate, in order.
 
-        u_e = editing_utility(self._acc_edits, self._succ_votes, cfg.constants.utility)
-        scheme.record_editing(self._succ_votes, self._acc_edits)
-
-        # -- learning -----------------------------------------------------
-        if learn and self.rational_idx.size:
-            next_rep_s = scheme.reputation_s()
-            next_rep_e = scheme.reputation_e()
-            next_states_s = reputation_to_state(
-                next_rep_s[self.rational_idx], cfg.n_states, rep_p.r_min, rep_p.r_max
-            )
-            next_states_e = reputation_to_state(
-                next_rep_e[self.rational_idx],
-                cfg.n_states,
-                cfg.constants.reputation_e.r_min,
-                cfg.constants.reputation_e.r_max,
-            )
-            self.behavior.learn_sharing(states_s, share_actions, u_s, next_states_s)
-            self.behavior.learn_editing(states_e, edit_actions, u_e, next_states_e)
-
-        # -- metrics ------------------------------------------------------
-        self.metrics.record(
-            StepStats(
-                offered_files=files,
-                offered_bandwidth=bw,
-                reputation_s=rep_s,
-                reputation_e=rep_e,
-                sharing_utility=u_s,
-                editing_utility=u_e,
-                proposals=proposals_count,
-                accepted=accepted_count,
-                votes_cast=votes_cast,
-                votes_successful=votes_successful,
-                vote_bans=vote_bans,
-                reputation_resets=reputation_resets,
-            )
-        )
-        self.step_count += 1
-
-    # ------------------------------------------------------------------
-    def _editing_phase(
-        self,
-        proposers: np.ndarray,
-        edit_constructive: np.ndarray,
-        vote_constructive: np.ndarray,
-        rep_e: np.ndarray,
-        online: np.ndarray,
-        proposals_count: np.ndarray,
-        accepted_count: np.ndarray,
-    ) -> tuple[int, int, int, int]:
-        """Decide all of a step's edit proposals with batched weighted votes.
-
-        All proposals of one step are settled *simultaneously* against the
-        step-start reputation snapshot ``rep_e`` (reputations only move
-        between steps): voter weights are normalized per proposal with the
-        same grouped-share kernel the bandwidth allocator uses, outcomes
-        are scattered back with ``np.add.at``.  Only the per-article voter
-        lookup (a Python set) runs in a loop.
-
-        Vote success is measured against the *simple* weighted majority
-        (>= 0.5), not the adaptive acceptance bar: a voter should not be
-        punished for siding with the majority merely because a low-
-        reputation editor needed a supermajority.
-
-        Returns (votes_cast, votes_successful, new_vote_bans,
-        reputation_resets) and updates the per-type count matrices and the
-        per-peer ``_succ_votes``/``_acc_edits`` buffers in place.
+        ``wall_time_s`` reports each replicate's amortized share of the
+        batch's wall time (the batch is one process-level execution).
         """
-        cfg = self.config
-        scheme = self.scheme
-        rng = self.rng
-        n_prop = proposers.size
-        article_ids = self.articles.sample_articles(rng, n_prop)
-        can_vote = scheme.may_vote() & online
-
-        voter_chunks: list[np.ndarray] = []
-        prop_chunks: list[np.ndarray] = []
-        for p in range(n_prop):
-            voters = self.articles.eligible_voters(
-                int(article_ids[p]), can_vote, exclude=int(proposers[p])
-            )
-            if voters.size > cfg.max_voters_per_edit:
-                voters = rng.choice(voters, size=cfg.max_voters_per_edit, replace=False)
-            voter_chunks.append(voters)
-            prop_chunks.append(np.full(voters.size, p, dtype=np.int64))
-        flat_voters = (
-            np.concatenate(voter_chunks) if voter_chunks else np.empty(0, np.int64)
-        )
-        flat_prop = (
-            np.concatenate(prop_chunks) if prop_chunks else np.empty(0, np.int64)
-        )
-        voter_counts = np.bincount(flat_prop, minlength=n_prop)
-        prop_constructive = edit_constructive[proposers]
-
-        if scheme.differentiates_service:
-            weights = allocate_by_reputation(flat_prop, rep_e[flat_voters], n_prop)
-            required = required_majority(
-                rep_e[proposers], cfg.constants.service, cfg.constants.reputation_e
-            )
-        else:
-            weights = allocate_equal_split(flat_prop, n_prop)
-            required = np.full(n_prop, 0.5)
-
-        votes_for = vote_constructive[flat_voters] == prop_constructive[flat_prop]
-        for_weight = np.zeros(n_prop)
-        np.add.at(for_weight, flat_prop[votes_for], weights[votes_for])
-        quorum = voter_counts >= cfg.min_voters_per_edit
-        accepted = quorum & (for_weight >= required)
-        majority_for = for_weight >= 0.5
-        successful = votes_for == majority_for[flat_prop]
-
-        np.add.at(self._succ_votes, flat_voters[successful], 1.0)
-        newly_banned = scheme.record_vote_outcomes(flat_voters, successful)
-        punished = scheme.record_edit_outcomes(proposers, accepted)
-
-        types = self.peers.types[proposers]
-        cons_idx = prop_constructive.astype(np.int64)
-        np.add.at(proposals_count, (types, cons_idx), 1)
-        acc = np.flatnonzero(accepted)
-        np.add.at(accepted_count, (types[acc], cons_idx[acc]), 1)
-        np.add.at(self._acc_edits, proposers[acc], 1.0)
-        for p in acc:
-            self.articles.articles[int(article_ids[p])].record_accepted(
-                int(proposers[p]), bool(prop_constructive[p])
-            )
-
-        if self.events is not None:
-            for p in range(n_prop):
-                self.events.record_edit(
-                    EditEvent(
-                        step=self.step_count,
-                        article_id=int(article_ids[p]),
-                        editor_id=int(proposers[p]),
-                        constructive=bool(prop_constructive[p]),
-                        accepted=bool(accepted[p]),
-                        for_weight=float(for_weight[p]),
-                        required_majority=float(required[p]),
-                        n_voters=int(voter_counts[p]),
-                    )
+        wall = _run_protocol(self.state)
+        results = []
+        for r, conf in enumerate(self.configs):
+            summary, training_summary = _phase_summaries(self.state, replicate=r)
+            results.append(
+                SimulationResult(
+                    config=conf,
+                    summary=summary,
+                    training_summary=training_summary,
+                    wall_time_s=wall / self.n_replicates,
+                    events=None,
+                    extras={
+                        "whitewash_count": float(self.state.whitewash_counts[r])
+                    },
                 )
-            for peer in newly_banned:
-                self.events.record_punishment(
-                    PunishmentEvent(self.step_count, int(peer), "vote_ban")
-                )
-            for peer in punished:
-                self.events.record_punishment(
-                    PunishmentEvent(self.step_count, int(peer), "reputation_reset")
-                )
-        return (
-            int(flat_voters.size),
-            int(successful.sum()),
-            int(newly_banned.size),
-            int(punished.size),
-        )
-
-
-class _FixedOnlyBehavior:
-    """Degenerate behaviour engine for populations without rational peers."""
-
-    def __init__(self, types, sharing_space, edit_space):
-        from ..network.peer import ALTRUISTIC, IRRATIONAL
-
-        self.n = types.size
-        self.sharing_space = sharing_space
-        self.edit_space = edit_space
-        self.altruistic_idx = np.flatnonzero(types == ALTRUISTIC)
-        self.irrational_idx = np.flatnonzero(types == IRRATIONAL)
-
-    def sharing_actions(self, states, temperature, rng):
-        actions = np.empty(self.n, dtype=np.int64)
-        actions[self.altruistic_idx] = self.sharing_space.max_action
-        actions[self.irrational_idx] = self.sharing_space.min_action
-        return actions
-
-    def edit_actions(self, states, temperature, rng):
-        actions = np.empty(self.n, dtype=np.int64)
-        actions[self.altruistic_idx] = self.edit_space.constructive_action
-        actions[self.irrational_idx] = self.edit_space.destructive_action
-        return actions
-
-    def learn_sharing(self, *args) -> None:  # pragma: no cover - no-op
-        pass
-
-    def learn_editing(self, *args) -> None:  # pragma: no cover - no-op
-        pass
+            )
+        return results
 
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
     """Build and run one simulation (the sweep workers call this)."""
     return CollaborationSimulation(config).run()
+
+
+def run_replicates(
+    config: SimulationConfig,
+    n_replicates: int,
+    root_seed: int | None = None,
+    store: Any = None,
+) -> list[SimulationResult]:
+    """Run ``n_replicates`` seed-varied copies of ``config`` batched.
+
+    Seeds are derived exactly like :func:`repro.sim.sweep.replicate`
+    (``SeedSequence`` children of ``root_seed``, default the config's
+    seed), so batched ensembles and sequential sweeps share cache
+    entries.  With a ``store``, cached replicates are served without
+    executing and fresh ones are persisted individually the moment the
+    batch finishes — resume semantics are identical to a sequential
+    sweep.  Falls back to sequential execution for event-collecting
+    configs (whose events the store cannot persist and the batched
+    engine does not record).
+    """
+    configs = replicate_configs(config, n_replicates, root_seed)
+    results: list[SimulationResult | None] = [None] * n_replicates
+
+    storable = store is not None and not config.collect_events
+    pending: list[int] = []
+    for i, conf in enumerate(configs):
+        cached = store.get(conf) if storable else None
+        if cached is not None:
+            results[i] = cached
+        else:
+            pending.append(i)
+
+    if pending:
+        if config.collect_events or len(pending) == 1:
+            fresh = [run_simulation(configs[i]) for i in pending]
+        else:
+            fresh = BatchedSimulation([configs[i] for i in pending]).run()
+        for i, result in zip(pending, fresh):
+            if storable:
+                store.put(result)
+            results[i] = result
+    return results  # type: ignore[return-value]  # every slot is filled

@@ -11,6 +11,17 @@ report:
 
 ``summary(start, end)`` reduces a step window into a plain dict of floats —
 the unit every experiment, benchmark and test consumes.
+
+Replicate axis
+--------------
+With ``n_replicates = R > 1`` the collector records ``R`` stacked
+independent runs at once: per-peer inputs arrive as flat ``(R * N,)`` (or
+``(R, N)``) arrays, counters as ``(R,)`` arrays, and every series becomes
+``(R, n_steps)``.  All reductions are row-wise over contiguous memory, so
+replicate ``r``'s recorded values — and therefore its ``summary`` — are
+bit-identical to collecting that replicate alone.  For ``R = 1`` the
+public attributes stay 1-D (zero-copy views of row 0), preserving the
+historical single-run API exactly.
 """
 
 from __future__ import annotations
@@ -26,7 +37,12 @@ __all__ = ["StepStats", "MetricsCollector"]
 
 @dataclass
 class StepStats:
-    """Everything the engine hands the collector after one step."""
+    """Everything the engine hands the collector after one step.
+
+    Per-peer arrays are ``(N,)`` for a single run or flat ``(R * N,)`` /
+    ``(R, N)`` for stacked replicates; the count matrices are ``(3, 2)``
+    or ``(R, 3, 2)``; the scalar counters become ``(R,)`` arrays.
+    """
 
     offered_files: np.ndarray  # per peer, [0, 1]
     offered_bandwidth: np.ndarray  # per peer, [0, 1]
@@ -38,69 +54,154 @@ class StepStats:
     # shape (3, 2): [type, constructive? 1 : 0] -> proposals
     proposals: np.ndarray
     accepted: np.ndarray  # same shape: accepted proposals
-    votes_cast: int
-    votes_successful: int
-    vote_bans: int
-    reputation_resets: int
+    votes_cast: int | np.ndarray
+    votes_successful: int | np.ndarray
+    vote_bans: int | np.ndarray
+    reputation_resets: int | np.ndarray
 
 
 class MetricsCollector:
-    """Fixed-size store of per-step series."""
+    """Fixed-size store of per-step series (optionally replicate-stacked)."""
 
     _TYPES = (RATIONAL, ALTRUISTIC, IRRATIONAL)
 
-    def __init__(self, n_steps: int, types: np.ndarray):
+    def __init__(self, n_steps: int, types: np.ndarray, n_replicates: int = 1):
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
+        types = np.asarray(types, dtype=np.int8)
+        if types.ndim == 2:
+            n_replicates = types.shape[0]
+        elif types.ndim != 1:
+            raise ValueError("types must be 1-D or (n_replicates, n_agents)")
+        if n_replicates < 1 or types.size % n_replicates:
+            raise ValueError("types must split evenly into n_replicates rows")
         self.n_steps = int(n_steps)
-        self.types = np.asarray(types, dtype=np.int8)
-        self._masks = {t: self.types == t for t in self._TYPES}
-        self._counts = {t: int(m.sum()) for t, m in self._masks.items()}
+        self.n_replicates = int(n_replicates)
+        self.types = types.reshape(-1)
+        self._n_per_rep = self.types.size // self.n_replicates
+        types2d = self.types.reshape(self.n_replicates, self._n_per_rep)
+        # Per-(replicate, type) member indices, precomputed once; gathers
+        # through these match boolean-mask compression element-for-element.
+        self._type_idx = [
+            {t: np.flatnonzero(types2d[r] == t) for t in self._TYPES}
+            for r in range(self.n_replicates)
+        ]
         self._cursor = 0
 
-        shape = (self.n_steps,)
-        self.files_all = np.zeros(shape)
-        self.bandwidth_all = np.zeros(shape)
-        self.files_by_type = {t: np.zeros(shape) for t in self._TYPES}
-        self.bandwidth_by_type = {t: np.zeros(shape) for t in self._TYPES}
-        self.rep_s_by_type = {t: np.zeros(shape) for t in self._TYPES}
-        self.rep_e_by_type = {t: np.zeros(shape) for t in self._TYPES}
-        self.utility_s_all = np.zeros(shape)
-        self.utility_e_all = np.zeros(shape)
-        # (steps, type, constructive) proposal/acceptance counts.
-        self.proposals = np.zeros((self.n_steps, 3, 2))
-        self.accepted = np.zeros((self.n_steps, 3, 2))
-        self.votes_cast = np.zeros(shape)
-        self.votes_successful = np.zeros(shape)
-        self.vote_bans = np.zeros(shape)
-        self.reputation_resets = np.zeros(shape)
+        R = self.n_replicates
+        shape = (R, self.n_steps)
+        self._files_all = np.zeros(shape)
+        self._bandwidth_all = np.zeros(shape)
+        self._files_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self._bandwidth_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self._rep_s_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self._rep_e_by_type = {t: np.zeros(shape) for t in self._TYPES}
+        self._utility_s_all = np.zeros(shape)
+        self._utility_e_all = np.zeros(shape)
+        # (replicate, steps, type, constructive) proposal/acceptance counts.
+        self._proposals = np.zeros((R, self.n_steps, 3, 2))
+        self._accepted = np.zeros((R, self.n_steps, 3, 2))
+        self._votes_cast = np.zeros(shape)
+        self._votes_successful = np.zeros(shape)
+        self._vote_bans = np.zeros(shape)
+        self._reputation_resets = np.zeros(shape)
+        # Scratch: the four per-peer series stacked so one contiguous
+        # gather serves all per-type means (reused every step).
+        self._type_buf = np.empty((4, self.types.size))
+        # When a type has the same member count in every replicate (the
+        # common case — replicates share one mix), its means batch into a
+        # single take over flat slot ids; ragged types fall back to a
+        # per-replicate loop.  Both paths gather the same elements in the
+        # same per-replicate order and reduce contiguous rows of the same
+        # length, so they are bit-identical.
+        self._type_flat_idx: dict[int, np.ndarray | None] = {}
+        for t in self._TYPES:
+            sizes = {self._type_idx[r][t].size for r in range(R)}
+            if len(sizes) == 1 and sizes != {0}:
+                self._type_flat_idx[t] = np.concatenate(
+                    [
+                        self._type_idx[r][t] + r * self._n_per_rep
+                        for r in range(R)
+                    ]
+                )
+            else:
+                self._type_flat_idx[t] = None
+
+        # Public views: single runs keep the historical 1-D attributes
+        # (row-0 views, zero-copy); stacked runs expose the (R, steps)
+        # arrays directly.
+        first = (lambda a: a[0]) if R == 1 else (lambda a: a)
+        self.files_all = first(self._files_all)
+        self.bandwidth_all = first(self._bandwidth_all)
+        self.files_by_type = {t: first(a) for t, a in self._files_by_type.items()}
+        self.bandwidth_by_type = {
+            t: first(a) for t, a in self._bandwidth_by_type.items()
+        }
+        self.rep_s_by_type = {t: first(a) for t, a in self._rep_s_by_type.items()}
+        self.rep_e_by_type = {t: first(a) for t, a in self._rep_e_by_type.items()}
+        self.utility_s_all = first(self._utility_s_all)
+        self.utility_e_all = first(self._utility_e_all)
+        self.proposals = first(self._proposals)
+        self.accepted = first(self._accepted)
+        self.votes_cast = first(self._votes_cast)
+        self.votes_successful = first(self._votes_successful)
+        self.vote_bans = first(self._vote_bans)
+        self.reputation_resets = first(self._reputation_resets)
 
     # ------------------------------------------------------------------
     def record(self, stats: StepStats) -> None:
         i = self._cursor
         if i >= self.n_steps:
             raise RuntimeError("metrics store is full")
-        self.files_all[i] = stats.offered_files.mean()
-        self.bandwidth_all[i] = stats.offered_bandwidth.mean()
-        for t, mask in self._masks.items():
-            if self._counts[t]:
-                self.files_by_type[t][i] = stats.offered_files[mask].mean()
-                self.bandwidth_by_type[t][i] = stats.offered_bandwidth[mask].mean()
-                self.rep_s_by_type[t][i] = stats.reputation_s[mask].mean()
-                self.rep_e_by_type[t][i] = stats.reputation_e[mask].mean()
-            else:
-                self.files_by_type[t][i] = np.nan
-                self.bandwidth_by_type[t][i] = np.nan
-                self.rep_s_by_type[t][i] = np.nan
-                self.rep_e_by_type[t][i] = np.nan
-        self.utility_s_all[i] = stats.sharing_utility.mean()
-        self.utility_e_all[i] = stats.editing_utility.mean()
-        self.proposals[i] = stats.proposals
-        self.accepted[i] = stats.accepted
-        self.votes_cast[i] = stats.votes_cast
-        self.votes_successful[i] = stats.votes_successful
-        self.vote_bans[i] = stats.vote_bans
-        self.reputation_resets[i] = stats.reputation_resets
+        R, N = self.n_replicates, self._n_per_rep
+        files = np.asarray(stats.offered_files).reshape(R, N)
+        bw = np.asarray(stats.offered_bandwidth).reshape(R, N)
+        rep_s = np.asarray(stats.reputation_s).reshape(R, N)
+        rep_e = np.asarray(stats.reputation_e).reshape(R, N)
+        self._files_all[:, i] = files.mean(axis=1)
+        self._bandwidth_all[:, i] = bw.mean(axis=1)
+        buf = self._type_buf
+        buf[0] = files.reshape(-1)
+        buf[1] = bw.reshape(-1)
+        buf[2] = rep_s.reshape(-1)
+        buf[3] = rep_e.reshape(-1)
+        for t in self._TYPES:
+            flat_idx = self._type_flat_idx[t]
+            if flat_idx is not None:
+                # (4, R*k) contiguous gather -> (4, R, k) rows -> row means.
+                k = flat_idx.size // R
+                m = buf.take(flat_idx, axis=1).reshape(4, R, k).mean(axis=2)
+                self._files_by_type[t][:, i] = m[0]
+                self._bandwidth_by_type[t][:, i] = m[1]
+                self._rep_s_by_type[t][:, i] = m[2]
+                self._rep_e_by_type[t][:, i] = m[3]
+                continue
+            for r in range(R):
+                idx = self._type_idx[r][t]
+                if idx.size:
+                    row = buf[:, r * N : (r + 1) * N]
+                    m = row.take(idx, axis=1).mean(axis=1)
+                    self._files_by_type[t][r, i] = m[0]
+                    self._bandwidth_by_type[t][r, i] = m[1]
+                    self._rep_s_by_type[t][r, i] = m[2]
+                    self._rep_e_by_type[t][r, i] = m[3]
+                else:
+                    self._files_by_type[t][r, i] = np.nan
+                    self._bandwidth_by_type[t][r, i] = np.nan
+                    self._rep_s_by_type[t][r, i] = np.nan
+                    self._rep_e_by_type[t][r, i] = np.nan
+        self._utility_s_all[:, i] = (
+            np.asarray(stats.sharing_utility).reshape(R, N).mean(axis=1)
+        )
+        self._utility_e_all[:, i] = (
+            np.asarray(stats.editing_utility).reshape(R, N).mean(axis=1)
+        )
+        self._proposals[:, i] = np.asarray(stats.proposals).reshape(R, 3, 2)
+        self._accepted[:, i] = np.asarray(stats.accepted).reshape(R, 3, 2)
+        self._votes_cast[:, i] = np.asarray(stats.votes_cast)
+        self._votes_successful[:, i] = np.asarray(stats.votes_successful)
+        self._vote_bans[:, i] = np.asarray(stats.vote_bans)
+        self._reputation_resets[:, i] = np.asarray(stats.reputation_resets)
         self._cursor += 1
 
     @property
@@ -108,33 +209,50 @@ class MetricsCollector:
         return self._cursor
 
     # ------------------------------------------------------------------
-    def summary(self, start: int, end: int | None = None) -> dict[str, float]:
-        """Reduce the window ``[start, end)`` into scalar metrics."""
+    def summary(
+        self, start: int, end: int | None = None, replicate: int | None = None
+    ) -> dict[str, float]:
+        """Reduce the window ``[start, end)`` into scalar metrics.
+
+        ``replicate`` selects the row of a stacked collector; single-run
+        collectors default to their only replicate.
+        """
+        if replicate is None:
+            if self.n_replicates != 1:
+                raise ValueError(
+                    "stacked collector: pass replicate= (or use summaries())"
+                )
+            replicate = 0
+        if not 0 <= replicate < self.n_replicates:
+            raise ValueError(f"replicate {replicate} out of range")
+        r = replicate
         end = self._cursor if end is None else end
         if not 0 <= start < end <= self._cursor:
             raise ValueError(f"bad window [{start}, {end}) with {self._cursor} steps")
         sl = slice(start, end)
         out: dict[str, float] = {
-            "shared_files": float(self.files_all[sl].mean()),
-            "shared_bandwidth": float(self.bandwidth_all[sl].mean()),
-            "utility_sharing": float(self.utility_s_all[sl].mean()),
-            "utility_editing": float(self.utility_e_all[sl].mean()),
-            "votes_cast_per_step": float(self.votes_cast[sl].mean()),
+            "shared_files": float(self._files_all[r, sl].mean()),
+            "shared_bandwidth": float(self._bandwidth_all[r, sl].mean()),
+            "utility_sharing": float(self._utility_s_all[r, sl].mean()),
+            "utility_editing": float(self._utility_e_all[r, sl].mean()),
+            "votes_cast_per_step": float(self._votes_cast[r, sl].mean()),
             "vote_success_rate": _safe_ratio(
-                self.votes_successful[sl].sum(), self.votes_cast[sl].sum()
+                self._votes_successful[r, sl].sum(), self._votes_cast[r, sl].sum()
             ),
-            "vote_bans": float(self.vote_bans[sl].sum()),
-            "reputation_resets": float(self.reputation_resets[sl].sum()),
+            "vote_bans": float(self._vote_bans[r, sl].sum()),
+            "reputation_resets": float(self._reputation_resets[r, sl].sum()),
         }
         for t in self._TYPES:
             name = TYPE_NAMES[t]
-            out[f"shared_files_{name}"] = _nanmean(self.files_by_type[t][sl])
-            out[f"shared_bandwidth_{name}"] = _nanmean(self.bandwidth_by_type[t][sl])
-            out[f"reputation_s_{name}"] = _nanmean(self.rep_s_by_type[t][sl])
-            out[f"reputation_e_{name}"] = _nanmean(self.rep_e_by_type[t][sl])
+            out[f"shared_files_{name}"] = _nanmean(self._files_by_type[t][r, sl])
+            out[f"shared_bandwidth_{name}"] = _nanmean(
+                self._bandwidth_by_type[t][r, sl]
+            )
+            out[f"reputation_s_{name}"] = _nanmean(self._rep_s_by_type[t][r, sl])
+            out[f"reputation_e_{name}"] = _nanmean(self._rep_e_by_type[t][r, sl])
 
-        props = self.proposals[sl].sum(axis=0)  # (3, 2)
-        accs = self.accepted[sl].sum(axis=0)
+        props = self._proposals[r, sl].sum(axis=0)  # (3, 2)
+        accs = self._accepted[r, sl].sum(axis=0)
         for t in self._TYPES:
             name = TYPE_NAMES[t]
             good, bad = props[t, 1], props[t, 0]
@@ -159,12 +277,25 @@ class MetricsCollector:
         )
         return out
 
+    def summaries(self, start: int, end: int | None = None) -> list[dict[str, float]]:
+        """Per-replicate summaries of the window, in replicate order."""
+        return [
+            self.summary(start, end, replicate=r) for r in range(self.n_replicates)
+        ]
+
     def series(self, name: str) -> np.ndarray:
-        """A recorded per-step series (trimmed to recorded length)."""
+        """A recorded per-step series (trimmed to recorded length).
+
+        Single-run collectors return the historical 1-D (or
+        ``(steps, 3, 2)``) shape; stacked collectors prepend the
+        replicate axis.
+        """
         arr = getattr(self, name, None)
         if not isinstance(arr, np.ndarray):
             raise KeyError(name)
-        return arr[: self._cursor]
+        if self.n_replicates == 1:
+            return arr[: self._cursor]
+        return arr[:, : self._cursor]
 
 
 def _safe_ratio(num: float, den: float) -> float:

@@ -1,0 +1,52 @@
+"""Composable per-step phase kernels over an explicit :class:`SimState`.
+
+The old monolithic ``CollaborationSimulation.step()`` is split into six
+kernels, each a function of ``(SimState, SimulationConfig)`` driving the
+state's per-replicate RNG streams:
+
+``churn``      joins / leaves / whitewash identity resets
+``act``        observe reputations, pick sharing + edit/vote actions
+``download``   sample requests, settle bandwidth, sharing utilities
+``edit_vote``  edit proposals, weighted voting rounds, punishment
+``learn``      temporal-difference backups of the rational learners
+``record``     per-step metric capture
+
+:func:`step_state` composes them in protocol order.  Every kernel is
+batched over the replicate axis: elementwise work runs once on the flat
+``(R * N,)`` slot arrays, and only the irreducibly per-replicate piece —
+the RNG draws — loops over replicates, consuming each replicate's stream
+exactly as a sequential run would, which is what makes batched
+replicates bit-identical to their sequential twins.
+"""
+
+from __future__ import annotations
+
+from ..state import SimState
+from .act import act_phase
+from .churn import churn_phase
+from .download import download_phase
+from .edit_vote import edit_vote_phase
+from .learn import learn_phase
+from .record import record_phase
+
+__all__ = [
+    "churn_phase",
+    "act_phase",
+    "download_phase",
+    "edit_vote_phase",
+    "learn_phase",
+    "record_phase",
+    "step_state",
+]
+
+
+def step_state(state: SimState, temperature: float, learn: bool = True) -> None:
+    """Advance every replicate of ``state`` by one simultaneous step."""
+    cfg = state.config
+    churn_phase(state, cfg)
+    act_phase(state, cfg, temperature)
+    download_phase(state, cfg)
+    edit_vote_phase(state, cfg)
+    learn_phase(state, cfg, learn)
+    record_phase(state, cfg)
+    state.step_count += 1

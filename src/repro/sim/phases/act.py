@@ -1,0 +1,46 @@
+"""Act phase: observe reputation states, choose sharing and edit actions."""
+
+from __future__ import annotations
+
+from ...core.reputation import reputation_to_state
+from ..config import SimulationConfig
+from ..state import SimState
+
+__all__ = ["act_phase"]
+
+
+def act_phase(state: SimState, cfg: SimulationConfig, temperature: float) -> None:
+    """Snapshot reputations, select this step's actions, install them.
+
+    Reputation snapshots (``rep_s``/``rep_e``) are taken once here and
+    reused by the voting and metrics phases — reputations only move
+    between steps.  Action selection is one stacked call over all
+    replicates' rational peers; fixed types are filled in vectorized.
+    """
+    ctx = state.ctx
+    scheme = state.scheme
+    rep_p = cfg.constants.reputation_s
+    rep_pe = cfg.constants.reputation_e
+    ctx.rep_s = scheme.reputation_s()
+    ctx.rep_e = scheme.reputation_e()
+    ridx = state.rational_idx
+    ctx.states_s = reputation_to_state(
+        ctx.rep_s[ridx], cfg.n_states, rep_p.r_min, rep_p.r_max
+    )
+    ctx.states_e = reputation_to_state(
+        ctx.rep_e[ridx], cfg.n_states, rep_pe.r_min, rep_pe.r_max
+    )
+    ctx.share_actions = state.behavior.sharing_actions(
+        ctx.states_s, temperature, state.rngs
+    )
+    bw, files = state.sharing_space.decode(ctx.share_actions)
+    online = state.peers.online
+    ctx.bw = bw * online
+    ctx.files = files * online
+    state.peers.set_actions(ctx.bw, ctx.files)
+    ctx.edit_actions = state.behavior.edit_actions(
+        ctx.states_e, temperature, state.rngs
+    )
+    ctx.edit_constructive, ctx.vote_constructive = state.edit_space.decode(
+        ctx.edit_actions
+    )

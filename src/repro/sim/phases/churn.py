@@ -1,0 +1,32 @@
+"""Churn phase: joins, leaves and whitewash identity resets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..state import SimState
+
+__all__ = ["churn_phase"]
+
+
+def churn_phase(state: SimState, cfg: SimulationConfig) -> None:
+    """Apply one churn round per replicate (no-op when churn is off).
+
+    Online flips happen in place on each replicate's row view; whitewash
+    resets are collected across replicates and applied to the scheme's
+    ledger in one scatter (resets are idempotent zero-assignments, so
+    batching them is equivalent to the sequential per-event resets).
+    """
+    if not state.churn.active:
+        return
+    n = state.n_agents
+    online2d = state.rows(state.peers.online)
+    washed: list[int] = []
+    for r in range(state.n_replicates):
+        for ev in state.churn.step(state.rngs[r], online2d[r]):
+            if ev.kind == "whitewash":
+                washed.append(ev.peer_id + r * n)
+                state.whitewash_counts[r] += 1
+    if washed:
+        state.scheme.ledger.reset_peers(np.asarray(washed, dtype=np.int64))

@@ -1,0 +1,50 @@
+"""Download phase: request sampling, bandwidth settlement, sharing books."""
+
+from __future__ import annotations
+
+from ...core.utility import sharing_utility
+from ...network.bandwidth import sample_download_requests_batch, settle_downloads
+from ..config import SimulationConfig
+from ..state import SimState
+
+__all__ = ["download_phase"]
+
+
+def download_phase(state: SimState, cfg: SimulationConfig) -> None:
+    """Sample per-replicate download requests and settle them in one pass.
+
+    Requests are drawn per replicate (each from its own stream) and
+    offset into the flat slot space; the share allocation and the settle
+    scatter then run once over all replicates — competition is grouped by
+    source slot, so replicates never interact.  Ends with the sharing
+    utilities and the scheme's sharing-contribution update, matching the
+    monolithic engine's ordering (the ledger moves *before* the editing
+    phase reads edit eligibility).
+    """
+    ctx = state.ctx
+    peers = state.peers
+    mask2d = state.rows(peers.sharing_mask())
+    requests = sample_download_requests_batch(
+        state.rngs, mask2d, cfg.download_probability, overlays=state.overlays
+    )
+    shares = state.scheme.bandwidth_shares(
+        requests.source_ids, requests.downloader_ids
+    )
+    received, _served = settle_downloads(
+        requests,
+        shares,
+        peers.offered_bandwidth,
+        peers.upload_capacity,
+        peers.n,
+    )
+    ctx.received = received
+    if state.transfer_hook is not None and requests.n:
+        amounts = (
+            peers.offered_bandwidth[requests.source_ids]
+            * peers.upload_capacity[requests.source_ids]
+            * shares
+        )
+        state.transfer_hook(requests.downloader_ids, requests.source_ids, amounts)
+
+    ctx.u_s = sharing_utility(received, ctx.files, ctx.bw, cfg.constants.utility)
+    state.scheme.record_sharing(ctx.files, ctx.bw)

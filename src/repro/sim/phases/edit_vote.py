@@ -1,0 +1,250 @@
+"""Edit/vote phase: proposals, batched weighted voting rounds, punishment.
+
+All proposals of one step — across *all* replicates — are settled
+simultaneously against the step-start reputation snapshot: candidate
+voters are gathered from the articles' cached voter arrays and filtered
+in one ragged pass, voter weights are normalized per proposal with the
+same grouped-share kernel the bandwidth allocator uses, and outcomes are
+scattered back with ``np.add.at``.  Only the RNG draws (proposer masks,
+article picks, subsample keys) run in per-replicate loops — each
+replicate consumes its own stream exactly as a solo run would.
+
+Vote success is measured against the *simple* weighted majority
+(>= 0.5), not the adaptive acceptance bar: a voter should not be punished
+for siding with the majority merely because a low-reputation editor
+needed a supermajority.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.service import (
+    allocate_by_reputation,
+    allocate_equal_split,
+    required_majority,
+)
+from ...core.utility import editing_utility
+from ...network.events import EditEvent, PunishmentEvent
+from ..config import SimulationConfig
+from ..state import SimState
+
+__all__ = ["edit_vote_phase"]
+
+
+def edit_vote_phase(state: SimState, cfg: SimulationConfig) -> None:
+    """Draw proposals per replicate, decide them all, book the outcomes."""
+    sc = state.scratch
+    sc.reset()
+    scheme = state.scheme
+    online = state.peers.online
+    if cfg.enforce_edit_threshold:
+        may_edit = scheme.may_edit() & online
+    else:
+        may_edit = online.copy()
+    n = state.n_agents
+    n_rep = state.n_replicates
+    # Per-replicate proposer draws (stream parity), flat thresholding.
+    u = sc.proposer_u
+    for r in range(n_rep):
+        u[r] = state.rngs[r].random(n)
+    proposer_mask = may_edit & (u.reshape(-1) < cfg.edit_attempt_prob)
+    proposers_flat = np.flatnonzero(proposer_mask)
+    if proposers_flat.size:
+        bounds = np.searchsorted(proposers_flat, np.arange(n_rep + 1) * n)
+        proposer_rows = [
+            proposers_flat[bounds[r] : bounds[r + 1]] - r * n
+            for r in range(n_rep)
+        ]
+        _voting_rounds(state, cfg, proposer_rows)
+
+    state.ctx.u_e = editing_utility(
+        sc.acc_edits, sc.succ_votes, cfg.constants.utility
+    )
+    scheme.record_editing(sc.succ_votes, sc.acc_edits)
+
+
+def _voting_rounds(
+    state: SimState, cfg: SimulationConfig, proposer_rows: list[np.ndarray]
+) -> None:
+    """Decide every replicate's proposals with one batched voting pass."""
+    ctx = state.ctx
+    sc = state.scratch
+    scheme = state.scheme
+    n = state.n_agents
+    can_vote = scheme.may_vote() & state.peers.online
+    all_can_vote = bool(can_vote.all())
+    max_voters = cfg.max_voters_per_edit
+
+    # Collection: per replicate only the article draws (stream parity) and
+    # the per-proposal voter-array lookups (cached Python objects); every
+    # other step below runs once, globally, over all replicates' proposals.
+    arrays: list[np.ndarray] = []  # per-proposal candidate voters, local ids
+    local_proposer_parts: list[np.ndarray] = []
+    article_parts: list[np.ndarray] = []
+    rep_prop_counts = np.zeros(state.n_replicates, dtype=np.int64)
+    for r, local in enumerate(proposer_rows):
+        n_prop_r = local.size
+        if not n_prop_r:
+            continue
+        store = state.articles[r]
+        aids = store.sample_articles(state.rngs[r], n_prop_r)
+        arts = store.articles
+        arrays.extend(arts[aid].voter_array() for aid in aids.tolist())
+        local_proposer_parts.append(local)
+        article_parts.append(aids)
+        rep_prop_counts[r] = n_prop_r
+
+    n_prop = int(rep_prop_counts.sum())
+    local_proposers = np.concatenate(local_proposer_parts)
+    article_ids = np.concatenate(article_parts)
+    rep_of_prop = np.repeat(np.arange(state.n_replicates), rep_prop_counts)
+    proposers = local_proposers + rep_of_prop * n
+
+    # One ragged filter over every proposal's candidate voters.
+    counts = np.fromiter((a.size for a in arrays), dtype=np.int64, count=n_prop)
+    if counts.sum():
+        cand_local = np.concatenate(arrays)
+        prop_of_cand = np.repeat(np.arange(n_prop), counts)
+        keep = cand_local != local_proposers[prop_of_cand]
+        flat_cand = cand_local + rep_of_prop[prop_of_cand] * n
+        if not all_can_vote:
+            keep &= can_vote[flat_cand]
+        flat_voters = flat_cand[keep]
+        cand_prop = prop_of_cand[keep]
+        voter_counts = np.bincount(cand_prop, minlength=n_prop)
+    else:
+        flat_voters = np.empty(0, dtype=np.int64)
+        cand_prop = np.empty(0, dtype=np.int64)
+        voter_counts = np.zeros(n_prop, dtype=np.int64)
+
+    if np.any(voter_counts > max_voters):
+        # Subsample oversubscribed proposals by the random-keys method:
+        # one uniform key per candidate, keep each proposal's
+        # ``max_voters`` smallest keys — a uniform without-replacement
+        # draw.  Keys are drawn per replicate (stream parity: a replicate
+        # draws exactly when it has an oversubscribed proposal, sized to
+        # its kept-candidate count), then one stable global lexsort
+        # selects within every proposal; replicates that drew no keys
+        # keep their original candidate order under key 0.
+        keys = np.zeros(flat_voters.size)
+        cand_rep = rep_of_prop[cand_prop]
+        over_reps = np.unique(rep_of_prop[voter_counts > max_voters])
+        cand_per_rep = np.bincount(cand_rep, minlength=state.n_replicates)
+        rep_bounds = np.concatenate(([0], np.cumsum(cand_per_rep)))
+        for r in over_reps.tolist():
+            keys[rep_bounds[r] : rep_bounds[r + 1]] = state.rngs[r].random(
+                int(cand_per_rep[r])
+            )
+        order = np.lexsort((keys, cand_prop))
+        rank = np.arange(flat_voters.size) - np.repeat(
+            np.cumsum(voter_counts) - voter_counts, voter_counts
+        )
+        take = order[rank < max_voters]
+        flat_voters = flat_voters[take]
+        voter_counts = np.minimum(voter_counts, max_voters)
+
+    flat_prop = np.repeat(np.arange(n_prop), voter_counts)
+    prop_constructive = ctx.edit_constructive[proposers]
+
+    if scheme.differentiates_service:
+        weights = allocate_by_reputation(flat_prop, ctx.rep_e[flat_voters], n_prop)
+        required = required_majority(
+            ctx.rep_e[proposers], cfg.constants.service, cfg.constants.reputation_e
+        )
+    else:
+        weights = allocate_equal_split(flat_prop, n_prop)
+        required = np.full(n_prop, 0.5)
+
+    votes_for = ctx.vote_constructive[flat_voters] == prop_constructive[flat_prop]
+    for_weight = np.zeros(n_prop)
+    np.add.at(for_weight, flat_prop[votes_for], weights[votes_for])
+    quorum = voter_counts >= cfg.min_voters_per_edit
+    accepted = quorum & (for_weight >= required)
+    majority_for = for_weight >= 0.5
+    successful = votes_for == majority_for[flat_prop]
+
+    np.add.at(sc.succ_votes, flat_voters[successful], 1.0)
+    newly_banned = scheme.record_vote_outcomes(flat_voters, successful)
+    punished = scheme.record_edit_outcomes(proposers, accepted)
+
+    types = state.peers.types[proposers]
+    cons_idx = prop_constructive.astype(np.int64)
+    np.add.at(sc.proposals_count, (rep_of_prop, types, cons_idx), 1)
+    acc = np.flatnonzero(accepted)
+    np.add.at(sc.accepted_count, (rep_of_prop[acc], types[acc], cons_idx[acc]), 1)
+    np.add.at(sc.acc_edits, proposers[acc], 1.0)
+    for p in acc:
+        state.articles[int(rep_of_prop[p])].articles[
+            int(article_ids[p])
+        ].record_accepted(int(local_proposers[p]), bool(prop_constructive[p]))
+
+    # Per-replicate step counters.
+    if flat_voters.size:
+        rep_of_voter = rep_of_prop[flat_prop]
+        np.add.at(sc.votes_cast, rep_of_voter, 1.0)
+        np.add.at(sc.votes_successful, rep_of_voter[successful], 1.0)
+    if newly_banned.size:
+        np.add.at(sc.vote_bans, newly_banned // n, 1.0)
+    if punished.size:
+        np.add.at(sc.reputation_resets, punished // n, 1.0)
+
+    if any(ev is not None for ev in state.events):
+        _record_events(
+            state,
+            rep_of_prop,
+            article_ids,
+            local_proposers,
+            prop_constructive,
+            accepted,
+            for_weight,
+            required,
+            voter_counts,
+            newly_banned,
+            punished,
+        )
+
+
+def _record_events(
+    state: SimState,
+    rep_of_prop: np.ndarray,
+    article_ids: np.ndarray,
+    local_proposers: np.ndarray,
+    prop_constructive: np.ndarray,
+    accepted: np.ndarray,
+    for_weight: np.ndarray,
+    required: np.ndarray,
+    voter_counts: np.ndarray,
+    newly_banned: np.ndarray,
+    punished: np.ndarray,
+) -> None:
+    """Mirror the per-proposal diagnostics into each replicate's log."""
+    n = state.n_agents
+    for p in range(rep_of_prop.size):
+        log = state.events[int(rep_of_prop[p])]
+        if log is None:
+            continue
+        log.record_edit(
+            EditEvent(
+                step=state.step_count,
+                article_id=int(article_ids[p]),
+                editor_id=int(local_proposers[p]),
+                constructive=bool(prop_constructive[p]),
+                accepted=bool(accepted[p]),
+                for_weight=float(for_weight[p]),
+                required_majority=float(required[p]),
+                n_voters=int(voter_counts[p]),
+            )
+        )
+    for peer in newly_banned:
+        log = state.events[int(peer) // n]
+        if log is not None:
+            log.record_punishment(
+                PunishmentEvent(state.step_count, int(peer) % n, "vote_ban")
+            )
+    for peer in punished:
+        log = state.events[int(peer) // n]
+        if log is not None:
+            log.record_punishment(
+                PunishmentEvent(state.step_count, int(peer) % n, "reputation_reset")
+            )

@@ -1,0 +1,32 @@
+"""Learn phase: temporal-difference backups of the rational learners."""
+
+from __future__ import annotations
+
+from ...core.reputation import reputation_to_state
+from ..config import SimulationConfig
+from ..state import SimState
+
+__all__ = ["learn_phase"]
+
+
+def learn_phase(state: SimState, cfg: SimulationConfig, learn: bool) -> None:
+    """One stacked TD update from this step's utilities (if learning)."""
+    if not learn or not state.rational_idx.size:
+        return
+    ctx = state.ctx
+    scheme = state.scheme
+    rep_p = cfg.constants.reputation_s
+    rep_pe = cfg.constants.reputation_e
+    ridx = state.rational_idx
+    next_states_s = reputation_to_state(
+        scheme.reputation_s()[ridx], cfg.n_states, rep_p.r_min, rep_p.r_max
+    )
+    next_states_e = reputation_to_state(
+        scheme.reputation_e()[ridx], cfg.n_states, rep_pe.r_min, rep_pe.r_max
+    )
+    state.behavior.learn_sharing(
+        ctx.states_s, ctx.share_actions, ctx.u_s, next_states_s
+    )
+    state.behavior.learn_editing(
+        ctx.states_e, ctx.edit_actions, ctx.u_e, next_states_e
+    )

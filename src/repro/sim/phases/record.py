@@ -1,0 +1,36 @@
+"""Record phase: hand the step's outcomes to the metrics collector."""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..metrics import StepStats
+from ..state import SimState
+
+__all__ = ["record_phase"]
+
+
+def record_phase(state: SimState, cfg: SimulationConfig) -> None:
+    """Capture one row of every per-step series (all replicates at once).
+
+    The scratch count buffers are handed over by reference; the collector
+    copies their values into its preallocated series, so reusing the
+    buffers next step is safe.
+    """
+    ctx = state.ctx
+    sc = state.scratch
+    state.metrics.record(
+        StepStats(
+            offered_files=ctx.files,
+            offered_bandwidth=ctx.bw,
+            reputation_s=ctx.rep_s,
+            reputation_e=ctx.rep_e,
+            sharing_utility=ctx.u_s,
+            editing_utility=ctx.u_e,
+            proposals=sc.proposals_count,
+            accepted=sc.accepted_count,
+            votes_cast=sc.votes_cast,
+            votes_successful=sc.votes_successful,
+            vote_bans=sc.vote_bans,
+            reputation_resets=sc.reputation_resets,
+        )
+    )

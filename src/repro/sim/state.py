@@ -1,0 +1,289 @@
+"""Explicit simulation state for the phase-kernel pipeline.
+
+:class:`SimState` is everything a run mutates, pulled out of the old
+monolithic ``CollaborationSimulation`` so the per-step logic can live in
+small composable phase kernels (:mod:`repro.sim.phases`) that each take
+``(SimState, SimulationConfig)`` and the state's RNG streams.
+
+The state carries an explicit **replicate axis**: ``R`` seed-varied
+replicates of one configuration run as a single state whose per-peer
+arrays are flat ``(R * N,)`` slot vectors (replicate ``r`` owns slots
+``[r*N, (r+1)*N)``).  Structured per-replicate objects — RNG streams,
+article stores, overlay graphs, event logs — stay per-replicate lists.
+``R = 1`` is the plain single simulation: every array has its historical
+shape and the kernels execute the exact operation sequence the monolithic
+engine used, so results are bit-identical.
+
+Seed-for-seed guarantee: replicate ``r`` of a batched state consumes its
+own generator (seeded with its config's seed) through *exactly* the same
+draw sites, shapes and order as a sequential run of that config, both
+during construction (types -> capacities -> overlay -> founders) and in
+every phase kernel.  Batched replicate ``r`` therefore reproduces the
+sequential run bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..agents.actions import EditActionSpace, SharingActionSpace
+from ..agents.behaviors import BatchedBehaviorEngine
+from ..agents.qlearning import VectorQLearner
+from ..core.baselines import KarmaScheme, PrivateHistoryScheme
+from ..core.incentives import make_scheme
+from ..core.reputation import REPUTATION_FUNCTIONS
+from ..network.articles import ArticleStore
+from ..network.events import EventLog
+from ..network.overlay import ChurnModel, OverlayNetwork
+from ..network.peer import RATIONAL, PeerArrays
+from .config import SimulationConfig
+from .metrics import MetricsCollector
+from .rng import BufferedRNG, make_rng
+
+__all__ = ["SimState", "StepScratch", "PhaseContext", "build_sim_state"]
+
+
+def _make_reputation_fn(name: str, params):
+    try:
+        cls = REPUTATION_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reputation function {name!r}; "
+            f"choose from {sorted(REPUTATION_FUNCTIONS)}"
+        ) from None
+    return cls(params)
+
+
+@dataclass
+class StepScratch:
+    """Per-step accumulation buffers, zeroed and reused every step."""
+
+    succ_votes: np.ndarray  # (R*N,) successful votes this step
+    acc_edits: np.ndarray  # (R*N,) accepted edits this step
+    proposals_count: np.ndarray  # (R, 3, 2) proposals by (type, constructive)
+    accepted_count: np.ndarray  # (R, 3, 2) accepted by (type, constructive)
+    votes_cast: np.ndarray  # (R,)
+    votes_successful: np.ndarray  # (R,)
+    vote_bans: np.ndarray  # (R,)
+    reputation_resets: np.ndarray  # (R,)
+    proposer_u: np.ndarray  # (R, N) per-replicate proposer uniforms
+
+    @classmethod
+    def create(cls, n_replicates: int, n_agents: int) -> "StepScratch":
+        slots = n_replicates * n_agents
+        return cls(
+            succ_votes=np.zeros(slots, dtype=np.float64),
+            acc_edits=np.zeros(slots, dtype=np.float64),
+            proposals_count=np.zeros((n_replicates, 3, 2)),
+            accepted_count=np.zeros((n_replicates, 3, 2)),
+            votes_cast=np.zeros(n_replicates),
+            votes_successful=np.zeros(n_replicates),
+            vote_bans=np.zeros(n_replicates),
+            reputation_resets=np.zeros(n_replicates),
+            proposer_u=np.empty((n_replicates, n_agents)),
+        )
+
+    def reset(self) -> None:
+        self.succ_votes.fill(0.0)
+        self.acc_edits.fill(0.0)
+        self.proposals_count.fill(0.0)
+        self.accepted_count.fill(0.0)
+        self.votes_cast.fill(0.0)
+        self.votes_successful.fill(0.0)
+        self.vote_bans.fill(0.0)
+        self.reputation_resets.fill(0.0)
+
+
+@dataclass
+class PhaseContext:
+    """Intermediate values one step's kernels hand to the next kernel.
+
+    Reused across steps; every field is overwritten by the producing
+    phase before the consuming phase reads it.
+    """
+
+    rep_s: np.ndarray | None = None  # step-start sharing reputations (R*N,)
+    rep_e: np.ndarray | None = None  # step-start editing reputations (R*N,)
+    states_s: np.ndarray | None = None  # discretized states, stacked rational
+    states_e: np.ndarray | None = None
+    share_actions: np.ndarray | None = None  # (R*N,) action indices
+    edit_actions: np.ndarray | None = None
+    bw: np.ndarray | None = None  # offered bandwidth fractions (R*N,)
+    files: np.ndarray | None = None  # offered file fractions (R*N,)
+    edit_constructive: np.ndarray | None = None  # (R*N,) bool
+    vote_constructive: np.ndarray | None = None  # (R*N,) bool
+    received: np.ndarray | None = None  # settled download bandwidth (R*N,)
+    u_s: np.ndarray | None = None  # sharing utilities (R*N,)
+    u_e: np.ndarray | None = None  # editing utilities (R*N,)
+
+
+@dataclass
+class SimState:
+    """Full mutable state of ``R`` stacked replicates of one config."""
+
+    configs: list[SimulationConfig]  # one per replicate; differ only in seed
+    n_replicates: int
+    n_agents: int  # peers per replicate
+    rngs: list  # one independent BufferedRNG stream per replicate
+    peers: PeerArrays  # flat R*N slots
+    scheme: Any  # replicate-aware incentive scheme
+    overlays: list[OverlayNetwork] | None  # per replicate, None = full mesh
+    articles: list[ArticleStore]  # per replicate
+    sharing_space: SharingActionSpace
+    edit_space: EditActionSpace
+    sharing_learner: VectorQLearner  # stacked over all replicates' rationals
+    edit_learner: VectorQLearner
+    behavior: BatchedBehaviorEngine
+    churn: ChurnModel
+    metrics: MetricsCollector
+    events: list[EventLog | None]  # per replicate
+    rational_idx: np.ndarray  # flat slot ids of rational peers
+    scratch: StepScratch
+    ctx: PhaseContext
+    transfer_hook: Any  # scheme.record_transfers or None
+    step_count: int = 0
+    whitewash_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The shared (non-seed) configuration of every replicate."""
+        return self.configs[0]
+
+    def rows(self, arr: np.ndarray) -> np.ndarray:
+        """Zero-copy ``(R, N)`` view of a flat per-slot array."""
+        return arr.reshape(self.n_replicates, self.n_agents)
+
+
+def build_sim_state(configs: list[SimulationConfig]) -> SimState:
+    """Assemble the state for ``len(configs)`` stacked replicates.
+
+    All configs must be identical except for ``seed``.  Construction
+    consumes each replicate's generator in the same order a sequential
+    ``CollaborationSimulation(config)`` would: population types, then
+    heterogeneous capacities, then the overlay seed, then article
+    founders — the seed-for-seed guarantee starts here.
+    """
+    if not configs:
+        raise ValueError("need at least one config")
+    cfg = configs[0]
+    base = cfg.with_(seed=0)
+    for other in configs[1:]:
+        if other.with_(seed=0) != base:
+            raise ValueError(
+                "replicate configs must be identical except for the seed"
+            )
+    n_rep = len(configs)
+    n = cfg.n_agents
+    c = cfg.constants
+    # Uniform draws are block-buffered per stream (the kernels issue many
+    # small vectors per step); sequential and batched runs share the
+    # kernel code and therefore the draw sequence, so buffering preserves
+    # the seed-for-seed guarantee.
+    rngs = [BufferedRNG(make_rng(conf.seed)) for conf in configs]
+
+    types2d = np.stack([configs[r].mix.build(n, rngs[r]) for r in range(n_rep)])
+    peers = PeerArrays.create(types2d)
+    if cfg.capacity_sigma > 0.0:
+        # Log-normal heterogeneous capacities, mean preserved at 1.
+        sigma = cfg.capacity_sigma
+        caps2d = peers.upload_capacity.reshape(n_rep, n)
+        for r in range(n_rep):
+            caps2d[r] = rngs[r].lognormal(
+                mean=-0.5 * sigma**2, sigma=sigma, size=n
+            )
+    overlays = (
+        None
+        if cfg.overlay_kind == "full"
+        else [
+            OverlayNetwork(
+                n, kind=cfg.overlay_kind, rng=rngs[r], degree=cfg.overlay_degree
+            )
+            for r in range(n_rep)
+        ]
+    )
+
+    scheme_name = cfg.resolved_scheme
+    if scheme_name == "reputation":
+        scheme = make_scheme(
+            n,
+            True,
+            c,
+            reputation_fn_s=_make_reputation_fn(cfg.reputation_fn_s, c.reputation_s),
+            reputation_fn_e=_make_reputation_fn(cfg.reputation_fn_e, c.reputation_e),
+            n_replicates=n_rep,
+        )
+    elif scheme_name == "none":
+        scheme = make_scheme(n, False, c, n_replicates=n_rep)
+    elif scheme_name == "tft":
+        scheme = PrivateHistoryScheme(n, c, n_replicates=n_rep)
+    elif scheme_name == "karma":
+        scheme = KarmaScheme(n, c, n_replicates=n_rep)
+    else:  # pragma: no cover - config validates names
+        raise ValueError(f"unknown scheme {scheme_name!r}")
+
+    articles = [
+        ArticleStore(
+            cfg.n_articles,
+            n,
+            rngs[r],
+            founders_per_article=cfg.founders_per_article,
+        )
+        for r in range(n_rep)
+    ]
+
+    sharing_space = SharingActionSpace()
+    edit_space = EditActionSpace()
+    rational_idx = np.flatnonzero(peers.types == RATIONAL)
+    n_rational = rational_idx.size
+    sharing_learner = VectorQLearner(
+        max(n_rational, 1),
+        cfg.n_states,
+        sharing_space.n_actions,
+        learning_rate=cfg.learning_rate,
+        discount=cfg.discount,
+    )
+    edit_learner = VectorQLearner(
+        max(n_rational, 1),
+        cfg.n_states,
+        edit_space.n_actions,
+        learning_rate=cfg.learning_rate,
+        discount=cfg.discount,
+    )
+    behavior = BatchedBehaviorEngine(
+        types2d, sharing_space, edit_space, sharing_learner, edit_learner
+    )
+    churn = ChurnModel(
+        leave_rate=cfg.leave_rate,
+        join_rate=cfg.join_rate,
+        whitewash_rate=cfg.whitewash_rate,
+    )
+    metrics = MetricsCollector(cfg.total_steps, types2d)
+    events = [EventLog() if conf.collect_events else None for conf in configs]
+
+    return SimState(
+        configs=list(configs),
+        n_replicates=n_rep,
+        n_agents=n,
+        rngs=rngs,
+        peers=peers,
+        scheme=scheme,
+        overlays=overlays,
+        articles=articles,
+        sharing_space=sharing_space,
+        edit_space=edit_space,
+        sharing_learner=sharing_learner,
+        edit_learner=edit_learner,
+        behavior=behavior,
+        churn=churn,
+        metrics=metrics,
+        events=events,
+        rational_idx=rational_idx,
+        scratch=StepScratch.create(n_rep, n),
+        ctx=PhaseContext(),
+        transfer_hook=getattr(scheme, "record_transfers", None),
+        step_count=0,
+        whitewash_counts=np.zeros(n_rep, dtype=np.int64),
+    )

@@ -10,6 +10,15 @@ numbers.  Backends:
 * ``process`` — ``ProcessPoolExecutor``; true parallelism, the default for
   multi-config experiment grids.
 
+Orthogonally to the backend, ``batch_replicates=True`` collapses
+seed-replicate groups (configs identical except ``seed``) into single
+:class:`repro.sim.engine.BatchedSimulation` tasks: the ensemble advances
+as stacked ``(R, N)`` arrays in one process, amortizing the Python
+per-step cost over all replicates while producing bit-identical results
+(each replicate keeps its own RNG stream).  On few-core machines this
+beats process fan-out; the two compose — grid points fan out across
+processes, their seed ensembles vectorize within each.
+
 With a :class:`repro.store.RunStore` attached (``store=`` argument, or the
 ambient default installed via :func:`set_default_store`), a sweep becomes
 *incremental and resumable*: configs already in the store are served from
@@ -40,8 +49,12 @@ from concurrent.futures import (
 from typing import Any, Callable
 
 from .config import SimulationConfig
-from .engine import SimulationResult, run_simulation
-from .rng import spawn_seeds
+from .engine import (
+    BatchedSimulation,
+    SimulationResult,
+    replicate_configs,
+    run_simulation,
+)
 
 __all__ = [
     "run_sweep",
@@ -110,17 +123,56 @@ def _worker(config: SimulationConfig) -> SimulationResult:
     return run_simulation(config)
 
 
+def _task_worker(configs: list[SimulationConfig]) -> list[SimulationResult]:
+    """Execute one sweep task: a solo run or a batched replicate group."""
+    if len(configs) == 1:
+        return [_worker(configs[0])]
+    return BatchedSimulation(configs).run()
+
+
+def _group_replicates(
+    pending: list[tuple[SimulationConfig, list[int]]],
+) -> list[list[tuple[SimulationConfig, list[int]]]]:
+    """Group pending configs that differ only in their seed.
+
+    Each group becomes one :class:`~repro.sim.engine.BatchedSimulation`
+    task; event-collecting configs keep solo tasks (the batched engine
+    does not record events).  Group order follows first appearance, and
+    results still land in input order via the per-config index lists.
+    """
+    groups: dict[SimulationConfig, list[tuple[SimulationConfig, list[int]]]] = {}
+    order: list[list[tuple[SimulationConfig, list[int]]]] = []
+    for cfg, indices in pending:
+        if cfg.collect_events:
+            order.append([(cfg, indices)])
+            continue
+        key = cfg.with_(seed=0)
+        if key not in groups:
+            groups[key] = []
+            order.append(groups[key])
+        groups[key].append((cfg, indices))
+    return order
+
+
 def run_sweep(
     configs: list[SimulationConfig],
     backend: str = "process",
     workers: int | None = None,
     store: Any = None,
     progress: ProgressCallback | None = None,
+    batch_replicates: bool = False,
 ) -> list[SimulationResult]:
     """Run every config; results align with the input list.
 
     ``store`` (or the ambient default) enables cache-skip and immediate
     persistence; ``progress`` observes each completed slot.
+
+    ``batch_replicates=True`` routes seed-replicate groups (configs
+    identical except for ``seed`` — exactly what :func:`replicate`
+    derives) through the replicate-axis :class:`BatchedSimulation`, so an
+    ensemble runs as stacked arrays in one process instead of one
+    process per seed.  Results are bit-identical either way and are
+    cached per config, so batched and per-seed sweeps share the store.
     """
     if backend not in ("serial", "thread", "process"):
         raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
@@ -176,21 +228,33 @@ def run_sweep(
             notify(idx, cached=True)
 
     if pending:
-        if backend == "serial" or len(pending) == 1:
-            for cfg, indices in pending:
-                try:
-                    result = _worker(cfg)
-                except Exception as exc:
-                    raise SweepWorkerError(indices[0], cfg, exc) from exc
+        if batch_replicates:
+            tasks = _group_replicates(pending)
+        else:
+            tasks = [[item] for item in pending]
+
+        def complete_task(
+            task: list[tuple[SimulationConfig, list[int]]],
+            task_results: list[SimulationResult],
+        ) -> None:
+            for (cfg, indices), result in zip(task, task_results):
                 complete(cfg, indices, result)
+
+        if backend == "serial" or len(tasks) == 1:
+            for task in tasks:
+                try:
+                    task_results = _task_worker([cfg for cfg, _ in task])
+                except Exception as exc:
+                    raise SweepWorkerError(task[0][1][0], task[0][0], exc) from exc
+                complete_task(task, task_results)
         else:
             pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
             workers = workers if workers is not None else available_workers()
-            workers = max(1, min(workers, len(pending)))
+            workers = max(1, min(workers, len(tasks)))
             with pool_cls(max_workers=workers) as pool:
-                futures: dict[Future, tuple[SimulationConfig, list[int]]] = {
-                    pool.submit(_worker, cfg): (cfg, indices)
-                    for cfg, indices in pending
+                futures: dict[Future, list[tuple[SimulationConfig, list[int]]]] = {
+                    pool.submit(_task_worker, [cfg for cfg, _ in task]): task
+                    for task in tasks
                 }
                 not_done = set(futures)
                 try:
@@ -203,14 +267,14 @@ def run_sweep(
                         # sibling future in the same batch failed.
                         failure: tuple[int, SimulationConfig, Exception] | None = None
                         for fut in finished:
-                            cfg, indices = futures[fut]
+                            task = futures[fut]
                             try:
-                                result = fut.result()
+                                task_results = fut.result()
                             except Exception as exc:
                                 if failure is None:
-                                    failure = (indices[0], cfg, exc)
+                                    failure = (task[0][1][0], task[0][0], exc)
                                 continue
-                            complete(cfg, indices, result)
+                            complete_task(task, task_results)
                         if failure is not None:
                             raise SweepWorkerError(*failure) from failure[2]
                 except BaseException:
@@ -224,8 +288,13 @@ def run_sweep(
 def replicate(
     config: SimulationConfig, n_seeds: int, root_seed: int | None = None
 ) -> list[SimulationConfig]:
-    """``n_seeds`` copies of one config with independent derived seeds."""
-    if n_seeds < 1:
-        raise ValueError("n_seeds must be >= 1")
-    root = config.seed if root_seed is None else root_seed
-    return [config.with_(seed=s) for s in spawn_seeds(root, n_seeds)]
+    """``n_seeds`` copies of one config with independent derived seeds.
+
+    The derived configs differ only in their seed, so feeding them to
+    :func:`run_sweep` with ``batch_replicates=True`` executes the whole
+    ensemble as one replicate-axis batch.  Delegates to
+    :func:`repro.sim.engine.replicate_configs` — the single derivation
+    rule — so the seeds (and therefore the cache entries) are exactly
+    those of :func:`repro.sim.engine.run_replicates`.
+    """
+    return replicate_configs(config, n_seeds, root_seed)

@@ -129,6 +129,7 @@ def _run_and_report(
         workers=args.workers,
         store=store,
         progress=_progress_printer(args.quiet),
+        batch_replicates=args.batch_replicates,
     )
     records = [StoredRun.from_result(r) for r in results]
     metrics = tuple(args.metric or _DEFAULT_METRICS)
@@ -267,6 +268,12 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         default="process",
     )
     p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--batch-replicates",
+        action="store_true",
+        help="run seed replicates of each grid point as one vectorized "
+        "batch (replicate-axis engine) instead of one process per seed",
+    )
     p.add_argument(
         "--set",
         action="append",

@@ -1,6 +1,5 @@
 """Tests for population mixes and the paper's mixture sweep."""
 
-import numpy as np
 import pytest
 
 from repro.agents.population import PopulationMix, mixture_sweep

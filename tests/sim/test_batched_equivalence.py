@@ -1,0 +1,115 @@
+"""Seed-for-seed equivalence: batched replicates == sequential runs.
+
+The contract of the replicate-axis engine is exact: replicate ``r`` of
+``run_replicates(config, R)`` must reproduce ``run_simulation`` with the
+same derived seed **bit for bit** — same summary, same training summary,
+same whitewash count — across every incentive scheme, overlay kind and
+churn setting.  These tests enforce the contract on small but
+protocol-complete configurations (training phase, reputation reset,
+evaluation phase, editing/voting, punishment all exercised).
+"""
+
+import math
+
+import pytest
+
+from repro.agents.population import PopulationMix
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_replicates, run_simulation
+from repro.sim.rng import spawn_seeds
+
+#: Mixed population so altruists, free-riders and learners all act.
+MIX = PopulationMix(rational=0.5, altruistic=0.25, irrational=0.25)
+
+BASE = dict(
+    n_agents=24,
+    n_articles=6,
+    training_steps=40,
+    eval_steps=30,
+    founders_per_article=3,
+    mix=MIX,
+)
+
+
+def tiny(seed, **overrides):
+    params = dict(BASE)
+    params.update(overrides)
+    return SimulationConfig(seed=seed, **params)
+
+
+def _same(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def assert_bit_identical(config, n_replicates=3):
+    batched = run_replicates(config, n_replicates)
+    seeds = spawn_seeds(config.seed, n_replicates)
+    assert [r.config.seed for r in batched] == seeds
+    for r, seed in enumerate(seeds):
+        sequential = run_simulation(config.with_(seed=seed))
+        for section, got, want in (
+            ("summary", batched[r].summary, sequential.summary),
+            ("training", batched[r].training_summary, sequential.training_summary),
+        ):
+            assert set(got) == set(want), f"replicate {r}: {section} keys differ"
+            for key in want:
+                assert _same(got[key], want[key]), (
+                    f"replicate {r}: {section}[{key!r}] "
+                    f"batched={got[key]!r} sequential={want[key]!r}"
+                )
+        assert (
+            batched[r].extras["whitewash_count"]
+            == sequential.extras["whitewash_count"]
+        )
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("scheme", ["reputation", "none", "tft", "karma"])
+    def test_scheme_equivalence(self, scheme):
+        assert_bit_identical(tiny(seed=101, scheme=scheme))
+
+
+class TestOverlays:
+    @pytest.mark.parametrize("kind", ["random", "smallworld", "scalefree"])
+    def test_overlay_equivalence(self, kind):
+        assert_bit_identical(tiny(seed=202, overlay_kind=kind, overlay_degree=4))
+
+
+class TestChurn:
+    @pytest.mark.parametrize("scheme", ["reputation", "karma"])
+    def test_churn_equivalence(self, scheme):
+        assert_bit_identical(
+            tiny(
+                seed=303,
+                scheme=scheme,
+                leave_rate=0.03,
+                join_rate=0.25,
+                whitewash_rate=0.02,
+            )
+        )
+
+    def test_churn_off_equivalence(self):
+        assert_bit_identical(tiny(seed=304))
+
+
+class TestOtherAxes:
+    def test_heterogeneous_capacity(self):
+        assert_bit_identical(tiny(seed=404, capacity_sigma=0.6))
+
+    def test_all_rational(self):
+        assert_bit_identical(
+            tiny(seed=505, mix=PopulationMix(1.0, 0.0, 0.0))
+        )
+
+    def test_no_rational(self):
+        assert_bit_identical(
+            tiny(seed=606, mix=PopulationMix(0.0, 0.5, 0.5)), n_replicates=2
+        )
+
+    def test_strict_edit_gate_off(self):
+        assert_bit_identical(tiny(seed=707, enforce_edit_threshold=False))
+
+    def test_thinned_downloads(self):
+        assert_bit_identical(tiny(seed=808, download_probability=0.3))

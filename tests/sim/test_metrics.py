@@ -85,6 +85,83 @@ class TestEditMetrics:
         assert np.isnan(s["edit_constructive_fraction_rational"])
 
 
+class TestReplicateAxis:
+    def make_stacked(self, n_steps=3):
+        types = np.array(
+            [
+                [RATIONAL, RATIONAL, ALTRUISTIC, IRRATIONAL],
+                [ALTRUISTIC, RATIONAL, IRRATIONAL, RATIONAL],
+            ],
+            dtype=np.int8,
+        )
+        return MetricsCollector(n_steps, types)
+
+    def stacked_stats(self):
+        files = np.array([[1.0, 1.0, 0.0, 0.0], [0.5, 0.5, 0.5, 0.5]])
+        return StepStats(
+            offered_files=files,
+            offered_bandwidth=files * 0.5,
+            reputation_s=np.full((2, 4), 0.3),
+            reputation_e=np.full((2, 4), 0.2),
+            sharing_utility=np.ones((2, 4)),
+            editing_utility=np.zeros((2, 4)),
+            proposals=np.zeros((2, 3, 2)),
+            accepted=np.zeros((2, 3, 2)),
+            votes_cast=np.array([10.0, 4.0]),
+            votes_successful=np.array([7.0, 4.0]),
+            vote_bans=np.array([1.0, 0.0]),
+            reputation_resets=np.zeros(2),
+        )
+
+    def test_two_replicates_summarized_independently(self):
+        mc = self.make_stacked()
+        assert mc.n_replicates == 2
+        for _ in range(3):
+            mc.record(self.stacked_stats())
+        s0 = mc.summary(0, 3, replicate=0)
+        s1 = mc.summary(0, 3, replicate=1)
+        assert s0["shared_files"] == pytest.approx(0.5)
+        assert s1["shared_files"] == pytest.approx(0.5)
+        assert s0["shared_files_rational"] == pytest.approx(1.0)
+        assert s1["shared_files_rational"] == pytest.approx(0.5)
+        assert s0["vote_success_rate"] == pytest.approx(0.7)
+        assert s1["vote_success_rate"] == pytest.approx(1.0)
+        both = mc.summaries(0, 3)
+        assert len(both) == 2
+        assert both[0]["shared_files_rational"] == s0["shared_files_rational"]
+        assert both[1]["shared_files_rational"] == s1["shared_files_rational"]
+
+    def test_stacked_requires_replicate_argument(self):
+        mc = self.make_stacked()
+        mc.record(self.stacked_stats())
+        with pytest.raises(ValueError, match="replicate"):
+            mc.summary(0, 1)
+        with pytest.raises(ValueError):
+            mc.summary(0, 1, replicate=2)
+
+    def test_flat_inputs_accepted(self):
+        mc = self.make_stacked()
+        stats = self.stacked_stats()
+        stats.offered_files = stats.offered_files.reshape(-1)
+        stats.offered_bandwidth = stats.offered_bandwidth.reshape(-1)
+        mc.record(stats)
+        assert mc.summary(0, 1, replicate=0)["shared_files"] == pytest.approx(0.5)
+
+    def test_series_gains_replicate_axis(self):
+        mc = self.make_stacked()
+        mc.record(self.stacked_stats())
+        assert mc.series("files_all").shape == (2, 1)
+        assert mc.series("proposals").shape == (2, 1, 3, 2)
+
+    def test_single_run_attributes_stay_one_dimensional(self):
+        types = np.array([RATIONAL, ALTRUISTIC], dtype=np.int8)
+        mc = MetricsCollector(2, types)
+        assert mc.files_all.shape == (2,)
+        assert mc.proposals.shape == (2, 3, 2)
+        mc.record(make_stats(n=2))
+        assert mc.summary(0, 1)["shared_files"] == pytest.approx(0.5)
+
+
 class TestWindows:
     def test_bad_window_rejected(self, types):
         mc = MetricsCollector(3, types)
