@@ -217,6 +217,25 @@ class BatchedBehaviorEngine:
             )
         return actions
 
+    def apply_ring_policy(
+        self,
+        mask: np.ndarray,
+        share_actions: np.ndarray,
+        edit_actions: np.ndarray,
+    ) -> None:
+        """Overwrite masked slots' actions with the collusion-ring policy.
+
+        Ring members farm reputation: they always play the all-in sharing
+        action and the fully constructive edit action, whatever their
+        behaviour type selected.  The overwrite happens on the *action
+        index* arrays, so downstream decoding and TD updates see the
+        forced actions (a rational colluder's learner trains on what the
+        ring made it do).  Vote rigging is not an action-space behaviour
+        and lives in the edit/vote kernel instead.
+        """
+        share_actions[mask] = self.sharing_space.max_action
+        edit_actions[mask] = self.edit_space.constructive_action
+
     # ------------------------------------------------------------------
     def learn_sharing(
         self,

@@ -179,6 +179,20 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
             self._given, (rep_ids, source_ids % n, downloader_ids % n), amounts
         )
 
+    def reset_identities(self, peer_ids: np.ndarray) -> None:
+        """Wipe a discarded identity from every private history.
+
+        Both directions vanish: what the peer gave (its own rows) and what
+        every source remembers about it (its columns) — a rejoining sybil
+        is a stranger to the whole population and falls back to the
+        optimistic-unchoke floor.
+        """
+        peer_ids = np.asarray(peer_ids, dtype=np.int64)
+        rep, local = peer_ids // self.n_peers, peer_ids % self.n_peers
+        self._given[rep, local, :] = 0.0
+        self._given[rep, :, local] = 0.0
+        self.ledger.reset_peers(peer_ids)
+
     def reset_reputations(self) -> None:
         self._given.fill(0.0)
         self.ledger.reset_all()
@@ -258,6 +272,15 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         np.add.at(self.balance, source_ids, amounts)
         np.subtract.at(self.balance, downloader_ids, amounts)
         np.maximum(self.balance, 0.0, out=self.balance)
+
+    def reset_identities(self, peer_ids: np.ndarray) -> None:
+        """A discarded identity forfeits its balance; the fresh one gets
+        the newcomer grant — which is why currencies with a positive
+        ``initial_karma`` are whitewash-prone: broke peers profit from
+        rejoining."""
+        peer_ids = np.asarray(peer_ids, dtype=np.int64)
+        self.balance[peer_ids] = self.initial_karma
+        self.ledger.reset_peers(peer_ids)
 
     def reset_reputations(self) -> None:
         self.balance.fill(self.initial_karma)

@@ -153,6 +153,20 @@ class ReputationIncentiveScheme:
         return punished
 
     # ------------------------------------------------------------------
+    def reset_identities(self, peer_ids: np.ndarray) -> None:
+        """Wipe *all* identity-bound state of the given peer slots.
+
+        Used by the sybil/whitewash kernel: a discarded identity loses its
+        contributions (reputation falls to ``R_min``) *and* its punishment
+        record — the fresh identity is unbanned and carries no streaks,
+        which is exactly why sybil attacks defeat punishment-based
+        deterrence.
+        """
+        peer_ids = np.asarray(peer_ids, dtype=np.int64)
+        self.ledger.reset_peers(peer_ids)
+        self.vote_punishment.forget(peer_ids)
+        self.edit_punishment.forget(peer_ids)
+
     def reset_reputations(self) -> None:
         """Training -> evaluation phase boundary: wipe reputations and
         punishment state, keep nothing but the agents' Q-matrices (which
@@ -230,6 +244,10 @@ class NoIncentiveScheme:
         self, editor_ids: np.ndarray, accepted: np.ndarray
     ) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
+
+    def reset_identities(self, peer_ids: np.ndarray) -> None:
+        """A fresh identity only loses its (inert) contribution record."""
+        self.ledger.reset_peers(np.asarray(peer_ids, dtype=np.int64))
 
     def reset_reputations(self) -> None:
         self.ledger.reset_all()

@@ -63,6 +63,11 @@ class VotePunishment:
         self.banned[peer_ids] = False
         self.unsuccessful_votes[peer_ids] = 0
 
+    def forget(self, peer_ids: np.ndarray) -> None:
+        """Drop all state for peers whose identity was discarded (sybil
+        rejoin): a fresh identity carries no ban and no vote streak."""
+        self.restore(peer_ids)
+
     def reset(self) -> None:
         self.unsuccessful_votes.fill(0)
         self.banned.fill(False)
@@ -105,6 +110,10 @@ class EditPunishment:
         punished = np.flatnonzero(self.declined_edits >= self.threshold)
         self.declined_edits[punished] = 0
         return punished
+
+    def forget(self, peer_ids: np.ndarray) -> None:
+        """Drop the declined-edit streak of peers with discarded identities."""
+        self.declined_edits[np.asarray(peer_ids, dtype=np.int64)] = 0
 
     def reset(self) -> None:
         self.declined_edits.fill(0)

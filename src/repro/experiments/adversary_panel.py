@@ -1,0 +1,71 @@
+"""Adversary panel: every incentive scheme vs collusion and sybil attacks.
+
+Runs the ``adversary/shootout`` scenario pack — the four incentive
+schemes each facing (a) collusion rings (25% of peers in rings of 4
+that serve and upvote only each other) and (b) sybil attackers (20% of
+peers discarding their identity at rate 0.05) — and reports the sharing
+level each scheme sustains under each attack.
+
+This extends the paper's robustness story to adversarial pressure the
+figures never probed: shared-history reputation pays for collusion
+resistance with vulnerability to cheap identities, while tit-for-tat's
+private histories are naturally sybil-proof but cannot see a ring
+serving only itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.figures import FigureData
+from ..store.registry import expand_scenario
+from ..sim.sweep import run_sweep
+from ._common import aggregate_metric
+
+__all__ = ["run", "SCHEMES", "ATTACKS"]
+
+SCHEMES = ("none", "tft", "karma", "reputation")
+ATTACKS = ("collusion", "sybil")
+
+
+def run(
+    fast: bool = False,
+    n_seeds: int = 3,
+    backend: str = "process",
+    workers: int | None = None,
+    **_: object,
+) -> list[FigureData]:
+    """Run the shootout grid and tabulate sharing per scheme x attack."""
+    configs = expand_scenario(
+        "adversary/shootout", fast=fast, n_seeds=n_seeds, schemes=SCHEMES
+    )
+    results = run_sweep(configs, backend=backend, workers=workers)
+
+    # Group by what each config actually enables, not by expansion order.
+    grouped: dict[tuple[str, str], list] = {}
+    for cfg, result in zip(configs, results):
+        attack = "collusion" if cfg.collusion_fraction > 0 else "sybil"
+        grouped.setdefault((cfg.scheme, attack), []).append(result)
+
+    series: dict[str, list[float]] = {a: [] for a in ATTACKS}
+    errors: dict[str, list[float]] = {a: [] for a in ATTACKS}
+    for scheme in SCHEMES:
+        for attack in ATTACKS:
+            mean, half = aggregate_metric(
+                grouped[(scheme, attack)], "shared_bandwidth"
+            )
+            series[attack].append(mean)
+            errors[attack].append(half)
+
+    fig = FigureData(
+        name="adversary_panel",
+        title="Sharing sustained under collusion and sybil attacks",
+        x_label="scheme_index",
+        y_label="shared bandwidth",
+        x=np.arange(len(SCHEMES), dtype=np.float64),
+        series={k: np.asarray(v) for k, v in series.items()},
+        errors={k: np.asarray(v) for k, v in errors.items()},
+        meta={"schemes": ",".join(SCHEMES), "n_seeds": n_seeds},
+        kind="bar",
+    )
+    return [fig]

@@ -19,6 +19,7 @@ from pathlib import Path
 
 from . import (
     ablations,
+    adversary_panel,
     fig1_reputation,
     fig2_boltzmann,
     fig3_incentive_effect,
@@ -42,13 +43,19 @@ EXPERIMENTS = {
     "ablation-repfunc": ablations.run_reputation_function_ablation,
     "ablation-rmin": ablations.run_rmin_ablation,
     "scheme-comparison": scheme_comparison.run,
+    "adversary-panel": adversary_panel.run,
 }
 
 PAPER_FIGURES = ["fig1", "fig2", "fig3", "fig4+5", "fig6", "fig7"]
 
 #: Added to ``all`` by ``--extras``: not part of the paper's figure set,
 #: so regenerating them by default would triple the runtime of ``all``.
-EXTRA_EXPERIMENTS = ["ablation-repfunc", "ablation-rmin", "scheme-comparison"]
+EXTRA_EXPERIMENTS = [
+    "ablation-repfunc",
+    "ablation-rmin",
+    "scheme-comparison",
+    "adversary-panel",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:

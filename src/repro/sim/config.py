@@ -97,6 +97,24 @@ class SimulationConfig:
     join_rate: float = 0.0
     whitewash_rate: float = 0.0
 
+    # --- adversaries (off by default; see repro.sim.phases.adversary) --
+    #: Fraction of the population assigned to collusion rings: cliques
+    #: that offer maximal sharing but serve bandwidth only to ring-mates
+    #: and vote for ring-mates' proposals (and against everyone else's)
+    #: regardless of content.
+    collusion_fraction: float = 0.0
+    #: Target peers per collusion ring; the last ring absorbs a remainder
+    #: smaller than 2 so no ring degenerates to a single peer.
+    collusion_ring_size: int = 4
+    #: Fraction of the population acting as sybil/whitewash attackers.
+    sybil_fraction: float = 0.0
+    #: Per-step probability that each sybil attacker discards its identity
+    #: and rejoins fresh — a generalized churn-rejoin that wipes *all*
+    #: identity-bound scheme state (contributions, punishments, private
+    #: histories, currency balances), unlike plain ``whitewash_rate``
+    #: which models only the R_min reputation trade-off.
+    sybil_rate: float = 0.0
+
     # --- bookkeeping ---------------------------------------------------
     seed: int = 0
     collect_events: bool = False
@@ -123,6 +141,14 @@ class SimulationConfig:
             raise ValueError("measure_window must be in (0, 1]")
         if self.capacity_sigma < 0.0:
             raise ValueError("capacity_sigma must be non-negative")
+        if not 0.0 <= self.collusion_fraction <= 1.0:
+            raise ValueError("collusion_fraction must be in [0, 1]")
+        if self.collusion_ring_size < 2:
+            raise ValueError("collusion_ring_size must be >= 2")
+        if not 0.0 <= self.sybil_fraction <= 1.0:
+            raise ValueError("sybil_fraction must be in [0, 1]")
+        if not 0.0 <= self.sybil_rate <= 1.0:
+            raise ValueError("sybil_rate must be in [0, 1]")
         if self.scheme not in ("auto", "reputation", "none", "tft", "karma"):
             raise ValueError(
                 f"unknown scheme {self.scheme!r}; "

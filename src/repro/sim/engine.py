@@ -166,6 +166,10 @@ class CollaborationSimulation:
     def whitewash_count(self) -> int:
         return int(self.state.whitewash_counts[0])
 
+    @property
+    def sybil_count(self) -> int:
+        return int(self.state.sybil_counts[0])
+
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
@@ -179,7 +183,10 @@ class CollaborationSimulation:
             training_summary=training_summary,
             wall_time_s=wall,
             events=self.events,
-            extras={"whitewash_count": float(self.whitewash_count)},
+            extras={
+                "whitewash_count": float(self.whitewash_count),
+                "sybil_count": float(self.sybil_count),
+            },
         )
 
     def summarize(self, measure_window: float | None = None) -> SimulationResult:
@@ -210,6 +217,7 @@ class CollaborationSimulation:
             events=self.events,
             extras={
                 "whitewash_count": float(self.whitewash_count),
+                "sybil_count": float(self.sybil_count),
                 # Provenance marker: this summary came from manual phase
                 # driving, not the canonical run() protocol.  RunStore
                 # refuses it unless the caller explicitly vouches for it
@@ -273,7 +281,8 @@ class BatchedSimulation:
                     wall_time_s=wall / self.n_replicates,
                     events=None,
                     extras={
-                        "whitewash_count": float(self.state.whitewash_counts[r])
+                        "whitewash_count": float(self.state.whitewash_counts[r]),
+                        "sybil_count": float(self.state.sybil_counts[r]),
                     },
                 )
             )
@@ -302,6 +311,17 @@ def run_replicates(
     sweep.  Falls back to sequential execution for event-collecting
     configs (whose events the store cannot persist and the batched
     engine does not record).
+
+    Example::
+
+        >>> from repro.sim.config import SimulationConfig
+        >>> from repro.sim.engine import run_replicates
+        >>> cfg = SimulationConfig(n_agents=8, n_articles=2,
+        ...                        founders_per_article=2,
+        ...                        training_steps=5, eval_steps=5)
+        >>> results = run_replicates(cfg, n_replicates=3)
+        >>> len(results), len({r.config.seed for r in results})
+        (3, 3)
     """
     configs = replicate_configs(config, n_replicates, root_seed)
     results: list[SimulationResult | None] = [None] * n_replicates

@@ -1,17 +1,20 @@
 """Composable per-step phase kernels over an explicit :class:`SimState`.
 
-The old monolithic ``CollaborationSimulation.step()`` is split into six
+The old monolithic ``CollaborationSimulation.step()`` is split into
 kernels, each a function of ``(SimState, SimulationConfig)`` driving the
 state's per-replicate RNG streams:
 
 ``churn``      joins / leaves / whitewash identity resets
+``sybil``      sybil attackers discard identities and rejoin fresh
 ``act``        observe reputations, pick sharing + edit/vote actions
+``collusion``  rings override their members' sharing actions
 ``download``   sample requests, settle bandwidth, sharing utilities
 ``edit_vote``  edit proposals, weighted voting rounds, punishment
 ``learn``      temporal-difference backups of the rational learners
 ``record``     per-step metric capture
 
-:func:`step_state` composes them in protocol order.  Every kernel is
+:func:`step_state` composes them in protocol order (the two adversary
+kernels are no-ops unless their config knobs are set).  Every kernel is
 batched over the replicate axis: elementwise work runs once on the flat
 ``(R * N,)`` slot arrays, and only the irreducibly per-replicate piece —
 the RNG draws — loops over replicates, consuming each replicate's stream
@@ -23,6 +26,7 @@ from __future__ import annotations
 
 from ..state import SimState
 from .act import act_phase
+from .adversary import collusion_phase, sybil_phase
 from .churn import churn_phase
 from .download import download_phase
 from .edit_vote import edit_vote_phase
@@ -31,7 +35,9 @@ from .record import record_phase
 
 __all__ = [
     "churn_phase",
+    "sybil_phase",
     "act_phase",
+    "collusion_phase",
     "download_phase",
     "edit_vote_phase",
     "learn_phase",
@@ -44,7 +50,9 @@ def step_state(state: SimState, temperature: float, learn: bool = True) -> None:
     """Advance every replicate of ``state`` by one simultaneous step."""
     cfg = state.config
     churn_phase(state, cfg)
+    sybil_phase(state, cfg)
     act_phase(state, cfg, temperature)
+    collusion_phase(state, cfg)
     download_phase(state, cfg)
     edit_vote_phase(state, cfg)
     learn_phase(state, cfg, learn)

@@ -6,7 +6,28 @@ from ...core.reputation import reputation_to_state
 from ..config import SimulationConfig
 from ..state import SimState
 
-__all__ = ["act_phase"]
+__all__ = ["act_phase", "install_actions"]
+
+
+def install_actions(state: SimState) -> None:
+    """Decode ``ctx``'s action indices and install them on the state.
+
+    Single point of truth for turning ``ctx.share_actions`` /
+    ``ctx.edit_actions`` into the derived per-slot arrays (bandwidth and
+    file offers masked by online-ness, edit/vote constructiveness) and
+    the peers' installed offers.  Called by the act phase after action
+    selection and again by the collusion kernel after it overrides ring
+    members' action indices — both must agree on the derivation.
+    """
+    ctx = state.ctx
+    bw, files = state.sharing_space.decode(ctx.share_actions)
+    online = state.peers.online
+    ctx.bw = bw * online
+    ctx.files = files * online
+    state.peers.set_actions(ctx.bw, ctx.files)
+    ctx.edit_constructive, ctx.vote_constructive = state.edit_space.decode(
+        ctx.edit_actions
+    )
 
 
 def act_phase(state: SimState, cfg: SimulationConfig, temperature: float) -> None:
@@ -33,14 +54,7 @@ def act_phase(state: SimState, cfg: SimulationConfig, temperature: float) -> Non
     ctx.share_actions = state.behavior.sharing_actions(
         ctx.states_s, temperature, state.rngs
     )
-    bw, files = state.sharing_space.decode(ctx.share_actions)
-    online = state.peers.online
-    ctx.bw = bw * online
-    ctx.files = files * online
-    state.peers.set_actions(ctx.bw, ctx.files)
     ctx.edit_actions = state.behavior.edit_actions(
         ctx.states_e, temperature, state.rngs
     )
-    ctx.edit_constructive, ctx.vote_constructive = state.edit_space.decode(
-        ctx.edit_actions
-    )
+    install_actions(state)

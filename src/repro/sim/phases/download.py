@@ -6,6 +6,7 @@ from ...core.utility import sharing_utility
 from ...network.bandwidth import sample_download_requests_batch, settle_downloads
 from ..config import SimulationConfig
 from ..state import SimState
+from .adversary import collusion_shares
 
 __all__ = ["download_phase"]
 
@@ -30,6 +31,10 @@ def download_phase(state: SimState, cfg: SimulationConfig) -> None:
     shares = state.scheme.bandwidth_shares(
         requests.source_ids, requests.downloader_ids
     )
+    if state.colluder_mask.any() and requests.n:
+        shares = collusion_shares(
+            state, requests.source_ids, requests.downloader_ids, shares
+        )
     received, _served = settle_downloads(
         requests,
         shares,

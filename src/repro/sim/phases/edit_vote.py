@@ -28,6 +28,7 @@ from ...core.utility import editing_utility
 from ...network.events import EditEvent, PunishmentEvent
 from ..config import SimulationConfig
 from ..state import SimState
+from .adversary import collusion_votes
 
 __all__ = ["edit_vote_phase"]
 
@@ -157,6 +158,10 @@ def _voting_rounds(
         required = np.full(n_prop, 0.5)
 
     votes_for = ctx.vote_constructive[flat_voters] == prop_constructive[flat_prop]
+    if state.colluder_mask.any() and flat_voters.size:
+        votes_for = collusion_votes(
+            state, flat_voters, proposers[flat_prop], votes_for
+        )
     for_weight = np.zeros(n_prop)
     np.add.at(for_weight, flat_prop[votes_for], weights[votes_for])
     quorum = voter_counts >= cfg.min_voters_per_edit

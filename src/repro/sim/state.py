@@ -43,7 +43,13 @@ from .config import SimulationConfig
 from .metrics import MetricsCollector
 from .rng import BufferedRNG, make_rng
 
-__all__ = ["SimState", "StepScratch", "PhaseContext", "build_sim_state"]
+__all__ = [
+    "SimState",
+    "StepScratch",
+    "PhaseContext",
+    "build_sim_state",
+    "assign_collusion_rings",
+]
 
 
 def _make_reputation_fn(name: str, params):
@@ -144,8 +150,16 @@ class SimState:
     scratch: StepScratch
     ctx: PhaseContext
     transfer_hook: Any  # scheme.record_transfers or None
+    #: Ring id per flat slot, -1 for non-colluders.  Ring ids are offset
+    #: by ``r * n_agents`` so they can never alias across replicates.
+    collusion_rings: np.ndarray = field(
+        default_factory=lambda: np.full(1, -1, np.int64)
+    )
+    colluder_mask: np.ndarray = field(default_factory=lambda: np.zeros(1, bool))
+    sybil_mask: np.ndarray = field(default_factory=lambda: np.zeros(1, bool))
     step_count: int = 0
     whitewash_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    sybil_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
 
     @property
     def config(self) -> SimulationConfig:
@@ -157,6 +171,33 @@ class SimState:
         return arr.reshape(self.n_replicates, self.n_agents)
 
 
+def assign_collusion_rings(
+    rng, n_agents: int, fraction: float, ring_size: int, offset: int = 0
+) -> np.ndarray:
+    """Partition a random ``fraction`` of one population into collusion rings.
+
+    Returns an ``(n_agents,)`` int64 array of ring ids, ``-1`` for peers
+    outside every ring.  Members are a uniform random subset (one
+    ``permutation`` draw — the only stream consumption); consecutive
+    chunks of ``ring_size`` members form one ring, and a trailing
+    remainder of a single peer is merged into the previous ring so no
+    ring degenerates below two members.  Ring ids start at ``offset``
+    (callers stacking replicates pass ``r * n_agents`` so ids never alias
+    across replicates).  Fractions that round below two colluders yield
+    an all ``-1`` assignment without consuming the stream.
+    """
+    rings = np.full(n_agents, -1, dtype=np.int64)
+    n_colluders = int(round(fraction * n_agents))
+    if n_colluders < 2:
+        return rings
+    members = rng.permutation(n_agents)[:n_colluders]
+    ring_of_member = np.arange(n_colluders) // ring_size
+    if n_colluders % ring_size == 1 and ring_of_member[-1] > 0:
+        ring_of_member[-1] -= 1  # absorb the lone trailing peer
+    rings[members] = ring_of_member + offset
+    return rings
+
+
 def build_sim_state(configs: list[SimulationConfig]) -> SimState:
     """Assemble the state for ``len(configs)`` stacked replicates.
 
@@ -164,7 +205,8 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
     consumes each replicate's generator in the same order a sequential
     ``CollaborationSimulation(config)`` would: population types, then
     heterogeneous capacities, then the overlay seed, then article
-    founders — the seed-for-seed guarantee starts here.
+    founders, then (when enabled) collusion rings and the sybil roster —
+    the seed-for-seed guarantee starts here.
     """
     if not configs:
         raise ValueError("need at least one config")
@@ -234,6 +276,33 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
         for r in range(n_rep)
     ]
 
+    # Adversary rosters.  Draws happen only when the feature is enabled,
+    # so adversary-free configs consume exactly the historical stream.
+    slots = n_rep * n
+    if cfg.collusion_fraction > 0.0:
+        collusion_rings = np.concatenate(
+            [
+                assign_collusion_rings(
+                    rngs[r],
+                    n,
+                    cfg.collusion_fraction,
+                    cfg.collusion_ring_size,
+                    offset=r * n,
+                )
+                for r in range(n_rep)
+            ]
+        )
+    else:
+        collusion_rings = np.full(slots, -1, dtype=np.int64)
+    if cfg.sybil_fraction > 0.0:
+        n_sybils = int(round(cfg.sybil_fraction * n))
+        sybil_mask = np.zeros(slots, dtype=bool)
+        if n_sybils:
+            for r in range(n_rep):
+                sybil_mask[rngs[r].permutation(n)[:n_sybils] + r * n] = True
+    else:
+        sybil_mask = np.zeros(slots, dtype=bool)
+
     sharing_space = SharingActionSpace()
     edit_space = EditActionSpace()
     rational_idx = np.flatnonzero(peers.types == RATIONAL)
@@ -284,6 +353,10 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
         scratch=StepScratch.create(n_rep, n),
         ctx=PhaseContext(),
         transfer_hook=getattr(scheme, "record_transfers", None),
+        collusion_rings=collusion_rings,
+        colluder_mask=collusion_rings >= 0,
+        sybil_mask=sybil_mask,
         step_count=0,
         whitewash_counts=np.zeros(n_rep, dtype=np.int64),
+        sybil_counts=np.zeros(n_rep, dtype=np.int64),
     )

@@ -111,6 +111,7 @@ def set_default_store(store: Any) -> Any:
 
 
 def get_default_store() -> Any:
+    """The ambient run store (``None`` unless one was installed)."""
     return _DEFAULT_STORE
 
 
@@ -173,6 +174,20 @@ def run_sweep(
     ensemble runs as stacked arrays in one process instead of one
     process per seed.  Results are bit-identical either way and are
     cached per config, so batched and per-seed sweeps share the store.
+
+    Example::
+
+        >>> from repro.sim.config import SimulationConfig
+        >>> from repro.sim.sweep import run_sweep
+        >>> grid = [SimulationConfig(n_agents=8, n_articles=2,
+        ...                          founders_per_article=2,
+        ...                          training_steps=5, eval_steps=5,
+        ...                          seed=s) for s in (0, 1)]
+        >>> results = run_sweep(grid, backend="serial")
+        >>> [r.config.seed for r in results]
+        [0, 1]
+        >>> "shared_bandwidth" in results[0].summary
+        True
     """
     if backend not in ("serial", "thread", "process"):
         raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
@@ -184,6 +199,7 @@ def run_sweep(
     done = 0
 
     def notify(index: int, cached: bool) -> None:
+        """Advance the done-counter and fire the progress callback."""
         nonlocal done
         done += 1
         if progress is not None:
@@ -216,6 +232,7 @@ def run_sweep(
             pending.append((cfg, [i]))
 
     def complete(cfg: SimulationConfig, indices: list[int], result: SimulationResult):
+        """Persist one finished result and fill every slot it serves."""
         if store is not None and not cfg.collect_events:
             store.put(result)
         results[indices[0]] = result
@@ -237,6 +254,7 @@ def run_sweep(
             task: list[tuple[SimulationConfig, list[int]]],
             task_results: list[SimulationResult],
         ) -> None:
+            """Book every (config, result) pair of one finished task."""
             for (cfg, indices), result in zip(task, task_results):
                 complete(cfg, indices, result)
 

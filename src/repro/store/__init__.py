@@ -6,11 +6,27 @@
 * :mod:`repro.store.runstore` — durable, corruption-tolerant on-disk
   store of finished runs (JSONL index + per-run payload files);
 * :mod:`repro.store.registry` — named scenario packs expanding to config
-  grids (paper figures plus churn, overlay, capacity and scheme grids);
+  grids (paper figures plus churn, overlay, capacity, scheme and
+  adversary grids);
+* :mod:`repro.store.compose` — the scenario algebra: reusable modifiers
+  and ``pack+modifier`` composition with hash-stable results;
+* :mod:`repro.store.catalog` — the self-documenting scenario catalog
+  rendered into ``docs/SCENARIOS.md``;
 * :mod:`repro.store.cli` — the unified ``repro`` console command
   (imported on demand; not re-exported here to keep import cost low).
 """
 
+from .compose import (
+    ScenarioModifier,
+    compose_scenarios,
+    composed_pack,
+    get_modifier,
+    iter_modifiers,
+    modifier_names,
+    register_composed,
+    register_modifier,
+    resolve_scenario,
+)
 from .hashing import (
     CONFIG_SCHEMA_VERSION,
     canonical_config_dict,
@@ -35,10 +51,19 @@ __all__ = [
     "config_hash",
     "short_hash",
     "ScenarioPack",
+    "ScenarioModifier",
+    "compose_scenarios",
+    "composed_pack",
     "expand_scenario",
+    "get_modifier",
     "get_scenario",
+    "iter_modifiers",
     "iter_scenarios",
+    "modifier_names",
+    "register_composed",
+    "register_modifier",
     "register_scenario",
+    "resolve_scenario",
     "scenario_names",
     "STORE_SCHEMA_VERSION",
     "RunStore",

@@ -29,8 +29,9 @@ from ..analysis.report import aggregate_stored_runs, render_stored_table
 from ..sim.config import SimulationConfig
 from ..sim.scenarios import base_config
 from ..sim.sweep import run_sweep
+from .compose import iter_modifiers, resolve_scenario
 from .hashing import revive_floats, short_hash
-from .registry import get_scenario, iter_scenarios
+from .registry import iter_scenarios
 from .runstore import RunStore, StoredRun
 
 __all__ = ["build_parser", "main"]
@@ -106,10 +107,12 @@ def _expand_grid(
 
 
 def _progress_printer(quiet: bool):
+    """Per-run progress callback for ``run_sweep`` (``None`` if quiet)."""
     if quiet:
         return None
 
     def progress(done, total, index, result, cached):
+        """Print one `[done/total] hash description (time|cache)` line."""
         tag = "cache" if cached else f"{result.wall_time_s:6.2f}s"
         print(
             f"  [{done}/{total}] {short_hash(result.config)} "
@@ -148,18 +151,40 @@ def _run_and_report(
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List packs (and modifiers), or emit the markdown catalog."""
+    if args.markdown:
+        if args.tag:
+            # The catalog is the full, CI-checked document; silently
+            # emitting an unfiltered file for a filtered request would
+            # mislead whoever pipes it somewhere.
+            raise SystemExit("error: --markdown emits the full catalog; "
+                             "it cannot be combined with --tag")
+        from .catalog import scenario_catalog_markdown
+
+        print(scenario_catalog_markdown(), end="")
+        return 0
     for pack in iter_scenarios():
         if args.tag and args.tag not in pack.tags:
             continue
         tags = f" [{', '.join(pack.tags)}]" if pack.tags else ""
         print(f"{pack.name:<26} {pack.description}{tags}")
+    mods = [
+        m for m in iter_modifiers() if not args.tag or args.tag in m.tags
+    ]
+    if mods:
+        print()
+        print("modifiers (compose onto any pack with '+', e.g. <pack>+<modifier>):")
+        for mod in mods:
+            tags = f" [{', '.join(mod.tags)}]" if mod.tags else ""
+            print(f"  +{mod.name:<24} {mod.description}{tags}")
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """Expand a pack or a ``pack+modifier`` spec and run it cached."""
     try:
-        pack = get_scenario(args.scenario)
-    except KeyError as exc:
+        pack = resolve_scenario(args.scenario)
+    except (KeyError, ValueError) as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
     overrides = _single_overrides(_parse_set(args.set))
     configs = pack.expand(
@@ -173,6 +198,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the ad-hoc cartesian grid spelled by ``--set`` axes, cached."""
     grid = _parse_set(args.set)
     seeds_axis = grid.pop("seed", None)
     if seeds_axis is not None and args.seeds is not None:
@@ -198,6 +224,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_ls(args: argparse.Namespace) -> int:
+    """List stored runs (reads the store; never simulates)."""
     store = RunStore(args.store)
     records = store.records()
     if args.limit:
@@ -228,6 +255,7 @@ def cmd_ls(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate stored runs into a table (never simulates)."""
     store = RunStore(args.store)
     metrics = tuple(args.metric or _DEFAULT_METRICS)
     where = (
@@ -285,18 +313,27 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the ``repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Content-addressed experiment store and scenario runner.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("scenarios", help="list registered scenario packs")
-    p.add_argument("--tag", help="only packs carrying this tag")
+    p = sub.add_parser("scenarios", help="list scenario packs and modifiers")
+    p.add_argument("--tag", help="only packs/modifiers carrying this tag")
+    p.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the self-documenting catalog (docs/SCENARIOS.md) to stdout",
+    )
     p.set_defaults(func=cmd_scenarios)
 
-    p = sub.add_parser("run", help="run a named scenario pack (cached)")
-    p.add_argument("scenario", help="registered scenario name (see 'scenarios')")
+    p = sub.add_parser("run", help="run a scenario pack or composition (cached)")
+    p.add_argument(
+        "scenario",
+        help="pack name or pack+modifier[+modifier...] spec (see 'scenarios')",
+    )
     _add_exec_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -324,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Console entry point: parse ``argv`` and dispatch the subcommand."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -75,9 +75,29 @@ class ScenarioPack:
 def register_scenario(
     name: str, description: str, tags: tuple[str, ...] = (), **default_params: Any
 ):
-    """Decorator registering a grid-expansion function under ``name``."""
+    """Decorator registering a grid-expansion function under ``name``.
+
+    The decorated builder takes ``(fast, n_seeds, **params)`` and returns
+    a list of :class:`~repro.sim.config.SimulationConfig`; registering a
+    name twice raises ``ValueError``.  Example::
+
+        from repro.sim.scenarios import base_config
+        from repro.store import register_scenario
+
+        @register_scenario("my/degree-sweep", "Overlay degree sweep.",
+                           tags=("overlay",))
+        def _build(fast, n_seeds, degrees=(4, 8, 16), **_):
+            base = base_config(fast, overlay_kind="random")
+            return [base.with_(overlay_degree=d, seed=s)
+                    for d in degrees for s in range(n_seeds)]
+
+    after which ``repro run my/degree-sweep`` and
+    ``expand_scenario("my/degree-sweep")`` both work, and the pack
+    composes with any modifier (``my/degree-sweep+churn/storm``).
+    """
 
     def decorate(fn: Callable[..., list[SimulationConfig]]):
+        """Wrap the builder in a :class:`ScenarioPack` and register it."""
         if name in _REGISTRY:
             raise ValueError(f"scenario {name!r} already registered")
         _REGISTRY[name] = ScenarioPack(
@@ -93,6 +113,7 @@ def register_scenario(
 
 
 def get_scenario(name: str) -> ScenarioPack:
+    """Look up a registered pack; ``KeyError`` lists the known names."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -101,16 +122,19 @@ def get_scenario(name: str) -> ScenarioPack:
 
 
 def scenario_names(tag: str | None = None) -> list[str]:
+    """Sorted registered pack names, optionally filtered by tag."""
     if tag is None:
         return sorted(_REGISTRY)
     return sorted(n for n, p in _REGISTRY.items() if tag in p.tags)
 
 
 def iter_scenarios() -> list[ScenarioPack]:
+    """All registered packs, sorted by name."""
     return [_REGISTRY[n] for n in sorted(_REGISTRY)]
 
 
 def expand_scenario(name: str, **kwargs: Any) -> list[SimulationConfig]:
+    """Expand a registered pack by name (shorthand for ``get`` + ``expand``)."""
     return get_scenario(name).expand(**kwargs)
 
 
@@ -286,5 +310,105 @@ def _schemes_shootout(
         base.with_(scheme=scheme, mix=mix, seed=s)
         for scheme in schemes
         for mix in mixes
+        for s in _seeds(n_seeds)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Composition root and adversary grids (see repro.store.compose for the
+# modifier algebra and the registered compositions built on these)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "base/default",
+    "The paper baseline, one config per seed: the canonical composition root.",
+    tags=("base",),
+)
+def _base_default(fast: bool, n_seeds: int, **_: Any) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [base.with_(seed=s) for s in _seeds(n_seeds)]
+
+
+@register_scenario(
+    "adversary/collusion",
+    "Collusion-ring pressure: ring membership 0-40% under the reputation scheme.",
+    tags=("adversary",),
+)
+def _adversary_collusion(
+    fast: bool,
+    n_seeds: int,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.25, 0.4),
+    ring_size: int = 4,
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(
+            collusion_fraction=f, collusion_ring_size=ring_size, seed=s
+        )
+        for f in fractions
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "adversary/collusion-rings",
+    "Ring-size sweep at fixed 25% colluders: many small cliques vs few cartels.",
+    tags=("adversary",),
+)
+def _adversary_collusion_rings(
+    fast: bool,
+    n_seeds: int,
+    ring_sizes: tuple[int, ...] = (2, 4, 8),
+    fraction: float = 0.25,
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(collusion_fraction=fraction, collusion_ring_size=k, seed=s)
+        for k in ring_sizes
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "adversary/sybil",
+    "Sybil/whitewash pressure: identity-discard rates for a 20% attacker share.",
+    tags=("adversary", "churn"),
+)
+def _adversary_sybil(
+    fast: bool,
+    n_seeds: int,
+    rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    fraction: float = 0.2,
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    return [
+        base.with_(sybil_fraction=fraction, sybil_rate=r, seed=s)
+        for r in rates
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "adversary/shootout",
+    "All four incentive schemes against collusion rings and sybil attackers.",
+    tags=("adversary", "schemes"),
+)
+def _adversary_shootout(
+    fast: bool,
+    n_seeds: int,
+    schemes: tuple[str, ...] = ("none", "tft", "karma", "reputation"),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = base_config(fast)
+    attacks = (
+        {"collusion_fraction": 0.25, "collusion_ring_size": 4},
+        {"sybil_fraction": 0.2, "sybil_rate": 0.05},
+    )
+    return [
+        base.with_(scheme=scheme, seed=s, **attack)
+        for scheme in schemes
+        for attack in attacks
         for s in _seeds(n_seeds)
     ]

@@ -71,6 +71,7 @@ class StoredRun:
 
     @classmethod
     def from_result(cls, result: SimulationResult) -> "StoredRun":
+        """Snapshot a finished :class:`SimulationResult` for persistence."""
         return cls(
             config_hash=config_hash(result.config),
             summary=dict(result.summary),
@@ -113,17 +114,21 @@ class StoredRun:
             return None
 
     def index_record(self) -> dict[str, Any]:
+        """The slim dict serialized as this run's ``index.jsonl`` line."""
         return {k: getattr(self, k) for k in _INDEX_FIELDS}
 
     def payload_record(self) -> dict[str, Any]:
+        """The full dict serialized as this run's payload file."""
         rec = self.index_record()
         rec["config"] = self.config
         rec["created_at"] = self.created_at
         return rec
 
     def to_result(self, config: SimulationConfig) -> SimulationResult:
-        """Re-materialize a :class:`SimulationResult` for the given config
-        (events are never persisted, so they come back as ``None``)."""
+        """Re-materialize a :class:`SimulationResult` for ``config``.
+
+        Events are never persisted, so they come back as ``None``.
+        """
         return SimulationResult(
             config=config,
             summary=dict(self.summary),
@@ -138,7 +143,21 @@ class RunStore:
     """Content-addressed store of :class:`SimulationResult` summaries.
 
     ``hits``/``misses`` count ``get`` outcomes since the store was opened;
-    the experiment runner prints them per experiment.
+    the experiment runner prints them per experiment.  Example::
+
+        >>> import tempfile
+        >>> from repro.sim.config import SimulationConfig
+        >>> from repro.sim.engine import run_simulation
+        >>> from repro.store import RunStore
+        >>> cfg = SimulationConfig(n_agents=8, n_articles=2,
+        ...                        founders_per_article=2,
+        ...                        training_steps=5, eval_steps=5)
+        >>> store = RunStore(tempfile.mkdtemp())
+        >>> hash_ = store.put(run_simulation(cfg))
+        >>> store.get(cfg) is not None  # served from cache from now on
+        True
+        >>> store.stats["stored"], store.hits, store.misses
+        (1, 1, 0)
     """
 
     def __init__(self, root: str | Path, recover_orphans: bool = True):
@@ -248,6 +267,7 @@ class RunStore:
     # Reading
     # ------------------------------------------------------------------
     def contains(self, config: SimulationConfig) -> bool:
+        """Whether a result for ``config`` is stored (also ``in``)."""
         return config_hash(config) in self._records
 
     __contains__ = contains
@@ -302,6 +322,7 @@ class RunStore:
         canon_filters = {k: _canon_scalar(v) for k, v in filters.items()}
 
         def matches(rec: StoredRun) -> bool:
+            """Whether one record's config satisfies every filter."""
             if rec.config is None:
                 return False
             for dotted, want in canon_filters.items():
@@ -317,10 +338,12 @@ class RunStore:
         return [r for r in self.records() if matches(r)]
 
     def iter_hashes(self) -> Iterator[str]:
+        """Iterate over the stored config hashes (insertion order)."""
         return iter(self._records)
 
     @property
     def stats(self) -> dict[str, int]:
+        """Summary counters: stored records, session hits and misses."""
         return {"stored": len(self._records), "hits": self.hits, "misses": self.misses}
 
 

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
+    adversary_panel,
     fig3_incentive_effect,
     fig4_population_mix,
     fig6_edit_coin_flip,
@@ -91,3 +92,16 @@ class TestSchemeComparison:
         assert fig.series["articles"].size == 4
         assert np.all(fig.series["bandwidth"] >= 0.0)
         assert np.all(fig.series["bandwidth"] <= 1.0)
+
+
+class TestAdversaryPanel:
+    def test_schemes_times_attacks_grid(self):
+        figs = adversary_panel.run(fast=True, n_seeds=1, backend="serial")
+        fig = figs[0]
+        assert fig.name == "adversary_panel"
+        assert set(fig.series) == {"collusion", "sybil"}
+        assert fig.meta["schemes"] == "none,tft,karma,reputation"
+        for attack in ("collusion", "sybil"):
+            assert fig.series[attack].size == 4
+            assert np.all(fig.series[attack] >= 0.0)
+            assert np.all(fig.series[attack] <= 1.0)

@@ -59,10 +59,8 @@ def assert_bit_identical(config, n_replicates=3):
                     f"replicate {r}: {section}[{key!r}] "
                     f"batched={got[key]!r} sequential={want[key]!r}"
                 )
-        assert (
-            batched[r].extras["whitewash_count"]
-            == sequential.extras["whitewash_count"]
-        )
+        for extra in ("whitewash_count", "sybil_count"):
+            assert batched[r].extras[extra] == sequential.extras[extra]
 
 
 class TestSchemes:
@@ -92,6 +90,40 @@ class TestChurn:
 
     def test_churn_off_equivalence(self):
         assert_bit_identical(tiny(seed=304))
+
+
+class TestAdversaries:
+    """The contract extends to the collusion and sybil kernels."""
+
+    @pytest.mark.parametrize("scheme", ["reputation", "tft"])
+    def test_collusion_equivalence(self, scheme):
+        assert_bit_identical(
+            tiny(seed=901, scheme=scheme, collusion_fraction=0.25,
+                 collusion_ring_size=3)
+        )
+
+    @pytest.mark.parametrize("scheme", ["reputation", "karma"])
+    def test_sybil_equivalence(self, scheme):
+        assert_bit_identical(
+            tiny(seed=902, scheme=scheme, sybil_fraction=0.25, sybil_rate=0.1)
+        )
+
+    def test_combined_adversaries_with_churn(self):
+        assert_bit_identical(
+            tiny(
+                seed=903,
+                collusion_fraction=0.25,
+                collusion_ring_size=3,
+                sybil_fraction=0.2,
+                sybil_rate=0.05,
+                leave_rate=0.02,
+                join_rate=0.2,
+                whitewash_rate=0.01,
+                overlay_kind="random",
+                overlay_degree=4,
+                capacity_sigma=0.5,
+            )
+        )
 
 
 class TestOtherAxes:

@@ -1,0 +1,77 @@
+"""Tests for the self-documenting scenario catalog (docs/SCENARIOS.md)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.store.catalog import pack_axes, pack_grid_size, scenario_catalog_markdown
+from repro.store.compose import iter_modifiers
+from repro.store.registry import get_scenario, iter_scenarios
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
+
+
+class TestDerivedFacts:
+    def test_axes_of_known_packs(self):
+        assert pack_axes(get_scenario("paper/fig3")) == ("incentives_enabled",)
+        assert pack_axes(get_scenario("churn/storm")) == ("join_rate", "leave_rate")
+        assert pack_axes(get_scenario("base/default")) == ()
+
+    def test_single_variant_modifier_fields_are_not_axes(self):
+        # sybil-storm fixes the sybil knobs (one variant) and varies churn.
+        assert pack_axes(get_scenario("adversary/sybil-storm")) == (
+            "join_rate",
+            "leave_rate",
+        )
+
+    def test_grid_sizes(self):
+        assert pack_grid_size(get_scenario("paper/fig3")) == 2
+        assert pack_grid_size(get_scenario("base/default")) == 1
+        assert pack_grid_size(get_scenario("stress/churn-overlay")) == 3
+
+
+class TestMarkdown:
+    def test_every_pack_and_modifier_listed(self):
+        md = scenario_catalog_markdown()
+        for pack in iter_scenarios():
+            assert f"`{pack.name}`" in md
+        for mod in iter_modifiers():
+            assert f"`{mod.name}`" in md
+
+    def test_deterministic(self):
+        assert scenario_catalog_markdown() == scenario_catalog_markdown()
+
+    def test_at_least_18_packs(self):
+        assert len(iter_scenarios()) >= 18
+
+    def test_committed_catalog_is_fresh(self):
+        """docs/SCENARIOS.md must match a fresh rendering (CI-enforced).
+
+        Regenerate with::
+
+            PYTHONPATH=src python -m repro.store.cli scenarios --markdown > docs/SCENARIOS.md
+        """
+        assert SCENARIOS_MD.exists(), "docs/SCENARIOS.md missing"
+        committed = SCENARIOS_MD.read_text(encoding="utf-8")
+        if committed != scenario_catalog_markdown():
+            pytest.fail(
+                "docs/SCENARIOS.md is stale; regenerate with "
+                "`PYTHONPATH=src python -m repro.store.cli scenarios "
+                "--markdown > docs/SCENARIOS.md`"
+            )
+
+
+class TestCliMarkdown:
+    def test_markdown_flag_emits_catalog(self, capsys):
+        from repro.store.cli import main
+
+        assert main(["scenarios", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out == scenario_catalog_markdown()
+
+    def test_markdown_rejects_tag_filter(self):
+        from repro.store.cli import main
+
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["scenarios", "--markdown", "--tag", "adversary"])

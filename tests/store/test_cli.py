@@ -95,6 +95,12 @@ class TestScenarios:
         assert "churn/storm" in out
         assert "paper/fig3" not in out
 
+    def test_lists_modifiers(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "+adversary/sybil" in out
+        assert "+churn/storm" in out
+
 
 class TestRun:
     def test_run_populates_store(self, tmp_path, capsys):
@@ -102,6 +108,17 @@ class TestRun:
         out = capsys.readouterr().out
         assert "0 hits / 3 misses" in out
         assert len(RunStore(tmp_path)) == 3
+
+    def test_run_composed_spec(self, tmp_path, capsys):
+        # base/default (1 config/seed) x churn/spike (1 variant) = 1 run.
+        assert run_tiny(tmp_path, scenario="base/default+churn/spike") == 0
+        out = capsys.readouterr().out
+        assert "base/default+churn/spike: 1 configs" in out
+        assert len(RunStore(tmp_path)) == 1
+
+    def test_run_unknown_modifier_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown modifier"):
+            run_tiny(tmp_path, scenario="base/default+no/such")
 
     def test_second_run_all_cache_hits(self, tmp_path, capsys, monkeypatch):
         run_tiny(tmp_path)

@@ -24,6 +24,21 @@ NEW_PACKS = (
     "schemes/shootout",
 )
 
+ADVERSARY_PACKS = (
+    "adversary/collusion",
+    "adversary/collusion-rings",
+    "adversary/sybil",
+    "adversary/shootout",
+)
+
+COMPOSED_PACKS = (
+    "adversary/sybil-storm",
+    "stress/kitchen-sink",
+    "stress/churn-overlay",
+    "stress/capacity-churn",
+    "schemes/adversarial",
+)
+
 
 class TestRegistryBasics:
     def test_paper_packs_registered(self):
@@ -87,6 +102,50 @@ class TestExpansion:
     def test_invalid_n_seeds(self):
         with pytest.raises(ValueError):
             expand_scenario("churn/storm", n_seeds=0)
+
+    def test_adversary_builder_params_forwarded(self):
+        configs = expand_scenario(
+            "adversary/collusion",
+            n_seeds=1,
+            fractions=(0.5,),
+            ring_size=6,
+            overrides=TINY,
+        )
+        assert len(configs) == 1
+        assert configs[0].collusion_fraction == 0.5
+        assert configs[0].collusion_ring_size == 6
+
+    def test_expand_tolerates_unknown_kwarg(self):
+        # Builders swallow unknown params via **_, so stray kwargs are
+        # tolerated rather than crashing an interactive exploration.
+        configs = expand_scenario("adversary/sybil", n_seeds=1, bogus=1)
+        assert configs
+
+
+class TestAdversaryAndComposedPacks:
+    def test_registered(self):
+        names = scenario_names()
+        for name in ADVERSARY_PACKS + COMPOSED_PACKS + ("base/default",):
+            assert name in names
+        assert len(names) >= 18
+
+    def test_adversary_tag_filter(self):
+        tagged = scenario_names(tag="adversary")
+        for name in ADVERSARY_PACKS:
+            assert name in tagged
+        assert "paper/fig3" not in tagged
+
+    def test_composed_packs_carry_composed_tag(self):
+        for name in COMPOSED_PACKS:
+            assert "composed" in get_scenario(name).tags
+
+    @pytest.mark.parametrize("name", ADVERSARY_PACKS)
+    def test_adversary_pack_last_config_runs(self, name):
+        configs = expand_scenario(name, fast=True, n_seeds=1, overrides=TINY)
+        # The last grid point carries the adversary pressure (the first
+        # is often the zero-pressure baseline, e.g. collusion_fraction=0).
+        result = run_simulation(configs[-1])
+        assert 0.0 <= result.summary["shared_files"] <= 1.0
 
 
 class TestSmokeRuns:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README/docs point at real files.
+
+Usage::
+
+    python tools/check_links.py [file-or-dir ...]
+
+Defaults to ``README.md`` and ``docs/``.  Only repository-relative link
+targets are checked (external ``http(s)``/``mailto`` URLs and pure
+``#fragment`` anchors are skipped — CI must not depend on the network).
+Exit status 1 lists every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — images included via the
+#: leading '!', which needs no special casing for existence checks.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(paths: list[Path]):
+    """Yield every markdown file under the given files/directories."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+
+
+def broken_links(md_file: Path, repo_root: Path) -> list[str]:
+    """Relative link targets in ``md_file`` that do not exist on disk."""
+    bad = []
+    for match in _LINK_RE.finditer(md_file.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        # Strip an anchor; the file part is what must exist.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (
+            repo_root / file_part.lstrip("/")
+            if file_part.startswith("/")
+            else md_file.parent / file_part
+        )
+        if not resolved.exists():
+            bad.append(target)
+    return bad
+
+
+def main(argv: list[str]) -> int:
+    """Check all given paths; print broken links and return the status."""
+    repo_root = Path(__file__).resolve().parent.parent
+    paths = (
+        [Path(a) for a in argv]
+        if argv
+        else [repo_root / "README.md", repo_root / "docs"]
+    )
+    failures = 0
+    checked = 0
+    for md_file in iter_markdown(paths):
+        checked += 1
+        for target in broken_links(md_file, repo_root):
+            print(f"{md_file}: broken link -> {target}")
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
