@@ -157,6 +157,11 @@ class BatchedBehaviorEngine:
         self.rational_counts = [
             int((types[r] == RATIONAL).sum()) for r in range(self.n_replicates)
         ]
+        # Start offset of each replicate's span in the stacked rational
+        # order (used by the per-lane-temperature selection path).
+        self._rational_starts = np.concatenate(
+            ([0], np.cumsum(self.rational_counts))
+        )
         n_rational = self.rational_idx.size
         expected = max(n_rational, 1)
         if sharing_learner.n_agents != expected:
@@ -174,25 +179,60 @@ class BatchedBehaviorEngine:
         return list(rngs) if isinstance(rngs, (list, tuple)) else [rngs]
 
     def _select(
-        self, learner: VectorQLearner, states: np.ndarray, temperature: float, rngs
+        self, learner: VectorQLearner, states: np.ndarray, temperature, rngs
     ) -> np.ndarray:
-        """Stacked rational action selection with per-replicate streams."""
+        """Stacked rational action selection with per-replicate streams.
+
+        ``temperature`` is a scalar (all lanes in the same regime — the
+        homogeneous fast path) or a per-lane ``(R,)`` array: each lane's
+        rational span draws from its own stream with its own temperature
+        (``T = inf`` lanes take the uniform-integer path, finite lanes are
+        Boltzmann-sampled in one stacked call with per-row temperatures),
+        reproducing every lane's sequential draw sequence exactly.
+        """
         rngs = self._as_rngs(rngs)
-        if np.isinf(temperature):
-            parts = [
-                rngs[r].integers(0, learner.n_actions, size=k)
-                for r, k in enumerate(self.rational_counts)
-                if k
-            ]
-            return np.concatenate(parts)
-        u = np.concatenate(
-            [
-                rngs[r].random((k, 1))
-                for r, k in enumerate(self.rational_counts)
-                if k
-            ]
-        )
-        return learner.select_actions(states, temperature, u=u)
+        if np.ndim(temperature) == 0:
+            if np.isinf(temperature):
+                parts = [
+                    rngs[r].integers(0, learner.n_actions, size=k)
+                    for r, k in enumerate(self.rational_counts)
+                    if k
+                ]
+                return np.concatenate(parts)
+            u = np.concatenate(
+                [
+                    rngs[r].random((k, 1))
+                    for r, k in enumerate(self.rational_counts)
+                    if k
+                ]
+            )
+            return learner.select_actions(states, temperature, u=u)
+
+        t = np.asarray(temperature, dtype=np.float64)
+        starts = self._rational_starts
+        actions = np.empty(states.size, dtype=np.int64)
+        u_parts: list[np.ndarray] = []
+        finite_spans: list[np.ndarray] = []
+        t_rows: list[np.ndarray] = []
+        for r, k in enumerate(self.rational_counts):
+            if not k:
+                continue
+            span = slice(int(starts[r]), int(starts[r]) + k)
+            if np.isinf(t[r]):
+                actions[span] = rngs[r].integers(0, learner.n_actions, size=k)
+            else:
+                u_parts.append(rngs[r].random((k, 1)))
+                finite_spans.append(np.arange(span.start, span.stop))
+                t_rows.append(np.full(k, t[r]))
+        if u_parts:
+            sub = np.concatenate(finite_spans)
+            actions[sub] = learner.select_actions(
+                states[sub],
+                np.concatenate(t_rows),
+                subset=sub,
+                u=np.concatenate(u_parts),
+            )
+        return actions
 
     def sharing_actions(self, states: np.ndarray, temperature: float, rngs):
         """Per-slot sharing action indices; ``states`` covers the stacked

@@ -24,20 +24,31 @@ import numpy as np
 __all__ = ["boltzmann_probabilities", "sample_categorical", "VectorQLearner"]
 
 
-def boltzmann_probabilities(q_values: np.ndarray, temperature: float) -> np.ndarray:
+def boltzmann_probabilities(
+    q_values: np.ndarray, temperature: float | np.ndarray
+) -> np.ndarray:
     """Softmax over the last axis at temperature ``T`` (Figure 2).
 
     Numerically stable (max-subtracted); ``T = inf`` returns the uniform
     distribution, matching the paper's "explore all actions with equal
-    probability" training regime.
+    probability" training regime.  ``temperature`` may be a per-row
+    ``(rows,)`` array (lane-batched selection, one temperature per agent's
+    lane): the division is elementwise, so each row's probabilities are
+    bit-identical to a scalar call at that row's temperature.
     """
-    if temperature <= 0:
-        raise ValueError("temperature must be positive (use small T for greedy)")
     q = np.asarray(q_values, dtype=np.float64)
-    if np.isinf(temperature):
-        shape = q.shape
-        return np.full(shape, 1.0 / shape[-1])
-    z = q / temperature
+    if np.ndim(temperature) > 0:
+        t = np.asarray(temperature, dtype=np.float64)
+        if np.any(t <= 0):
+            raise ValueError("temperature must be positive (use small T for greedy)")
+        z = q / t.reshape(t.shape + (1,) * (q.ndim - t.ndim))
+    else:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive (use small T for greedy)")
+        if np.isinf(temperature):
+            shape = q.shape
+            return np.full(shape, 1.0 / shape[-1])
+        z = q / temperature
     z -= z.max(axis=-1, keepdims=True)
     np.exp(z, out=z)
     z /= z.sum(axis=-1, keepdims=True)
@@ -89,15 +100,30 @@ class VectorQLearner:
     ) -> None:
         if n_agents < 1 or n_states < 1 or n_actions < 2:
             raise ValueError("need n_agents >= 1, n_states >= 1, n_actions >= 2")
-        if not 0.0 < learning_rate <= 1.0:
+        # Lane-batched learners stack agents from lanes with different
+        # hyper-parameters: ``learning_rate``/``discount`` may be
+        # per-agent ``(n_agents,)`` arrays, applied elementwise in the
+        # (per-agent-independent) TD backup.
+        if not (
+            np.all(np.asarray(learning_rate) > 0.0)
+            and np.all(np.asarray(learning_rate) <= 1.0)
+        ):
             raise ValueError("learning_rate must be in (0, 1]")
-        if not 0.0 <= discount < 1.0:
+        if not (
+            np.all(np.asarray(discount) >= 0.0) and np.all(np.asarray(discount) < 1.0)
+        ):
             raise ValueError("discount must be in [0, 1)")
         self.n_agents = int(n_agents)
         self.n_states = int(n_states)
         self.n_actions = int(n_actions)
-        self.learning_rate = float(learning_rate)
-        self.discount = float(discount)
+        self.learning_rate = (
+            learning_rate
+            if isinstance(learning_rate, np.ndarray)
+            else float(learning_rate)
+        )
+        self.discount = (
+            discount if isinstance(discount, np.ndarray) else float(discount)
+        )
         self.q = np.full(
             (self.n_agents, self.n_states, self.n_actions),
             float(initial_q),
@@ -129,7 +155,7 @@ class VectorQLearner:
         states = np.asarray(states)
         if states.shape != idx.shape:
             raise ValueError("states must align with the selected agents")
-        if np.isinf(temperature):
+        if np.ndim(temperature) == 0 and np.isinf(temperature):
             if rng is None:
                 raise ValueError("the T=inf fast path draws from rng directly")
             return rng.integers(0, self.n_actions, size=idx.size)
@@ -161,8 +187,15 @@ class VectorQLearner:
         if not (states.shape == actions.shape == rewards.shape == next_states.shape == idx.shape):
             raise ValueError("all update arrays must align with the selected agents")
         best_next = self.q[idx, next_states].max(axis=1)
-        target = rewards + self.discount * best_next
+        gamma = self.discount
         a = self.learning_rate
+        if subset is not None:
+            # Per-agent hyper-parameter arrays must follow the gather.
+            if isinstance(gamma, np.ndarray):
+                gamma = gamma[idx]
+            if isinstance(a, np.ndarray):
+                a = a[idx]
+        target = rewards + gamma * best_next
         current = self.q[idx, states, actions]
         self.q[idx, states, actions] = (1.0 - a) * current + a * target
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from .contribution import ContributionLedger
-from .params import PaperConstants
+from .params import PaperConstants, gather_param as _gather
 from .service import grouped_shares
 
 __all__ = ["PrivateHistoryScheme", "KarmaScheme"]
@@ -94,9 +94,15 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         history_decay: float = 0.995,
         n_replicates: int = 1,
     ) -> None:
-        if not 0.0 < history_decay <= 1.0:
+        # Lane batches pass ``optimistic_floor`` as a per-slot (R*N,)
+        # array and ``history_decay`` as a per-replicate (R,) array; both
+        # are consumed elementwise within each replicate's slots, so a
+        # heterogeneous batch books bit-identically to per-lane instances.
+        if np.any(np.asarray(history_decay) <= 0.0) or np.any(
+            np.asarray(history_decay) > 1.0
+        ):
             raise ValueError("history_decay must be in (0, 1]")
-        if optimistic_floor <= 0.0:
+        if np.any(np.asarray(optimistic_floor) <= 0.0):
             raise ValueError("optimistic_floor must be positive (unchoke)")
         if n_replicates < 1:
             raise ValueError("n_replicates must be >= 1")
@@ -104,8 +110,16 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         self.n_replicates = int(n_replicates)
         self.n_slots = self.n_peers * self.n_replicates
         self.constants = constants if constants is not None else PaperConstants()
-        self.optimistic_floor = float(optimistic_floor)
-        self.history_decay = float(history_decay)
+        self.optimistic_floor = (
+            optimistic_floor
+            if isinstance(optimistic_floor, np.ndarray)
+            else float(optimistic_floor)
+        )
+        self.history_decay = (
+            history_decay
+            if isinstance(history_decay, np.ndarray)
+            else float(history_decay)
+        )
         # One (N, N) direct-experience matrix per replicate; histories are
         # strictly per-replicate (a peer never remembers service from a
         # sibling universe), so replicate batching keeps a (R, N, N) stack
@@ -139,7 +153,7 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         if source_ids.size == 0:
             return np.zeros(0, dtype=np.float64)
         n = self.n_peers
-        weights = self.optimistic_floor + self._given[
+        weights = _gather(self.optimistic_floor, source_ids) + self._given[
             source_ids // n, downloader_ids % n, source_ids % n
         ]
         return grouped_shares(source_ids, weights, self.n_slots)
@@ -171,10 +185,15 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         downloader_ids = np.asarray(downloader_ids, dtype=np.int64)
         n = self.n_peers
         rep_ids = source_ids // n
+        decay = self.history_decay
         if self.n_replicates == 1:
-            self._given *= self.history_decay
+            self._given *= decay
         else:
-            self._given[np.unique(rep_ids)] *= self.history_decay
+            settled = np.unique(rep_ids)
+            if isinstance(decay, np.ndarray):
+                self._given[settled] *= decay[settled, None, None]
+            else:
+                self._given[settled] *= decay
         np.add.at(
             self._given, (rep_ids, source_ids % n, downloader_ids % n), amounts
         )
@@ -218,9 +237,12 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         floor: float = 0.05,
         n_replicates: int = 1,
     ) -> None:
-        if initial_karma < 0:
+        # Lane batches pass both knobs as per-slot (R*N,) arrays; every
+        # use below is an elementwise fill or a per-downloader gather, so
+        # each lane trades exactly as a solo scheme with its scalars would.
+        if np.any(np.asarray(initial_karma) < 0):
             raise ValueError("initial_karma must be non-negative")
-        if floor <= 0:
+        if np.any(np.asarray(floor) <= 0):
             raise ValueError("floor must be positive")
         if n_replicates < 1:
             raise ValueError("n_replicates must be >= 1")
@@ -228,9 +250,14 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         self.n_replicates = int(n_replicates)
         self.n_slots = self.n_peers * self.n_replicates
         self.constants = constants if constants is not None else PaperConstants()
-        self.initial_karma = float(initial_karma)
-        self.floor = float(floor)
-        self.balance = np.full(self.n_slots, self.initial_karma, dtype=np.float64)
+        self.initial_karma = (
+            initial_karma
+            if isinstance(initial_karma, np.ndarray)
+            else float(initial_karma)
+        )
+        self.floor = floor if isinstance(floor, np.ndarray) else float(floor)
+        self.balance = np.empty(self.n_slots, dtype=np.float64)
+        self.balance[:] = self.initial_karma
         self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
 
     def reputation_s(self) -> np.ndarray:
@@ -250,7 +277,7 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         downloader_ids = np.asarray(downloader_ids, dtype=np.int64)
         if source_ids.size == 0:
             return np.zeros(0, dtype=np.float64)
-        weights = self.floor + self.balance[downloader_ids]
+        weights = _gather(self.floor, downloader_ids) + self.balance[downloader_ids]
         return grouped_shares(source_ids, weights, self.n_slots)
 
     def record_sharing(
@@ -279,9 +306,9 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         ``initial_karma`` are whitewash-prone: broke peers profit from
         rejoining."""
         peer_ids = np.asarray(peer_ids, dtype=np.int64)
-        self.balance[peer_ids] = self.initial_karma
+        self.balance[peer_ids] = _gather(self.initial_karma, peer_ids)
         self.ledger.reset_peers(peer_ids)
 
     def reset_reputations(self) -> None:
-        self.balance.fill(self.initial_karma)
+        self.balance[:] = self.initial_karma
         self.ledger.reset_all()

@@ -33,6 +33,12 @@ class ContributionLedger:
             raise ValueError("n_peers must be >= 1")
         self.n_peers = int(n_peers)
         self.params = params if params is not None else ContributionParams()
+        # Lane batches pass a duck-typed params bundle whose leaves are
+        # per-slot arrays; all uses below are elementwise, so each slot
+        # behaves bit-identically to a ledger built with its own scalars.
+        # Multiplying by a retention of exactly 1.0 is an IEEE identity,
+        # so one any() gate covers mixed-retention batches too.
+        self._apply_retention = bool(np.any(np.asarray(self.params.retention) < 1.0))
         self._c_s = np.zeros(self.n_peers, dtype=np.float64)
         self._c_e = np.zeros(self.n_peers, dtype=np.float64)
 
@@ -71,7 +77,7 @@ class ContributionLedger:
         p = self.params
         self._check(shared_articles, "shared_articles")
         self._check(shared_bandwidth, "shared_bandwidth")
-        if p.retention < 1.0:
+        if self._apply_retention:
             self._c_s *= p.retention
         self._c_s += p.alpha_s * shared_articles
         self._c_s += p.beta_s * shared_bandwidth
@@ -89,7 +95,7 @@ class ContributionLedger:
         p = self.params
         self._check(successful_votes, "successful_votes")
         self._check(accepted_edits, "accepted_edits")
-        if p.retention < 1.0:
+        if self._apply_retention:
             self._c_e *= p.retention
         self._c_e += p.alpha_e * successful_votes
         self._c_e += p.beta_e * accepted_edits

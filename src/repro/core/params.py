@@ -19,6 +19,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+import numpy as np
+
+__all__ = [
+    "gather_param",
+    "ReputationParams",
+    "ContributionParams",
+    "ServiceParams",
+    "UtilityParams",
+    "PaperConstants",
+    "DEFAULT_CONSTANTS",
+]
+
+
+def gather_param(param: float | int | np.ndarray, idx: np.ndarray):
+    """Gather a scalar-or-array parameter at (slot/lane) indices.
+
+    The one idiom every lane-lifted parameter gather uses — scheme books
+    in :mod:`repro.core` and phase kernels alike (``repro.sim.lanes``
+    re-exports it as ``take``): scalars pass through untouched (numpy
+    broadcasting does the rest), arrays are fancy-indexed.
+    """
+    return param[idx] if isinstance(param, np.ndarray) else param
+
 
 @dataclass(frozen=True)
 class ReputationParams:

@@ -22,14 +22,25 @@ import numpy as np
 __all__ = ["VotePunishment", "EditPunishment"]
 
 
+def _as_threshold(threshold):
+    """Scalar threshold, or a per-peer array for lane-heterogeneous
+    batches (every comparison below is elementwise, so a slot with
+    threshold ``t`` behaves exactly like a tracker built with ``t``)."""
+    if isinstance(threshold, np.ndarray):
+        if np.any(threshold < 1):
+            raise ValueError("threshold must be >= 1")
+        return threshold
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    return int(threshold)
+
+
 class VotePunishment:
     """Counts anti-majority votes; revokes voting rights above a threshold."""
 
-    def __init__(self, n_peers: int, threshold: int):
-        if threshold < 1:
-            raise ValueError("threshold must be >= 1")
+    def __init__(self, n_peers: int, threshold):
         self.n_peers = int(n_peers)
-        self.threshold = int(threshold)
+        self.threshold = _as_threshold(threshold)
         self.unsuccessful_votes = np.zeros(self.n_peers, dtype=np.int64)
         self.banned = np.zeros(self.n_peers, dtype=bool)
 
@@ -80,11 +91,9 @@ class VotePunishment:
 class EditPunishment:
     """Counts declined edits; triggers a reputation reset above a threshold."""
 
-    def __init__(self, n_peers: int, threshold: int):
-        if threshold < 1:
-            raise ValueError("threshold must be >= 1")
+    def __init__(self, n_peers: int, threshold):
         self.n_peers = int(n_peers)
-        self.threshold = int(threshold)
+        self.threshold = _as_threshold(threshold)
         self.declined_edits = np.zeros(self.n_peers, dtype=np.int64)
 
     def record_edits(

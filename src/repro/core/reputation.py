@@ -185,11 +185,13 @@ def reputation_to_state(
 
     The paper uses 10 states, "each state represents 1/10 of the reputation
     interval [0.05, 1]".  Values at ``r_max`` fall into the last state.
-    Returns int64 indices in ``[0, n_states)``.
+    Returns int64 indices in ``[0, n_states)``.  ``r_min``/``r_max`` may be
+    per-element arrays (lane-batched states discretize each lane against
+    its own band; the arithmetic is elementwise either way).
     """
     if n_states < 1:
         raise ValueError("n_states must be >= 1")
-    if not r_min < r_max:
+    if np.any(np.asarray(r_min) >= np.asarray(r_max)):
         raise ValueError("need r_min < r_max")
     r = np.asarray(reputation, dtype=np.float64)
     frac = (r - r_min) / (r_max - r_min)

@@ -28,6 +28,7 @@ __all__ = [
     "allocate_equal_split",
     "voting_weights",
     "required_majority",
+    "required_majority_values",
     "edit_eligibility",
 ]
 
@@ -127,10 +128,33 @@ def required_majority(
     reputation": we interpolate linearly from ``majority_max`` at ``R_min``
     down to ``majority_min`` at ``R_max``.
     """
+    return required_majority_values(
+        editor_reputation,
+        reputation.r_min,
+        reputation.r_max,
+        service.majority_min,
+        service.majority_max,
+    )
+
+
+def required_majority_values(
+    editor_reputation: np.ndarray | float,
+    r_min: np.ndarray | float,
+    r_max: np.ndarray | float,
+    majority_min: np.ndarray | float,
+    majority_max: np.ndarray | float,
+) -> np.ndarray:
+    """:func:`required_majority` on explicit parameter values.
+
+    The lane-batched engine gathers per-editor parameters (each editor's
+    lane may configure its own majority band); scalars reproduce the
+    params-object spelling operation for operation, so the two entry
+    points are bit-identical.
+    """
     r = np.asarray(editor_reputation, dtype=np.float64)
-    span = reputation.r_max - reputation.r_min
-    frac = np.clip((r - reputation.r_min) / span, 0.0, 1.0)
-    return service.majority_max - (service.majority_max - service.majority_min) * frac
+    span = r_max - r_min
+    frac = np.clip((r - r_min) / span, 0.0, 1.0)
+    return majority_max - (majority_max - majority_min) * frac
 
 
 def edit_eligibility(

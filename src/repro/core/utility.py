@@ -21,7 +21,12 @@ import numpy as np
 
 from .params import UtilityParams
 
-__all__ = ["sharing_utility", "editing_utility"]
+__all__ = [
+    "sharing_utility",
+    "sharing_utility_values",
+    "editing_utility",
+    "editing_utility_values",
+]
 
 
 def sharing_utility(
@@ -42,13 +47,37 @@ def sharing_utility(
     offered_bandwidth:
         ``UP_own`` — fraction of upload bandwidth the peer offers.
     """
+    return sharing_utility_values(
+        received_bandwidth,
+        shared_articles,
+        offered_bandwidth,
+        params.alpha,
+        params.beta,
+        params.gamma,
+    )
+
+
+def sharing_utility_values(
+    received_bandwidth: np.ndarray,
+    shared_articles: np.ndarray,
+    offered_bandwidth: np.ndarray,
+    alpha: float | np.ndarray,
+    beta: float | np.ndarray,
+    gamma: float | np.ndarray,
+) -> np.ndarray:
+    """:func:`sharing_utility` on explicit modifier values.
+
+    The lane-batched engine passes per-slot ``(R * N,)`` modifier arrays
+    (each lane rewards with its own constants); scalars reproduce the
+    params-object spelling operation for operation.
+    """
     received_bandwidth = np.asarray(received_bandwidth, dtype=np.float64)
     shared_articles = np.asarray(shared_articles, dtype=np.float64)
     offered_bandwidth = np.asarray(offered_bandwidth, dtype=np.float64)
     return (
-        params.alpha * received_bandwidth
-        - params.beta * shared_articles
-        - params.gamma * offered_bandwidth
+        alpha * received_bandwidth
+        - beta * shared_articles
+        - gamma * offered_bandwidth
     )
 
 
@@ -58,6 +87,18 @@ def editing_utility(
     params: UtilityParams,
 ) -> np.ndarray:
     """Per-peer editing/voting utility ``U_E`` for one step."""
+    return editing_utility_values(
+        accepted_edits, successful_votes, params.delta, params.epsilon
+    )
+
+
+def editing_utility_values(
+    accepted_edits: np.ndarray,
+    successful_votes: np.ndarray,
+    delta: float | np.ndarray,
+    epsilon: float | np.ndarray,
+) -> np.ndarray:
+    """:func:`editing_utility` on explicit (scalar or per-slot) values."""
     accepted_edits = np.asarray(accepted_edits, dtype=np.float64)
     successful_votes = np.asarray(successful_votes, dtype=np.float64)
-    return params.delta * accepted_edits + params.epsilon * successful_votes
+    return delta * accepted_edits + epsilon * successful_votes

@@ -162,6 +162,10 @@ def sample_download_requests_batch(
     one :func:`settle_downloads` call (with ``n_peers = R * N``) settles
     all replicates at once — requests never cross replicate boundaries
     because bandwidth competition is grouped by source id.
+
+    ``download_probability`` may be a per-replicate ``(R,)`` array (lane
+    batching): each replicate's draw is thresholded against its own
+    probability, exactly as its solo run would be.
     """
     sharing_mask = np.asarray(sharing_mask, dtype=bool)
     if sharing_mask.ndim != 2:
@@ -169,6 +173,11 @@ def sample_download_requests_batch(
     n_rep, n_peers = sharing_mask.shape
     if len(rngs) != n_rep:
         raise ValueError("need one rng per replicate")
+    per_lane_p = np.ndim(download_probability) > 0
+
+    def lane_p(r: int):
+        return download_probability[r] if per_lane_p else download_probability
+
     empty = DownloadRequests(
         downloader_ids=np.empty(0, dtype=np.int64),
         source_ids=np.empty(0, dtype=np.int64),
@@ -178,7 +187,7 @@ def sample_download_requests_batch(
         src_parts: list[np.ndarray] = []
         for r in range(n_rep):
             req = sample_download_requests_overlay(
-                rngs[r], sharing_mask[r], overlays[r], download_probability
+                rngs[r], sharing_mask[r], overlays[r], lane_p(r)
             )
             if req.n:
                 offset = r * n_peers
@@ -201,7 +210,8 @@ def sample_download_requests_batch(
         n_s = int(n_sharers[r])
         if n_s == 0:
             continue  # no draw, exactly like the solo sampler's early out
-        p = 1.0 / n_s if download_probability is None else float(download_probability)
+        p_r = lane_p(r)
+        p = 1.0 / n_s if p_r is None else float(p_r)
         p = min(max(p, 0.0), 1.0)
         wants[r] = rngs[r].random(n_peers) < p
     downloaders = np.flatnonzero(wants.reshape(-1))  # global slot ids

@@ -1,5 +1,5 @@
 """Simulation engine: config, RNG streams, metrics, phase-kernel engine
-(single-run and replicate-batched), sweeps, scenarios, checkpoints."""
+(single-run and lane-batched), sweeps, scenarios, checkpoints."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
 from .config import SimulationConfig
@@ -10,6 +10,7 @@ from .engine import (
     run_replicates,
     run_simulation,
 )
+from .lanes import STRUCTURAL_FIELDS, structural_key
 from .metrics import MetricsCollector, StepStats
 from .state import SimState, build_sim_state
 from .rng import make_rng, spawn_rngs, spawn_seeds
@@ -18,6 +19,7 @@ from .sweep import (
     SweepWorkerError,
     available_workers,
     get_default_store,
+    plan_lane_batches,
     replicate,
     run_sweep,
     set_default_store,
@@ -43,6 +45,9 @@ __all__ = [
     "fig3_configs",
     "fig6_configs",
     "mixture_configs",
+    "STRUCTURAL_FIELDS",
+    "structural_key",
+    "plan_lane_batches",
     "available_workers",
     "replicate",
     "run_sweep",

@@ -42,6 +42,20 @@ class SimulationConfig:
     #: the future-work ablation; the paper's choice is "logistic".
     reputation_fn_s: str = "logistic"
     reputation_fn_e: str = "logistic"
+    #: Newcomer grant of the karma baseline (``scheme="karma"``): the
+    #: balance a fresh identity starts with.  The grant is what makes
+    #: currencies whitewash-prone, so sweeps vary it.
+    karma_initial: float = 1.0
+    #: Bootstrap floor added to every downloader's karma weight so broke
+    #: newcomers are not starved outright.
+    karma_floor: float = 0.05
+    #: Optimistic-unchoke floor of the tit-for-tat baseline
+    #: (``scheme="tft"``): the weight a stranger gets before any direct
+    #: experience exists — the scheme's "forgiveness" knob.
+    tft_optimistic_floor: float = 0.05
+    #: Geometric decay of the tit-for-tat private history per settlement
+    #: round (BitTorrent-style rolling rate estimate).
+    tft_history_decay: float = 0.995
 
     # --- learning (paper: 10 states, T=inf then T=1, 10k training) ----
     n_states: int = 10
@@ -149,6 +163,14 @@ class SimulationConfig:
             raise ValueError("sybil_fraction must be in [0, 1]")
         if not 0.0 <= self.sybil_rate <= 1.0:
             raise ValueError("sybil_rate must be in [0, 1]")
+        if self.karma_initial < 0.0:
+            raise ValueError("karma_initial must be non-negative")
+        if self.karma_floor <= 0.0:
+            raise ValueError("karma_floor must be positive")
+        if self.tft_optimistic_floor <= 0.0:
+            raise ValueError("tft_optimistic_floor must be positive")
+        if not 0.0 < self.tft_history_decay <= 1.0:
+            raise ValueError("tft_history_decay must be in (0, 1]")
         if self.scheme not in ("auto", "reputation", "none", "tft", "karma"):
             raise ValueError(
                 f"unknown scheme {self.scheme!r}; "

@@ -98,21 +98,29 @@ def _run_protocol(state) -> float:
 
     Shared by the single-run and batched front-ends so the protocol can
     never diverge between them (the batched == sequential bit-identity
-    contract depends on that).  Returns the wall time consumed.
+    contract depends on that).  Step counts and the eval-learning flag
+    are structural (shared by every lane); the temperatures come from the
+    lane parameters, so mixed-temperature batches train/evaluate each
+    lane at its own ``T``.  Returns the wall time consumed.
     """
     cfg = state.config
+    lanes = state.lanes
     t0 = time.perf_counter()
     for _ in range(cfg.training_steps):
-        step_state(state, cfg.t_train, learn=True)
+        step_state(state, lanes.t_train, learn=True)
     state.scheme.reset_reputations()
     for _ in range(cfg.eval_steps):
-        step_state(state, cfg.t_eval, learn=cfg.learn_during_eval)
+        step_state(state, lanes.t_eval, learn=cfg.learn_during_eval)
     return time.perf_counter() - t0
 
 
 def _phase_summaries(state, replicate: int) -> tuple[dict, dict]:
-    """(evaluation-window summary, training summary) for one replicate."""
-    cfg = state.config
+    """(evaluation-window summary, training summary) for one replicate.
+
+    Windowing uses the *lane's own* config (``measure_window`` may differ
+    per lane; the step counts are structural and shared).
+    """
+    cfg = state.configs[replicate]
     summary = state.metrics.summary(
         _summary_window(cfg), cfg.total_steps, replicate=replicate
     )
@@ -149,7 +157,7 @@ class CollaborationSimulation:
         self.sharing_learner = s.sharing_learner
         self.edit_learner = s.edit_learner
         self.behavior = s.behavior
-        self.churn = s.churn
+        self.churn = s.churn[0]
         self.metrics = s.metrics
         self.events = s.events[0]
 
@@ -236,12 +244,16 @@ class CollaborationSimulation:
 
 
 class BatchedSimulation:
-    """``R`` seed-varied replicates of one config, stepped in lock-step.
+    """``R`` stacked lanes stepped in lock-step — seed replicates of one
+    config, or a heterogeneous mix of configs.
 
-    ``configs`` must be identical except for their seeds.  Event
-    collection is not supported here — use sequential runs for
-    event-level diagnostics (``run_replicates`` falls back
-    automatically).
+    ``configs`` must agree on the structural dimensions
+    (:data:`repro.sim.lanes.STRUCTURAL_FIELDS` plus the scheme class);
+    everything else — temperatures, constants, mixes, churn/adversary
+    knobs — may differ per lane, each lane reproducing its sequential run
+    bit for bit.  Event collection is not supported here — use sequential
+    runs for event-level diagnostics (``run_replicates`` and the sweep
+    lane planner fall back automatically).
     """
 
     def __init__(self, configs: list[SimulationConfig]):

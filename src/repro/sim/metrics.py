@@ -126,6 +126,15 @@ class MetricsCollector:
                 )
             else:
                 self._type_flat_idx[t] = None
+        # Reused per-step scratch for the by-type gathers: one (4, R*k)
+        # take target per type and one (4, R) mean target, so the hot
+        # record() path allocates nothing for the batched types.
+        self._gather_buf = {
+            t: np.empty((4, idx.size))
+            for t, idx in self._type_flat_idx.items()
+            if idx is not None
+        }
+        self._type_mean = np.empty((4, R))
 
         # Public views: single runs keep the historical 1-D attributes
         # (row-0 views, zero-copy); stacked runs expose the (R, steps)
@@ -158,8 +167,8 @@ class MetricsCollector:
         bw = np.asarray(stats.offered_bandwidth).reshape(R, N)
         rep_s = np.asarray(stats.reputation_s).reshape(R, N)
         rep_e = np.asarray(stats.reputation_e).reshape(R, N)
-        self._files_all[:, i] = files.mean(axis=1)
-        self._bandwidth_all[:, i] = bw.mean(axis=1)
+        np.mean(files, axis=1, out=self._files_all[:, i])
+        np.mean(bw, axis=1, out=self._bandwidth_all[:, i])
         buf = self._type_buf
         buf[0] = files.reshape(-1)
         buf[1] = bw.reshape(-1)
@@ -168,9 +177,12 @@ class MetricsCollector:
         for t in self._TYPES:
             flat_idx = self._type_flat_idx[t]
             if flat_idx is not None:
-                # (4, R*k) contiguous gather -> (4, R, k) rows -> row means.
+                # (4, R*k) contiguous gather -> (4, R, k) rows -> row
+                # means, through the reused per-type scratch buffers.
                 k = flat_idx.size // R
-                m = buf.take(flat_idx, axis=1).reshape(4, R, k).mean(axis=2)
+                g = self._gather_buf[t]
+                np.take(buf, flat_idx, axis=1, out=g)
+                m = np.mean(g.reshape(4, R, k), axis=2, out=self._type_mean)
                 self._files_by_type[t][:, i] = m[0]
                 self._bandwidth_by_type[t][:, i] = m[1]
                 self._rep_s_by_type[t][:, i] = m[2]
@@ -190,11 +202,15 @@ class MetricsCollector:
                     self._bandwidth_by_type[t][r, i] = np.nan
                     self._rep_s_by_type[t][r, i] = np.nan
                     self._rep_e_by_type[t][r, i] = np.nan
-        self._utility_s_all[:, i] = (
-            np.asarray(stats.sharing_utility).reshape(R, N).mean(axis=1)
+        np.mean(
+            np.asarray(stats.sharing_utility).reshape(R, N),
+            axis=1,
+            out=self._utility_s_all[:, i],
         )
-        self._utility_e_all[:, i] = (
-            np.asarray(stats.editing_utility).reshape(R, N).mean(axis=1)
+        np.mean(
+            np.asarray(stats.editing_utility).reshape(R, N),
+            axis=1,
+            out=self._utility_e_all[:, i],
         )
         self._proposals[:, i] = np.asarray(stats.proposals).reshape(R, 3, 2)
         self._accepted[:, i] = np.asarray(stats.accepted).reshape(R, 3, 2)

@@ -46,8 +46,12 @@ __all__ = [
 ]
 
 
-def step_state(state: SimState, temperature: float, learn: bool = True) -> None:
-    """Advance every replicate of ``state`` by one simultaneous step."""
+def step_state(state: SimState, temperature, learn: bool = True) -> None:
+    """Advance every lane of ``state`` by one simultaneous step.
+
+    ``temperature`` is a scalar (all lanes) or a per-lane ``(R,)`` array
+    (mixed-config batches where lanes train/evaluate at different ``T``).
+    """
     cfg = state.config
     churn_phase(state, cfg)
     sybil_phase(state, cfg)

@@ -30,26 +30,28 @@ def install_actions(state: SimState) -> None:
     )
 
 
-def act_phase(state: SimState, cfg: SimulationConfig, temperature: float) -> None:
+def act_phase(state: SimState, cfg: SimulationConfig, temperature) -> None:
     """Snapshot reputations, select this step's actions, install them.
 
     Reputation snapshots (``rep_s``/``rep_e``) are taken once here and
     reused by the voting and metrics phases — reputations only move
     between steps.  Action selection is one stacked call over all
     replicates' rational peers; fixed types are filled in vectorized.
+    ``temperature`` is a scalar or a per-lane ``(R,)`` array; the
+    discretization bounds come from each lane's own reputation band
+    (``state.lanes``), both applied per rational slot.
     """
     ctx = state.ctx
     scheme = state.scheme
-    rep_p = cfg.constants.reputation_s
-    rep_pe = cfg.constants.reputation_e
+    lanes = state.lanes
     ctx.rep_s = scheme.reputation_s()
     ctx.rep_e = scheme.reputation_e()
     ridx = state.rational_idx
     ctx.states_s = reputation_to_state(
-        ctx.rep_s[ridx], cfg.n_states, rep_p.r_min, rep_p.r_max
+        ctx.rep_s[ridx], cfg.n_states, lanes.disc_s_min, lanes.disc_s_max
     )
     ctx.states_e = reputation_to_state(
-        ctx.rep_e[ridx], cfg.n_states, rep_pe.r_min, rep_pe.r_max
+        ctx.rep_e[ridx], cfg.n_states, lanes.disc_e_min, lanes.disc_e_max
     )
     ctx.share_actions = state.behavior.sharing_actions(
         ctx.states_s, temperature, state.rngs

@@ -48,21 +48,31 @@ __all__ = ["sybil_phase", "collusion_phase", "collusion_shares", "collusion_vote
 def sybil_phase(state: SimState, cfg: SimulationConfig) -> None:
     """Let sybil attackers discard their identities and rejoin fresh.
 
-    One full-width uniform vector is drawn per replicate (stream parity
-    with the churn kernel's style), thresholded on the attacker roster.
-    Resets are applied to the scheme in one scatter; they are idempotent
-    assignments, so batching them across replicates is equivalent to the
+    One full-width uniform vector is drawn per attacking lane (stream
+    parity with the churn kernel's style), thresholded on the attacker
+    roster against that lane's own rate; a lane with no attackers or a
+    zero rate draws nothing, exactly like its sequential run.  Resets are
+    applied to the scheme in one scatter; they are idempotent
+    assignments, so batching them across lanes is equivalent to the
     sequential per-event resets.
     """
-    if cfg.sybil_rate <= 0.0 or not state.sybil_mask.any():
+    lanes = state.lanes
+    rate = lanes.sybil_rate  # scalar or per-lane (R,)
+    scalar_rate = np.ndim(rate) == 0
+    if scalar_rate and rate <= 0.0:
+        return
+    if not lanes.sybil_any.any():
         return
     n = state.n_agents
     sybil2d = state.rows(state.sybil_mask)
     online2d = state.rows(state.peers.online)
     washed_rows: list[np.ndarray] = []
     for r in range(state.n_replicates):
+        rate_r = rate if scalar_rate else rate[r]
+        if rate_r <= 0.0 or not lanes.sybil_any[r]:
+            continue
         u = state.rngs[r].random(n)
-        resets = np.flatnonzero(sybil2d[r] & (u < cfg.sybil_rate))
+        resets = np.flatnonzero(sybil2d[r] & (u < rate_r))
         if resets.size:
             online2d[r][resets] = True  # a fresh identity rejoins
             state.sybil_counts[r] += resets.size

@@ -11,20 +11,26 @@ __all__ = ["churn_phase"]
 
 
 def churn_phase(state: SimState, cfg: SimulationConfig) -> None:
-    """Apply one churn round per replicate (no-op when churn is off).
+    """Apply one churn round per lane (no-op when churn is off everywhere).
 
-    Online flips happen in place on each replicate's row view; whitewash
-    resets are collected across replicates and applied to the scheme's
-    ledger in one scatter (resets are idempotent zero-assignments, so
-    batching them is equivalent to the sequential per-event resets).
+    Each lane carries its own :class:`~repro.network.overlay.ChurnModel`
+    (rates may differ per lane); a lane whose model is inactive draws
+    nothing, exactly like its sequential run.  Online flips happen in
+    place on each lane's row view; whitewash resets are collected across
+    lanes and applied to the scheme's ledger in one scatter (resets are
+    idempotent zero-assignments, so batching them is equivalent to the
+    sequential per-event resets).
     """
-    if not state.churn.active:
+    if not state.churn_active:
         return
     n = state.n_agents
     online2d = state.rows(state.peers.online)
     washed: list[int] = []
     for r in range(state.n_replicates):
-        for ev in state.churn.step(state.rngs[r], online2d[r]):
+        model = state.churn[r]
+        if not model.active:
+            continue
+        for ev in model.step(state.rngs[r], online2d[r]):
             if ev.kind == "whitewash":
                 washed.append(ev.peer_id + r * n)
                 state.whitewash_counts[r] += 1

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ...core.utility import sharing_utility
+from ...core.utility import sharing_utility_values
 from ...network.bandwidth import sample_download_requests_batch, settle_downloads
 from ..config import SimulationConfig
 from ..state import SimState
@@ -24,9 +24,10 @@ def download_phase(state: SimState, cfg: SimulationConfig) -> None:
     """
     ctx = state.ctx
     peers = state.peers
+    lanes = state.lanes
     mask2d = state.rows(peers.sharing_mask())
     requests = sample_download_requests_batch(
-        state.rngs, mask2d, cfg.download_probability, overlays=state.overlays
+        state.rngs, mask2d, lanes.download_probability, overlays=state.overlays
     )
     shares = state.scheme.bandwidth_shares(
         requests.source_ids, requests.downloader_ids
@@ -51,5 +52,7 @@ def download_phase(state: SimState, cfg: SimulationConfig) -> None:
         )
         state.transfer_hook(requests.downloader_ids, requests.source_ids, amounts)
 
-    ctx.u_s = sharing_utility(received, ctx.files, ctx.bw, cfg.constants.utility)
+    ctx.u_s = sharing_utility_values(
+        received, ctx.files, ctx.bw, lanes.u_alpha, lanes.u_beta, lanes.u_gamma
+    )
     state.scheme.record_sharing(ctx.files, ctx.bw)

@@ -22,11 +22,12 @@ import numpy as np
 from ...core.service import (
     allocate_by_reputation,
     allocate_equal_split,
-    required_majority,
+    required_majority_values,
 )
-from ...core.utility import editing_utility
+from ...core.utility import editing_utility_values
 from ...network.events import EditEvent, PunishmentEvent
 from ..config import SimulationConfig
+from ..lanes import take
 from ..state import SimState
 from .adversary import collusion_votes
 
@@ -34,10 +35,17 @@ __all__ = ["edit_vote_phase"]
 
 
 def edit_vote_phase(state: SimState, cfg: SimulationConfig) -> None:
-    """Draw proposals per replicate, decide them all, book the outcomes."""
+    """Draw proposals per replicate, decide them all, book the outcomes.
+
+    Lane-varying knobs (attempt probability, voter-count bounds, majority
+    band, utility modifiers) come from ``state.lanes`` — thresholds and
+    gathers are per slot/proposal, so each lane decides exactly as its
+    sequential run would.
+    """
     sc = state.scratch
     sc.reset()
     scheme = state.scheme
+    lanes = state.lanes
     online = state.peers.online
     if cfg.enforce_edit_threshold:
         may_edit = scheme.may_edit() & online
@@ -49,7 +57,7 @@ def edit_vote_phase(state: SimState, cfg: SimulationConfig) -> None:
     u = sc.proposer_u
     for r in range(n_rep):
         u[r] = state.rngs[r].random(n)
-    proposer_mask = may_edit & (u.reshape(-1) < cfg.edit_attempt_prob)
+    proposer_mask = may_edit & (u.reshape(-1) < lanes.edit_attempt_prob)
     proposers_flat = np.flatnonzero(proposer_mask)
     if proposers_flat.size:
         bounds = np.searchsorted(proposers_flat, np.arange(n_rep + 1) * n)
@@ -59,8 +67,8 @@ def edit_vote_phase(state: SimState, cfg: SimulationConfig) -> None:
         ]
         _voting_rounds(state, cfg, proposer_rows)
 
-    state.ctx.u_e = editing_utility(
-        sc.acc_edits, sc.succ_votes, cfg.constants.utility
+    state.ctx.u_e = editing_utility_values(
+        sc.acc_edits, sc.succ_votes, lanes.u_delta, lanes.u_epsilon
     )
     scheme.record_editing(sc.succ_votes, sc.acc_edits)
 
@@ -72,10 +80,11 @@ def _voting_rounds(
     ctx = state.ctx
     sc = state.scratch
     scheme = state.scheme
+    lanes = state.lanes
     n = state.n_agents
     can_vote = scheme.may_vote() & state.peers.online
     all_can_vote = bool(can_vote.all())
-    max_voters = cfg.max_voters_per_edit
+    max_voters = lanes.max_voters  # scalar, or (R,) for mixed-config lanes
 
     # Collection: per replicate only the article draws (stream parity) and
     # the per-proposal voter-array lookups (cached Python objects); every
@@ -119,18 +128,20 @@ def _voting_rounds(
         cand_prop = np.empty(0, dtype=np.int64)
         voter_counts = np.zeros(n_prop, dtype=np.int64)
 
-    if np.any(voter_counts > max_voters):
+    max_of_prop = take(max_voters, rep_of_prop)  # scalar or (n_prop,)
+    if np.any(voter_counts > max_of_prop):
         # Subsample oversubscribed proposals by the random-keys method:
         # one uniform key per candidate, keep each proposal's
         # ``max_voters`` smallest keys — a uniform without-replacement
         # draw.  Keys are drawn per replicate (stream parity: a replicate
-        # draws exactly when it has an oversubscribed proposal, sized to
-        # its kept-candidate count), then one stable global lexsort
-        # selects within every proposal; replicates that drew no keys
-        # keep their original candidate order under key 0.
+        # draws exactly when it has a proposal oversubscribed against
+        # *its own* limit, sized to its kept-candidate count), then one
+        # stable global lexsort selects within every proposal; replicates
+        # that drew no keys keep their original candidate order under
+        # key 0.
         keys = np.zeros(flat_voters.size)
         cand_rep = rep_of_prop[cand_prop]
-        over_reps = np.unique(rep_of_prop[voter_counts > max_voters])
+        over_reps = np.unique(rep_of_prop[voter_counts > max_of_prop])
         cand_per_rep = np.bincount(cand_rep, minlength=state.n_replicates)
         rep_bounds = np.concatenate(([0], np.cumsum(cand_per_rep)))
         for r in over_reps.tolist():
@@ -141,17 +152,29 @@ def _voting_rounds(
         rank = np.arange(flat_voters.size) - np.repeat(
             np.cumsum(voter_counts) - voter_counts, voter_counts
         )
-        take = order[rank < max_voters]
-        flat_voters = flat_voters[take]
-        voter_counts = np.minimum(voter_counts, max_voters)
+        # Per-position limit: sorted positions group by proposal in
+        # proposal order, so repeating each proposal's limit by its
+        # candidate count aligns with ``rank``.
+        limit = (
+            np.repeat(max_of_prop, voter_counts)
+            if isinstance(max_of_prop, np.ndarray)
+            else max_of_prop
+        )
+        keep_sel = order[rank < limit]
+        flat_voters = flat_voters[keep_sel]
+        voter_counts = np.minimum(voter_counts, max_of_prop)
 
     flat_prop = np.repeat(np.arange(n_prop), voter_counts)
     prop_constructive = ctx.edit_constructive[proposers]
 
     if scheme.differentiates_service:
         weights = allocate_by_reputation(flat_prop, ctx.rep_e[flat_voters], n_prop)
-        required = required_majority(
-            ctx.rep_e[proposers], cfg.constants.service, cfg.constants.reputation_e
+        required = required_majority_values(
+            ctx.rep_e[proposers],
+            take(lanes.rep_e_min, proposers),
+            take(lanes.rep_e_max, proposers),
+            take(lanes.majority_min, proposers),
+            take(lanes.majority_max, proposers),
         )
     else:
         weights = allocate_equal_split(flat_prop, n_prop)
@@ -164,7 +187,7 @@ def _voting_rounds(
         )
     for_weight = np.zeros(n_prop)
     np.add.at(for_weight, flat_prop[votes_for], weights[votes_for])
-    quorum = voter_counts >= cfg.min_voters_per_edit
+    quorum = voter_counts >= take(lanes.min_voters, rep_of_prop)
     accepted = quorum & (for_weight >= required)
     majority_for = for_weight >= 0.5
     successful = votes_for == majority_for[flat_prop]

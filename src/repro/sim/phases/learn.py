@@ -15,14 +15,13 @@ def learn_phase(state: SimState, cfg: SimulationConfig, learn: bool) -> None:
         return
     ctx = state.ctx
     scheme = state.scheme
-    rep_p = cfg.constants.reputation_s
-    rep_pe = cfg.constants.reputation_e
+    lanes = state.lanes
     ridx = state.rational_idx
     next_states_s = reputation_to_state(
-        scheme.reputation_s()[ridx], cfg.n_states, rep_p.r_min, rep_p.r_max
+        scheme.reputation_s()[ridx], cfg.n_states, lanes.disc_s_min, lanes.disc_s_max
     )
     next_states_e = reputation_to_state(
-        scheme.reputation_e()[ridx], cfg.n_states, rep_pe.r_min, rep_pe.r_max
+        scheme.reputation_e()[ridx], cfg.n_states, lanes.disc_e_min, lanes.disc_e_max
     )
     state.behavior.learn_sharing(
         ctx.states_s, ctx.share_actions, ctx.u_s, next_states_s

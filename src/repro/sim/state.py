@@ -5,21 +5,28 @@ monolithic ``CollaborationSimulation`` so the per-step logic can live in
 small composable phase kernels (:mod:`repro.sim.phases`) that each take
 ``(SimState, SimulationConfig)`` and the state's RNG streams.
 
-The state carries an explicit **replicate axis**: ``R`` seed-varied
-replicates of one configuration run as a single state whose per-peer
-arrays are flat ``(R * N,)`` slot vectors (replicate ``r`` owns slots
-``[r*N, (r+1)*N)``).  Structured per-replicate objects — RNG streams,
-article stores, overlay graphs, event logs — stay per-replicate lists.
-``R = 1`` is the plain single simulation: every array has its historical
-shape and the kernels execute the exact operation sequence the monolithic
-engine used, so results are bit-identical.
+The state carries an explicit **lane axis** (generalizing PR 2's
+replicate axis): ``R`` stacked populations run as a single state whose
+per-peer arrays are flat ``(R * N,)`` slot vectors (lane ``r`` owns slots
+``[r*N, (r+1)*N)``).  Lanes may carry *different* configurations as long
+as they agree on the structural dimensions
+(:data:`repro.sim.lanes.STRUCTURAL_FIELDS`); every other knob —
+temperatures, scheme constants, population mixes, churn/adversary rates,
+per-scheme parameters — is lifted into the state's :class:`LaneParams`
+and per-lane scheme parameter arrays.  Structured per-lane objects — RNG
+streams, article stores, overlay graphs, churn models, event logs — stay
+per-lane lists.  ``R = 1`` is the plain single simulation: every array
+has its historical shape and the kernels execute the exact operation
+sequence the monolithic engine used, so results are bit-identical.
 
-Seed-for-seed guarantee: replicate ``r`` of a batched state consumes its
-own generator (seeded with its config's seed) through *exactly* the same
+Seed-for-seed guarantee: lane ``r`` of a batched state consumes its own
+generator (seeded with its config's seed) through *exactly* the same
 draw sites, shapes and order as a sequential run of that config, both
-during construction (types -> capacities -> overlay -> founders) and in
-every phase kernel.  Batched replicate ``r`` therefore reproduces the
-sequential run bit for bit.
+during construction (types -> capacities -> overlay -> founders ->
+adversary rosters) and in every phase kernel.  Batched lane ``r``
+therefore reproduces the sequential run bit for bit — including in
+mixed-config batches, because all lane-varying parameters are applied
+elementwise within each lane's slots.
 """
 
 from __future__ import annotations
@@ -40,6 +47,15 @@ from ..network.events import EventLog
 from ..network.overlay import ChurnModel, OverlayNetwork
 from ..network.peer import RATIONAL, PeerArrays
 from .config import SimulationConfig
+from .lanes import (
+    LaneParams,
+    assert_lane_compatible,
+    build_lane_params,
+    lane_constants,
+    lane_values,
+    rational_values,
+    slot_values,
+)
 from .metrics import MetricsCollector
 from .rng import BufferedRNG, make_rng
 
@@ -128,9 +144,10 @@ class PhaseContext:
 
 @dataclass
 class SimState:
-    """Full mutable state of ``R`` stacked replicates of one config."""
+    """Full mutable state of ``R`` stacked lanes (configs sharing the
+    structural dimensions; each lane may vary every other knob)."""
 
-    configs: list[SimulationConfig]  # one per replicate; differ only in seed
+    configs: list[SimulationConfig]  # one per lane
     n_replicates: int
     n_agents: int  # peers per replicate
     rngs: list  # one independent BufferedRNG stream per replicate
@@ -143,13 +160,17 @@ class SimState:
     sharing_learner: VectorQLearner  # stacked over all replicates' rationals
     edit_learner: VectorQLearner
     behavior: BatchedBehaviorEngine
-    churn: ChurnModel
+    churn: list[ChurnModel]  # one per lane
     metrics: MetricsCollector
     events: list[EventLog | None]  # per replicate
     rational_idx: np.ndarray  # flat slot ids of rational peers
     scratch: StepScratch
     ctx: PhaseContext
     transfer_hook: Any  # scheme.record_transfers or None
+    #: Per-lane lifted parameters the phase kernels read every step.
+    lanes: LaneParams = None  # type: ignore[assignment]  # set by build
+    #: Any lane has churn enabled (static; gates the churn kernel).
+    churn_active: bool = False
     #: Ring id per flat slot, -1 for non-colluders.  Ring ids are offset
     #: by ``r * n_agents`` so they can never alias across replicates.
     collusion_rings: np.ndarray = field(
@@ -163,7 +184,12 @@ class SimState:
 
     @property
     def config(self) -> SimulationConfig:
-        """The shared (non-seed) configuration of every replicate."""
+        """Lane 0's configuration.
+
+        Safe for the *structural* fields (every lane shares them — step
+        counts, population size, scheme class, ...); kernels must read
+        lane-varying knobs from :attr:`lanes`, never from here.
+        """
         return self.configs[0]
 
     def rows(self, arr: np.ndarray) -> np.ndarray:
@@ -199,27 +225,23 @@ def assign_collusion_rings(
 
 
 def build_sim_state(configs: list[SimulationConfig]) -> SimState:
-    """Assemble the state for ``len(configs)`` stacked replicates.
+    """Assemble the state for ``len(configs)`` stacked lanes.
 
-    All configs must be identical except for ``seed``.  Construction
-    consumes each replicate's generator in the same order a sequential
+    The configs must agree on the structural dimensions
+    (:data:`repro.sim.lanes.STRUCTURAL_FIELDS` plus the resolved scheme
+    class); any other field may differ per lane.  Construction consumes
+    each lane's generator in the same order a sequential
     ``CollaborationSimulation(config)`` would: population types, then
     heterogeneous capacities, then the overlay seed, then article
-    founders, then (when enabled) collusion rings and the sybil roster —
-    the seed-for-seed guarantee starts here.
+    founders, then (when that lane enables them) collusion rings and the
+    sybil roster — the seed-for-seed guarantee starts here.
     """
     if not configs:
         raise ValueError("need at least one config")
     cfg = configs[0]
-    base = cfg.with_(seed=0)
-    for other in configs[1:]:
-        if other.with_(seed=0) != base:
-            raise ValueError(
-                "replicate configs must be identical except for the seed"
-            )
+    assert_lane_compatible(configs)
     n_rep = len(configs)
     n = cfg.n_agents
-    c = cfg.constants
     # Uniform draws are block-buffered per stream (the kernels issue many
     # small vectors per step); sequential and batched runs share the
     # kernel code and therefore the draw sequence, so buffering preserves
@@ -228,11 +250,12 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
 
     types2d = np.stack([configs[r].mix.build(n, rngs[r]) for r in range(n_rep)])
     peers = PeerArrays.create(types2d)
-    if cfg.capacity_sigma > 0.0:
-        # Log-normal heterogeneous capacities, mean preserved at 1.
-        sigma = cfg.capacity_sigma
-        caps2d = peers.upload_capacity.reshape(n_rep, n)
-        for r in range(n_rep):
+    caps2d = peers.upload_capacity.reshape(n_rep, n)
+    for r in range(n_rep):
+        # Log-normal heterogeneous capacities, mean preserved at 1; a
+        # sigma-0 lane keeps the homogeneous default and draws nothing.
+        sigma = configs[r].capacity_sigma
+        if sigma > 0.0:
             caps2d[r] = rngs[r].lognormal(
                 mean=-0.5 * sigma**2, sigma=sigma, size=n
             )
@@ -241,12 +264,19 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
         if cfg.overlay_kind == "full"
         else [
             OverlayNetwork(
-                n, kind=cfg.overlay_kind, rng=rngs[r], degree=cfg.overlay_degree
+                n,
+                kind=cfg.overlay_kind,
+                rng=rngs[r],
+                degree=configs[r].overlay_degree,
             )
             for r in range(n_rep)
         ]
     )
 
+    # Constants collapse to the shared PaperConstants when uniform; a
+    # heterogeneous batch gets per-slot parameter arrays consumed
+    # elementwise by the scheme's books (see repro.sim.lanes).
+    c = lane_constants([conf.constants for conf in configs], n)
     scheme_name = cfg.resolved_scheme
     if scheme_name == "reputation":
         scheme = make_scheme(
@@ -260,9 +290,21 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
     elif scheme_name == "none":
         scheme = make_scheme(n, False, c, n_replicates=n_rep)
     elif scheme_name == "tft":
-        scheme = PrivateHistoryScheme(n, c, n_replicates=n_rep)
+        scheme = PrivateHistoryScheme(
+            n,
+            c,
+            optimistic_floor=slot_values(configs, "tft_optimistic_floor", n),
+            history_decay=lane_values(configs, "tft_history_decay"),
+            n_replicates=n_rep,
+        )
     elif scheme_name == "karma":
-        scheme = KarmaScheme(n, c, n_replicates=n_rep)
+        scheme = KarmaScheme(
+            n,
+            c,
+            initial_karma=slot_values(configs, "karma_initial", n),
+            floor=slot_values(configs, "karma_floor", n),
+            n_replicates=n_rep,
+        )
     else:  # pragma: no cover - config validates names
         raise ValueError(f"unknown scheme {scheme_name!r}")
 
@@ -276,61 +318,73 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
         for r in range(n_rep)
     ]
 
-    # Adversary rosters.  Draws happen only when the feature is enabled,
-    # so adversary-free configs consume exactly the historical stream.
+    # Adversary rosters.  Draws happen only in lanes that enable the
+    # feature, so adversary-free lanes consume exactly the historical
+    # stream.
     slots = n_rep * n
-    if cfg.collusion_fraction > 0.0:
-        collusion_rings = np.concatenate(
-            [
-                assign_collusion_rings(
-                    rngs[r],
-                    n,
-                    cfg.collusion_fraction,
-                    cfg.collusion_ring_size,
-                    offset=r * n,
-                )
-                for r in range(n_rep)
-            ]
-        )
-    else:
-        collusion_rings = np.full(slots, -1, dtype=np.int64)
-    if cfg.sybil_fraction > 0.0:
-        n_sybils = int(round(cfg.sybil_fraction * n))
-        sybil_mask = np.zeros(slots, dtype=bool)
+    collusion_rings = np.concatenate(
+        [
+            assign_collusion_rings(
+                rngs[r],
+                n,
+                configs[r].collusion_fraction,
+                configs[r].collusion_ring_size,
+                offset=r * n,
+            )
+            if configs[r].collusion_fraction > 0.0
+            else np.full(n, -1, dtype=np.int64)
+            for r in range(n_rep)
+        ]
+    )
+    sybil_mask = np.zeros(slots, dtype=bool)
+    for r in range(n_rep):
+        if configs[r].sybil_fraction <= 0.0:
+            continue
+        n_sybils = int(round(configs[r].sybil_fraction * n))
         if n_sybils:
-            for r in range(n_rep):
-                sybil_mask[rngs[r].permutation(n)[:n_sybils] + r * n] = True
-    else:
-        sybil_mask = np.zeros(slots, dtype=bool)
+            sybil_mask[rngs[r].permutation(n)[:n_sybils] + r * n] = True
 
     sharing_space = SharingActionSpace()
     edit_space = EditActionSpace()
     rational_idx = np.flatnonzero(peers.types == RATIONAL)
     n_rational = rational_idx.size
+    if n_rational:
+        lane_lr = rational_values(configs, "learning_rate", n, rational_idx)
+        lane_gamma = rational_values(configs, "discount", n, rational_idx)
+    else:
+        lane_lr, lane_gamma = cfg.learning_rate, cfg.discount
     sharing_learner = VectorQLearner(
         max(n_rational, 1),
         cfg.n_states,
         sharing_space.n_actions,
-        learning_rate=cfg.learning_rate,
-        discount=cfg.discount,
+        learning_rate=lane_lr,
+        discount=lane_gamma,
     )
     edit_learner = VectorQLearner(
         max(n_rational, 1),
         cfg.n_states,
         edit_space.n_actions,
-        learning_rate=cfg.learning_rate,
-        discount=cfg.discount,
+        learning_rate=lane_lr,
+        discount=lane_gamma,
     )
     behavior = BatchedBehaviorEngine(
         types2d, sharing_space, edit_space, sharing_learner, edit_learner
     )
-    churn = ChurnModel(
-        leave_rate=cfg.leave_rate,
-        join_rate=cfg.join_rate,
-        whitewash_rate=cfg.whitewash_rate,
-    )
+    churn = [
+        ChurnModel(
+            leave_rate=conf.leave_rate,
+            join_rate=conf.join_rate,
+            whitewash_rate=conf.whitewash_rate,
+        )
+        for conf in configs
+    ]
     metrics = MetricsCollector(cfg.total_steps, types2d)
     events = [EventLog() if conf.collect_events else None for conf in configs]
+    lanes = build_lane_params(
+        configs,
+        rational_idx,
+        sybil_any=sybil_mask.reshape(n_rep, n).any(axis=1),
+    )
 
     return SimState(
         configs=list(configs),
@@ -353,6 +407,8 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
         scratch=StepScratch.create(n_rep, n),
         ctx=PhaseContext(),
         transfer_hook=getattr(scheme, "record_transfers", None),
+        lanes=lanes,
+        churn_active=any(model.active for model in churn),
         collusion_rings=collusion_rings,
         colluder_mask=collusion_rings >= 0,
         sybil_mask=sybil_mask,

@@ -19,6 +19,17 @@ per-step cost over all replicates while producing bit-identical results
 beats process fan-out; the two compose — grid points fan out across
 processes, their seed ensembles vectorize within each.
 
+``lane_batch=True`` goes further: the **lane planner** partitions the
+whole grid into maximal *structurally compatible* batches
+(:func:`repro.sim.lanes.structural_key` — same population size, article
+count, step counts, scheme class, overlay kind ...) and runs each batch
+as one heterogeneous-lane :class:`BatchedSimulation`, so a sweep over
+temperatures, scheme constants, population mixes or adversary knobs
+vectorizes across the *sweep axis itself*, not just across seeds.
+Event-collecting configs fall back to solo sequential tasks.  Results
+stay bit-identical per config and are cached per config, so lane-batched,
+replicate-batched and sequential sweeps all share one store.
+
 With a :class:`repro.store.RunStore` attached (``store=`` argument, or the
 ambient default installed via :func:`set_default_store`), a sweep becomes
 *incremental and resumable*: configs already in the store are served from
@@ -55,6 +66,7 @@ from .engine import (
     replicate_configs,
     run_simulation,
 )
+from .lanes import structural_key
 
 __all__ = [
     "run_sweep",
@@ -63,6 +75,7 @@ __all__ = [
     "SweepWorkerError",
     "set_default_store",
     "get_default_store",
+    "plan_lane_batches",
 ]
 
 #: Ambient store used by sweeps that are not passed one explicitly; lets
@@ -155,6 +168,48 @@ def _group_replicates(
     return order
 
 
+def plan_lane_batches(
+    pending: list[tuple[SimulationConfig, list[int]]],
+    lane_width: int | None = None,
+) -> list[list[tuple[SimulationConfig, list[int]]]]:
+    """Partition pending configs into maximal lane-compatible batches.
+
+    The lane planner: configs sharing a
+    :func:`~repro.sim.lanes.structural_key` land in one batch and run as
+    a single heterogeneous-lane
+    :class:`~repro.sim.engine.BatchedSimulation`, whatever else differs
+    (seeds, temperatures, constants, mixes, churn/adversary knobs).
+    Configs with incompatible structural dimensions split into separate
+    batches; event-collecting configs keep solo sequential tasks (the
+    batched engine does not record events).  Batch order follows first
+    appearance and results still land in input order via the per-config
+    index lists, so the planning is invisible to callers.
+
+    ``lane_width`` caps the lanes per batch: a compatible group larger
+    than the cap is chunked into consecutive batches of at most that
+    width.  Use it to keep process-backend parallelism (several chunks
+    fan out across workers) and to bound per-batch memory — the tft
+    scheme's private-history stack is ``(R, N, N)``, so an unbounded
+    1000-lane batch holds a thousand ``(N, N)`` matrices at once.
+    ``None`` (the default) keeps groups maximal.
+    """
+    if lane_width is not None and lane_width < 1:
+        raise ValueError("lane_width must be >= 1")
+    groups: dict[tuple, list[tuple[SimulationConfig, list[int]]]] = {}
+    order: list[list[tuple[SimulationConfig, list[int]]]] = []
+    for cfg, indices in pending:
+        if cfg.collect_events:
+            order.append([(cfg, indices)])
+            continue
+        key = structural_key(cfg)
+        batch = groups.get(key)
+        if batch is None or (lane_width is not None and len(batch) >= lane_width):
+            batch = groups[key] = []
+            order.append(batch)
+        batch.append((cfg, indices))
+    return order
+
+
 def run_sweep(
     configs: list[SimulationConfig],
     backend: str = "process",
@@ -162,6 +217,8 @@ def run_sweep(
     store: Any = None,
     progress: ProgressCallback | None = None,
     batch_replicates: bool = False,
+    lane_batch: bool = False,
+    lane_width: int | None = None,
 ) -> list[SimulationResult]:
     """Run every config; results align with the input list.
 
@@ -174,6 +231,17 @@ def run_sweep(
     ensemble runs as stacked arrays in one process instead of one
     process per seed.  Results are bit-identical either way and are
     cached per config, so batched and per-seed sweeps share the store.
+
+    ``lane_batch=True`` engages the lane planner
+    (:func:`plan_lane_batches`): the whole grid is partitioned into
+    maximal structurally-compatible batches, each vectorized as one
+    heterogeneous-lane :class:`BatchedSimulation` — the sweep axis
+    itself batches, not just the seed axis.  Subsumes
+    ``batch_replicates`` (seed replicates are trivially compatible);
+    results and cache entries are identical to any other execution
+    spelling of the same grid.  ``lane_width`` chunks oversized batches
+    (see :func:`plan_lane_batches`) so large grids keep multi-process
+    fan-out and bounded per-batch memory.
 
     Example::
 
@@ -245,7 +313,9 @@ def run_sweep(
             notify(idx, cached=True)
 
     if pending:
-        if batch_replicates:
+        if lane_batch:
+            tasks = plan_lane_batches(pending, lane_width=lane_width)
+        elif batch_replicates:
             tasks = _group_replicates(pending)
         else:
             tasks = [[item] for item in pending]

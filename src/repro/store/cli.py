@@ -8,6 +8,8 @@ drives the scenario registry and the content-addressed run store::
     repro run schemes/shootout --fast    # run a named pack, cached
     repro run paper/fig3 --seeds 5
     repro sweep --set scheme=karma,tft --set n_agents=50,100
+    repro sweep --set t_eval=0.5,1,2 --lane-batch   # one vectorized batch
+    repro profile base/default --fast    # cProfile one pack config
     repro ls                             # stored runs, no simulation
     repro report --metric shared_files   # aggregate table, no simulation
 
@@ -133,6 +135,8 @@ def _run_and_report(
         store=store,
         progress=_progress_printer(args.quiet),
         batch_replicates=args.batch_replicates,
+        lane_batch=args.lane_batch,
+        lane_width=args.lane_width,
     )
     records = [StoredRun.from_result(r) for r in results]
     metrics = tuple(args.metric or _DEFAULT_METRICS)
@@ -223,6 +227,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return _run_and_report(configs, args)
 
 
+#: Valid ``repro profile --sort`` keys (pstats sort_stats spellings).
+_PROFILE_SORTS = ("cumtime", "tottime", "ncalls", "pcalls", "filename", "line", "name")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one pack config under ``cProfile`` and print the top functions.
+
+    Hot-path hunting without ad-hoc scripts: expands the pack (or
+    ``pack+modifier`` spec), takes its first config with a single seed,
+    executes it under the profiler and prints the ``--limit`` hottest
+    functions by ``--sort``.  Never touches the store — a profiled run's
+    timings would be meaningless to cache.
+    """
+    try:
+        pack = resolve_scenario(args.scenario)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    overrides = _single_overrides(_parse_set(args.set))
+    configs = pack.expand(fast=args.fast, n_seeds=1, overrides=overrides or None)
+    cfg = configs[0]
+    print(
+        f"profiling {pack.name} config 1/{len(configs)} "
+        f"[{short_hash(cfg)}] {cfg.describe()}"
+    )
+
+    import cProfile
+    import pstats
+
+    from ..sim.engine import run_simulation
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_simulation(cfg)
+    profiler.disable()
+    print(f"run finished in {result.wall_time_s:.2f}s; top {args.limit} by {args.sort}:")
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
 def cmd_ls(args: argparse.Namespace) -> int:
     """List stored runs (reads the store; never simulates)."""
     store = RunStore(args.store)
@@ -303,6 +346,22 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         "batch (replicate-axis engine) instead of one process per seed",
     )
     p.add_argument(
+        "--lane-batch",
+        action="store_true",
+        help="lane-batch the whole grid: partition it into structurally "
+        "compatible batches and vectorize each across the sweep axis "
+        "itself (subsumes --batch-replicates)",
+    )
+    p.add_argument(
+        "--lane-width",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --lane-batch: cap lanes per batch (chunk bigger "
+        "compatible groups), keeping multi-process fan-out and bounded "
+        "per-batch memory on large grids (default: unbounded)",
+    )
+    p.add_argument(
         "--set",
         action="append",
         metavar="KEY=VAL[,VAL...]",
@@ -340,6 +399,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="run an ad-hoc --set grid (cached)")
     _add_exec_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="cProfile one pack config and print the hottest functions",
+    )
+    p.add_argument(
+        "scenario",
+        help="pack name or pack+modifier[+modifier...] spec (see 'scenarios')",
+    )
+    p.add_argument("--fast", action="store_true", help="reduced horizon")
+    p.add_argument(
+        "--sort",
+        choices=_PROFILE_SORTS,
+        default="cumtime",
+        help="pstats sort key (default: cumtime)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        help="number of functions to print (default: 25)",
+    )
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VAL",
+        help="config override (repeatable, single-valued)",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("ls", help="list stored runs (no simulation)")
     _add_store_arg(p)

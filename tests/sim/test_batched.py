@@ -53,9 +53,16 @@ class TestBuildState:
         assert state.metrics.n_replicates == 3
         assert len(state.rngs) == len(state.articles) == 3
 
-    def test_rejects_non_seed_differences(self):
-        with pytest.raises(ValueError, match="identical except"):
+    def test_rejects_structural_differences(self):
+        with pytest.raises(ValueError, match="structural.*n_articles"):
             build_sim_state([tiny(seed=1), tiny(seed=2, n_articles=5)])
+
+    def test_accepts_lane_varying_differences(self):
+        state = build_sim_state(
+            [tiny(seed=1), tiny(seed=2, t_eval=0.5, edit_attempt_prob=0.02)]
+        )
+        assert state.n_replicates == 2
+        assert state.configs[1].t_eval == 0.5
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):

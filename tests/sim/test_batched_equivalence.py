@@ -7,6 +7,12 @@ same whitewash count — across every incentive scheme, overlay kind and
 churn setting.  These tests enforce the contract on small but
 protocol-complete configurations (training phase, reputation reset,
 evaluation phase, editing/voting, punishment all exercised).
+
+The lane generalization extends the contract to **mixed-config batches**
+(:class:`TestLaneBatches`): every lane of a heterogeneous
+``BatchedSimulation`` must reproduce its own sequential run bit for bit,
+whatever differs between the lanes — temperatures, scheme constants,
+population mixes, churn/adversary knobs, per-scheme parameters.
 """
 
 import math
@@ -14,8 +20,14 @@ import math
 import pytest
 
 from repro.agents.population import PopulationMix
+from repro.core.params import (
+    PaperConstants,
+    ReputationParams,
+    ServiceParams,
+    UtilityParams,
+)
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import run_replicates, run_simulation
+from repro.sim.engine import BatchedSimulation, run_replicates, run_simulation
 from repro.sim.rng import spawn_seeds
 
 #: Mixed population so altruists, free-riders and learners all act.
@@ -123,6 +135,118 @@ class TestAdversaries:
                 overlay_degree=4,
                 capacity_sigma=0.5,
             )
+        )
+
+
+def assert_lanes_bit_identical(configs):
+    """Each lane of one heterogeneous batch == its own sequential run."""
+    batched = BatchedSimulation(configs).run()
+    for i, config in enumerate(configs):
+        sequential = run_simulation(config)
+        for section, got, want in (
+            ("summary", batched[i].summary, sequential.summary),
+            ("training", batched[i].training_summary, sequential.training_summary),
+        ):
+            assert set(got) == set(want), f"lane {i}: {section} keys differ"
+            for key in want:
+                assert _same(got[key], want[key]), (
+                    f"lane {i}: {section}[{key!r}] "
+                    f"batched={got[key]!r} sequential={want[key]!r}"
+                )
+        for extra in ("whitewash_count", "sybil_count"):
+            assert batched[i].extras[extra] == sequential.extras[extra]
+
+
+class TestLaneBatches:
+    """Mixed-config lanes: the bit-identity contract across the sweep axis."""
+
+    @pytest.mark.parametrize("scheme", ["reputation", "none", "tft", "karma"])
+    def test_workload_axes(self, scheme):
+        """Temperatures, request/edit intensities and voter bounds differ."""
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=10, scheme=scheme),
+                tiny(seed=11, scheme=scheme, t_eval=0.5, t_train=3.0),
+                tiny(seed=12, scheme=scheme, download_probability=0.4,
+                     edit_attempt_prob=0.15),
+                tiny(seed=13, scheme=scheme, max_voters_per_edit=4,
+                     min_voters_per_edit=2),
+            ]
+        )
+
+    def test_mixed_constants(self):
+        """Each lane books reputation with its own PaperConstants."""
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=20),
+                tiny(seed=21, constants=PaperConstants(
+                    utility=UtilityParams(alpha=2.0, delta=10.0))),
+                tiny(seed=22, constants=PaperConstants(
+                    reputation_e=ReputationParams(beta=0.4, r_min=0.1),
+                    service=ServiceParams(majority_max=0.9,
+                                          vote_punish_threshold=3))),
+            ]
+        )
+
+    def test_mixed_population_mixes(self):
+        """Ragged rational counts across lanes (all-rational to none)."""
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=30, mix=PopulationMix(1.0, 0.0, 0.0)),
+                tiny(seed=31),
+                tiny(seed=32, mix=PopulationMix(0.0, 0.5, 0.5)),
+            ]
+        )
+
+    def test_mixed_churn_and_adversaries(self):
+        """Churn, collusion and sybil kernels active in some lanes only."""
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=40),
+                tiny(seed=41, leave_rate=0.03, join_rate=0.25,
+                     whitewash_rate=0.02),
+                tiny(seed=42, collusion_fraction=0.25, collusion_ring_size=3),
+                tiny(seed=43, sybil_fraction=0.25, sybil_rate=0.1),
+            ]
+        )
+
+    def test_mixed_scheme_knobs_karma(self):
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=50, scheme="karma"),
+                tiny(seed=51, scheme="karma", karma_initial=3.0,
+                     karma_floor=0.2),
+            ]
+        )
+
+    def test_mixed_scheme_knobs_tft(self):
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=60, scheme="tft"),
+                tiny(seed=61, scheme="tft", tft_optimistic_floor=0.2,
+                     tft_history_decay=0.9),
+            ]
+        )
+
+    def test_mixed_learning_and_capacity(self):
+        assert_lanes_bit_identical(
+            [
+                tiny(seed=70, learning_rate=0.3, discount=0.8),
+                tiny(seed=71, capacity_sigma=0.6),
+                tiny(seed=72, measure_window=0.8),
+            ]
+        )
+
+    def test_auto_scheme_batches_with_explicit(self):
+        """"auto" and its concrete spelling share a structural key."""
+        assert_lanes_bit_identical(
+            [tiny(seed=80, scheme="auto"), tiny(seed=81, scheme="reputation")]
+        )
+
+    def test_inf_and_finite_eval_temperatures(self):
+        """One lane stays at T=inf during evaluation (integer fast path)."""
+        assert_lanes_bit_identical(
+            [tiny(seed=90), tiny(seed=91, t_eval=float("inf"))]
         )
 
 

@@ -35,6 +35,7 @@ class TestParser:
             ["scenarios"],
             ["run", "paper/fig3"],
             ["sweep"],
+            ["profile", "base/default"],
             ["ls"],
             ["report"],
         ):
@@ -159,6 +160,51 @@ class TestSweep:
         assert "scheme=karma" in out
         assert "scheme=tft" in out
         assert len(RunStore(tmp_path)) == 2
+
+    def test_lane_batch_flag_shares_cache_with_plain_sweep(self, tmp_path, capsys):
+        """--lane-batch executes once, then the unbatched spelling is all
+        cache hits (the two spellings address identical store entries)."""
+        argv = [
+            "sweep",
+            "--seeds", "1",
+            "--backend", "serial",
+            "--store", str(tmp_path),
+            "--quiet",
+            *TINY_SETS,
+            "--set", "t_eval=0.5,1.0",
+        ]
+        assert main(argv + ["--lane-batch"]) == 0
+        out = capsys.readouterr().out
+        assert "0 hits / 2 misses" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 hits / 0 misses" in out
+
+
+class TestProfile:
+    def test_profile_prints_hot_functions(self, capsys):
+        rc = main(
+            [
+                "profile", "base/default",
+                "--fast", "--limit", "5",
+                *TINY_SETS,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiling base/default" in out
+        assert "cumulative time" in out
+        assert "run_simulation" in out
+
+    def test_profile_sort_key_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "base/default", "--sort", "no-such-key"]
+            )
+
+    def test_profile_unknown_scenario_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["profile", "no/such"])
 
 
 class TestLsReport:
