@@ -32,6 +32,7 @@ import numpy as np
 from .contribution import ContributionLedger
 from .params import PaperConstants, gather_param as _gather
 from .service import grouped_shares
+from .sparse import SparseInteractionLedger
 
 __all__ = ["PrivateHistoryScheme", "KarmaScheme"]
 
@@ -82,6 +83,22 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
     ``j``'s bandwidth, downloader ``i``'s weight is
     ``epsilon + given[i, j]`` — strangers receive only the optimistic-
     unchoke floor ``epsilon``.
+
+    Storage has two modes sharing one book-keeping code path:
+
+    * **dense** (default): the historical ``(R, N, N)`` matrix — exact,
+      but O(N²) memory, capping populations at a few thousand peers;
+    * **sparse** (``sparse=True``): a
+      :class:`~repro.core.sparse.SparseInteractionLedger` of at most
+      ``ledger_cap`` partners per peer — O(N·cap) memory, bit-identical
+      to the dense matrix while no row overflows its cap (the engine's
+      scale packs run 50k+ peers this way).
+
+    Per-peer service totals (what ``reputation_s`` normalizes) are
+    maintained *incrementally* in both modes — decayed and accumulated by
+    the same elementwise operations the pairwise cells see — so the two
+    modes produce identical reputations by construction instead of
+    depending on the summation tree of a dense row reduction.
     """
 
     differentiates_service = True
@@ -93,6 +110,9 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         optimistic_floor: float = 0.05,
         history_decay: float = 0.995,
         n_replicates: int = 1,
+        sparse: bool = False,
+        ledger_cap: int | np.ndarray = 64,
+        chunk_size: int = 32_768,
     ) -> None:
         # Lane batches pass ``optimistic_floor`` as a per-slot (R*N,)
         # array and ``history_decay`` as a per-replicate (R,) array; both
@@ -120,29 +140,55 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
             if isinstance(history_decay, np.ndarray)
             else float(history_decay)
         )
-        # One (N, N) direct-experience matrix per replicate; histories are
-        # strictly per-replicate (a peer never remembers service from a
-        # sibling universe), so replicate batching keeps a (R, N, N) stack
-        # rather than a quadratically larger flat (R*N, R*N) matrix.
-        self._given = np.zeros(
-            (self.n_replicates, n_peers, n_peers), dtype=np.float64
-        )
+        self.sparse = bool(sparse)
+        if self.sparse:
+            # Capped interaction rows: O(N·cap) instead of O(N²).  The
+            # cap may be a per-slot array (lane batching lifts it like
+            # every other per-lane knob).
+            self._ledger = SparseInteractionLedger(
+                n_peers,
+                n_replicates=self.n_replicates,
+                cap=ledger_cap,
+                chunk_size=chunk_size,
+            )
+            self._given = None
+        else:
+            # One (N, N) direct-experience matrix per replicate; histories
+            # are strictly per-replicate (a peer never remembers service
+            # from a sibling universe), so replicate batching keeps a
+            # (R, N, N) stack rather than a quadratically larger flat
+            # (R*N, R*N) matrix.
+            self._ledger = None
+            self._given = np.zeros(
+                (self.n_replicates, n_peers, n_peers), dtype=np.float64
+            )
+        # Incrementally maintained per-peer service totals — the one
+        # aggregate ``reputation_s`` needs, kept O(N) so neither mode ever
+        # reduces over the pairwise axis.
+        self._totals = np.zeros((self.n_replicates, n_peers), dtype=np.float64)
+        self._totals_flat = self._totals.reshape(-1)
         # Contributions tracked only for comparable metrics.
         self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
 
     @property
     def given(self) -> np.ndarray:
         """Direct-experience matrix: ``(N, N)`` for a single run (the
-        historical shape), ``(R, N, N)`` when replicates are stacked."""
-        return self._given[0] if self.n_replicates == 1 else self._given
+        historical shape), ``(R, N, N)`` when replicates are stacked.
+
+        The sparse mode materializes the dense matrix on demand — an
+        introspection/checkpoint convenience, not a hot path.
+        """
+        dense = (
+            self._ledger.to_dense() if self._given is None else self._given
+        )
+        return dense[0] if self.n_replicates == 1 else dense
 
     def reputation_s(self) -> np.ndarray:
         """No global reputation exists; expose each peer's total recent
         service (normalized per replicate) purely for metrics."""
-        totals = self._given.sum(axis=2)  # (R, N)
-        top = totals.max(axis=1, keepdims=True)
-        out = np.zeros_like(totals)
-        np.divide(totals, top, out=out, where=top > 0)
+        top = self._totals.max(axis=1, keepdims=True)
+        out = np.zeros_like(self._totals)
+        np.divide(self._totals, top, out=out, where=top > 0)
         return out.reshape(-1)
 
     def bandwidth_shares(
@@ -153,9 +199,13 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         if source_ids.size == 0:
             return np.zeros(0, dtype=np.float64)
         n = self.n_peers
-        weights = _gather(self.optimistic_floor, source_ids) + self._given[
-            source_ids // n, downloader_ids % n, source_ids % n
-        ]
+        if self._given is None:
+            history = self._ledger.lookup(downloader_ids, source_ids % n)
+        else:
+            history = self._given[
+                source_ids // n, downloader_ids % n, source_ids % n
+            ]
+        weights = _gather(self.optimistic_floor, source_ids) + history
         return grouped_shares(source_ids, weights, self.n_slots)
 
     def record_sharing(
@@ -186,17 +236,42 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         n = self.n_peers
         rep_ids = source_ids // n
         decay = self.history_decay
+        # Decay pairwise cells and totals with the same per-replicate
+        # scaling; both modes execute identical total-side operations, so
+        # sparse and dense runs see bit-identical reputations.
         if self.n_replicates == 1:
-            self._given *= decay
+            if self._given is None:
+                self._ledger.decay_rows(decay)
+            else:
+                self._given *= decay
+            self._totals *= decay
         else:
             settled = np.unique(rep_ids)
-            if isinstance(decay, np.ndarray):
+            if self._given is None:
+                self._ledger.decay_replicates(settled, decay)
+            elif isinstance(decay, np.ndarray):
                 self._given[settled] *= decay[settled, None, None]
             else:
                 self._given[settled] *= decay
-        np.add.at(
-            self._given, (rep_ids, source_ids % n, downloader_ids % n), amounts
-        )
+            if isinstance(decay, np.ndarray):
+                self._totals[settled] *= decay[settled, None]
+            else:
+                self._totals[settled] *= decay
+        if self._given is None:
+            ev_rows, ev_amounts = self._ledger.add(
+                source_ids, downloader_ids % n, amounts
+            )
+            if ev_rows.size:
+                # Cap overflow (the approximation regime): the displaced
+                # service is forgotten, so the totals forget it too.
+                np.subtract.at(self._totals_flat, ev_rows, ev_amounts)
+        else:
+            np.add.at(
+                self._given,
+                (rep_ids, source_ids % n, downloader_ids % n),
+                amounts,
+            )
+        np.add.at(self._totals_flat, source_ids, amounts)
 
     def reset_identities(self, peer_ids: np.ndarray) -> None:
         """Wipe a discarded identity from every private history.
@@ -208,12 +283,32 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         """
         peer_ids = np.asarray(peer_ids, dtype=np.int64)
         rep, local = peer_ids // self.n_peers, peer_ids % self.n_peers
-        self._given[rep, local, :] = 0.0
-        self._given[rep, :, local] = 0.0
+        # Rows first (the peer's own history and totals) ...
+        if self._given is None:
+            self._ledger.clear_rows(peer_ids)
+        else:
+            self._given[rep, local, :] = 0.0
+        self._totals_flat[peer_ids] = 0.0
+        # ... then the columns: every source forgets the service it gave
+        # the discarded identity, one peer at a time so the totals see the
+        # exact same subtraction sequence in both storage modes.
+        for k in range(peer_ids.size):
+            r, c = int(rep[k]), int(local[k])
+            if self._given is None:
+                rows, removed = self._ledger.remove_partner(r, c)
+                if rows.size:
+                    self._totals_flat[rows] -= removed
+            else:
+                self._totals[r] -= self._given[r, :, c]
+                self._given[r, :, c] = 0.0
         self.ledger.reset_peers(peer_ids)
 
     def reset_reputations(self) -> None:
-        self._given.fill(0.0)
+        if self._given is None:
+            self._ledger.reset()
+        else:
+            self._given.fill(0.0)
+        self._totals.fill(0.0)
         self.ledger.reset_all()
 
 

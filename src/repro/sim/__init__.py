@@ -2,7 +2,7 @@
 (single-run and lane-batched), sweeps, scenarios, checkpoints."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
-from .config import SimulationConfig
+from .config import ScaleConfig, SimulationConfig
 from .engine import (
     BatchedSimulation,
     CollaborationSimulation,
@@ -28,6 +28,7 @@ from .sweep import (
 __all__ = [
     "load_checkpoint",
     "save_checkpoint",
+    "ScaleConfig",
     "SimulationConfig",
     "CollaborationSimulation",
     "BatchedSimulation",

@@ -5,8 +5,22 @@ training phase once, save the Q-matrices, then replay evaluation phases
 under different service configurations from the same learned policies.
 
 Only the *learned* state is persisted (Q-matrices, contribution ledgers,
-step counter); the RNG is reseeded by the caller, matching the paper's
-phase boundary where reputations reset anyway.
+step counter — plus the tit-for-tat scheme's private history, which is as
+learned as a Q-matrix); the RNG is reseeded by the caller, matching the
+paper's phase boundary where reputations reset anyway.
+
+Format history
+--------------
+* **v1** — Q-matrices, contribution ledger, step counter, types.
+* **v2** — adds the tit-for-tat private history for ``scheme="tft"``
+  sims: the incrementally maintained service totals plus either the
+  dense ``given`` stack or the sparse ledger arrays (``partners`` /
+  ``amounts`` / ``counts``), whichever the sim ran with.  Loading
+  migrates between storage modes: a dense-written checkpoint loads into
+  a sparse-configured sim when every peer's partner set fits
+  ``scale.ledger_cap`` (and raises a clear error otherwise), and a
+  sparse checkpoint expands losslessly into a dense sim.  v1 files still
+  load (their tft history simply starts empty, as it always did).
 """
 
 from __future__ import annotations
@@ -15,19 +29,21 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.baselines import PrivateHistoryScheme
+from ..core.sparse import SparseInteractionLedger
 from .engine import CollaborationSimulation
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_checkpoint(sim: CollaborationSimulation, path: str | Path) -> Path:
     """Write the simulation's learned state to an ``.npz`` file."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
+    payload: dict[str, np.ndarray] = dict(
         version=np.int64(_FORMAT_VERSION),
         n_agents=np.int64(sim.config.n_agents),
         n_rational=np.int64(sim.rational_idx.size),
@@ -38,7 +54,73 @@ def save_checkpoint(sim: CollaborationSimulation, path: str | Path) -> Path:
         ledger_c_e=sim.scheme.ledger.editing.copy(),
         types=sim.peers.types,
     )
+    scheme = sim.scheme
+    if isinstance(scheme, PrivateHistoryScheme):
+        payload["tft_totals"] = scheme._totals.copy()
+        if scheme.sparse:
+            led = scheme._ledger
+            payload["tft_sparse"] = np.int64(1)
+            payload["tft_partners"] = led.partners.copy()
+            payload["tft_amounts"] = led.amounts.copy()
+            payload["tft_counts"] = led.counts.copy()
+        else:
+            payload["tft_sparse"] = np.int64(0)
+            payload["tft_given"] = scheme._given.copy()
+    np.savez_compressed(path, **payload)
     return path
+
+
+def _restore_tft_history(scheme: PrivateHistoryScheme, data) -> None:
+    """Install a v2 checkpoint's tft history, migrating storage modes.
+
+    Every check (and every migration that can fail) runs before the first
+    write to the scheme, so a raised error leaves the target simulation
+    exactly as it was — callers may catch and retry another checkpoint.
+    """
+    if "tft_totals" not in data:
+        raise ValueError(
+            "checkpoint holds no tit-for-tat history but the simulation "
+            "uses scheme='tft'; it was saved from a different scheme"
+        )
+    saved_sparse = bool(int(data["tft_sparse"]))
+    if saved_sparse:
+        partners, amounts = data["tft_partners"], data["tft_amounts"]
+        counts = data["tft_counts"]
+        if scheme.sparse:
+            led = scheme._ledger
+            if int(counts.max(initial=0)) > led.cap:
+                raise ValueError(
+                    f"sparse checkpoint rows hold up to {int(counts.max())} "
+                    f"partners but the target ledger cap is {led.cap}; "
+                    "raise scale.ledger_cap to load this checkpoint"
+                )
+            led.reset()
+            width = min(partners.shape[1], led.cap)
+            led.partners[:, :width] = partners[:, :width]
+            led.amounts[:, :width] = amounts[:, :width]
+            led.counts[:] = counts
+        else:
+            # Sparse -> dense: lossless expansion via a scratch ledger.
+            led = SparseInteractionLedger(
+                scheme.n_peers, scheme.n_replicates, cap=partners.shape[1]
+            )
+            led.partners[:] = partners
+            led.amounts[:] = amounts
+            led.counts[:] = counts
+            scheme._given[:] = led.to_dense()
+    else:
+        given = data["tft_given"]
+        if scheme.sparse:
+            # Dense -> sparse: exact migration, or a clear error (raised
+            # before any state moves) when the history does not fit.
+            scheme._ledger = SparseInteractionLedger.from_dense(
+                given,
+                cap=scheme._ledger.row_cap,
+                chunk_size=scheme._ledger.chunk_size,
+            )
+        else:
+            scheme._given[:] = given
+    scheme._totals[:] = data["tft_totals"]
 
 
 def load_checkpoint(sim: CollaborationSimulation, path: str | Path) -> None:
@@ -46,14 +128,16 @@ def load_checkpoint(sim: CollaborationSimulation, path: str | Path) -> None:
 
     The target simulation must have the same population size and rational
     count; its behaviour types must match exactly (the Q-matrices are
-    indexed by rational-peer order).
+    indexed by rational-peer order).  Tit-for-tat history follows the
+    target sim's storage mode — see the module docstring for the
+    dense/sparse migration rules.
     """
     # Open the handle ourselves: np.load leaks its internal FileIO when it
     # raises on a corrupt archive, which surfaces as an unraisable
     # ResourceWarning at the next GC point.
     with open(Path(path), "rb") as fh, np.load(fh) as data:
         version = int(data["version"])
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported checkpoint version {version}")
         if int(data["n_agents"]) != sim.config.n_agents:
             raise ValueError(
@@ -70,6 +154,8 @@ def load_checkpoint(sim: CollaborationSimulation, path: str | Path) -> None:
             raise ValueError("sharing Q-matrix shape mismatch")
         if data["edit_q"].shape != sim.edit_learner.q.shape:
             raise ValueError("edit Q-matrix shape mismatch")
+        if version >= 2 and isinstance(sim.scheme, PrivateHistoryScheme):
+            _restore_tft_history(sim.scheme, data)
         sim.sharing_learner.q[:] = data["sharing_q"]
         sim.edit_learner.q[:] = data["edit_q"]
         sim.scheme.ledger.sharing[:] = data["ledger_c_s"]

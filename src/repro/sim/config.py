@@ -15,7 +15,45 @@ from typing import Any
 from ..agents.population import PopulationMix
 from ..core.params import PaperConstants
 
-__all__ = ["SimulationConfig"]
+__all__ = ["ScaleConfig", "SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Memory-bounded scale path (docs/ARCHITECTURE.md, "Scale path").
+
+    The default configuration reproduces the historical engine exactly:
+    dense pairwise state, unchunked-in-practice kernels (the chunk is far
+    larger than any small-N request batch) and fully gathered metrics.
+    Large-population packs flip ``sparse`` and rely on the thresholded
+    streaming collector; see the ``scale/`` scenario family.
+    """
+
+    #: Store the tit-for-tat private history as a capped sparse ledger
+    #: (O(N·cap)) instead of the dense (R, N, N) matrix (O(N²)).  Bit-
+    #: identical to dense while no peer exceeds ``ledger_cap`` distinct
+    #: partners; beyond that the smallest (most-decayed) entry is evicted.
+    sparse: bool = False
+    #: Partners remembered per peer on the sparse path.  Lane batching
+    #: lifts this per lane like any other non-structural knob.
+    ledger_cap: int = 64
+    #: Rows per vectorized chunk in the sparse-ledger and edit/vote
+    #: gather kernels; bounds peak temporaries without changing results
+    #: (processing stays in input order).
+    chunk_size: int = 32_768
+    #: Populations at or above this stream per-step metric reductions
+    #: (bincount segment sums) instead of materializing per-type gather
+    #: buffers.  Streams only aggregate differently — summaries are
+    #: statistically identical, bitwise equal only below the threshold.
+    stream_metrics_threshold: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.ledger_cap < 1:
+            raise ValueError("ledger_cap must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.stream_metrics_threshold < 2:
+            raise ValueError("stream_metrics_threshold must be >= 2")
 
 
 @dataclass(frozen=True)
@@ -129,6 +167,9 @@ class SimulationConfig:
     #: which models only the R_min reputation trade-off.
     sybil_rate: float = 0.0
 
+    # --- scale path (off by default; see docs/ARCHITECTURE.md) --------
+    scale: ScaleConfig = field(default_factory=ScaleConfig)
+
     # --- bookkeeping ---------------------------------------------------
     seed: int = 0
     collect_events: bool = False
@@ -186,7 +227,26 @@ class SimulationConfig:
 
     # ------------------------------------------------------------------
     def with_(self, **changes: Any) -> "SimulationConfig":
-        """Functional update, e.g. ``config.with_(seed=7)``."""
+        """Functional update, e.g. ``config.with_(seed=7)``.
+
+        Dotted ``scale.<leaf>`` keys update the nested scale section in
+        place, so CLI overrides and scenario modifiers can reach it
+        without constructing a :class:`ScaleConfig`::
+
+            config.with_(**{"scale.sparse": True, "scale.ledger_cap": 32})
+        """
+        nested = {
+            k.split(".", 1)[1]: v
+            for k, v in changes.items()
+            if k.startswith("scale.")
+        }
+        if nested:
+            changes = {
+                k: v for k, v in changes.items() if not k.startswith("scale.")
+            }
+            changes["scale"] = replace(
+                changes.get("scale", self.scale), **nested
+            )
         return replace(self, **changes)
 
     @property

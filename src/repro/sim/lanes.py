@@ -36,8 +36,10 @@ from .config import SimulationConfig
 
 __all__ = [
     "STRUCTURAL_FIELDS",
+    "SCALE_STRUCTURAL_FIELDS",
     "structural_key",
     "assert_lane_compatible",
+    "estimate_lane_state_bytes",
     "lane_values",
     "slot_values",
     "rational_values",
@@ -68,10 +70,24 @@ STRUCTURAL_FIELDS: tuple[str, ...] = (
 )
 
 
+#: Scale-section leaves every lane of one batch must share: they pick the
+#: storage code path (sparse on/off), size shared execution chunks, or
+#: gate the one shared metrics collector.  ``ledger_cap`` is deliberately
+#: absent — it lifts per lane like any other scheme knob (the ledger
+#: allocates the widest cap and evicts each row at its own).
+SCALE_STRUCTURAL_FIELDS: tuple[str, ...] = (
+    "sparse",
+    "chunk_size",
+    "stream_metrics_threshold",
+)
+
+
 def structural_key(config: SimulationConfig) -> tuple:
     """Hashable batch-compatibility key: configs batch iff keys match."""
-    return tuple(getattr(config, f) for f in STRUCTURAL_FIELDS) + (
-        config.resolved_scheme,
+    return (
+        tuple(getattr(config, f) for f in STRUCTURAL_FIELDS)
+        + tuple(getattr(config.scale, f) for f in SCALE_STRUCTURAL_FIELDS)
+        + (config.resolved_scheme,)
     )
 
 
@@ -86,12 +102,46 @@ def assert_lane_compatible(configs: Sequence[SimulationConfig]) -> None:
             for f in STRUCTURAL_FIELDS
             if getattr(other, f) != getattr(configs[0], f)
         ]
+        bad += [
+            f"scale.{f}"
+            for f in SCALE_STRUCTURAL_FIELDS
+            if getattr(other.scale, f) != getattr(configs[0].scale, f)
+        ]
         if configs[0].resolved_scheme != other.resolved_scheme:
             bad.append("scheme")
         raise ValueError(
             "lane configs must share the structural dimensions; "
             f"these differ: {', '.join(bad)}"
         )
+
+
+#: Rough per-slot float64 array count across peers, schemes, scratch and
+#: phase-context buffers (state.py allocates ~30 such vectors; round up).
+_PER_SLOT_ARRAYS = 40
+#: Per-step series rows the metrics collector keeps (``(R, steps)``
+#: float64 each, counting the two ``(R, steps, 3, 2)`` count cubes as 12).
+_METRIC_SERIES = 32
+
+
+def estimate_lane_state_bytes(config: SimulationConfig) -> int:
+    """Estimated resident bytes one lane of ``config`` adds to a batch.
+
+    Deliberately coarse (within ~2x): it only needs to stop the lane
+    planner from stacking thousands of ``(N, N)`` tit-for-tat matrices —
+    the lane-width memory hazard — not to model the allocator.  Counts
+    the per-slot vectors, the scheme's pairwise state (quadratic dense,
+    ``N * cap`` sparse) and the per-step metric series.
+    """
+    n = config.n_agents
+    bytes_ = _PER_SLOT_ARRAYS * 8 * n
+    if config.resolved_scheme == "tft":
+        if config.scale.sparse:
+            cap = min(config.scale.ledger_cap, max(n - 1, 1))
+            bytes_ += n * cap * 16  # int64 partner + float64 amount
+        else:
+            bytes_ += n * n * 8
+    bytes_ += _METRIC_SERIES * 8 * config.total_steps
+    return bytes_
 
 
 def _collapse(values: list, dtype) -> Any:

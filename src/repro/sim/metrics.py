@@ -61,11 +61,30 @@ class StepStats:
 
 
 class MetricsCollector:
-    """Fixed-size store of per-step series (optionally replicate-stacked)."""
+    """Fixed-size store of per-step series (optionally replicate-stacked).
+
+    ``streaming=True`` switches the per-type reductions from gather
+    buffers (copy each type's members, then row means) to one-pass
+    segment sums (``np.bincount`` over a precomputed ``(replicate,
+    type)`` label array).  The streaming path allocates nothing
+    per-peer beyond the label vector — the scale engine flips it on
+    above ``scale.stream_metrics_threshold`` agents, where the four
+    ``(4, R·k)`` gather scratch buffers stop being free.  Recorded
+    means are statistically identical; they are bitwise identical to
+    the gather path only for single-member types (the accumulation
+    tree differs), which is why the threshold default leaves small
+    populations on the historical path.
+    """
 
     _TYPES = (RATIONAL, ALTRUISTIC, IRRATIONAL)
 
-    def __init__(self, n_steps: int, types: np.ndarray, n_replicates: int = 1):
+    def __init__(
+        self,
+        n_steps: int,
+        types: np.ndarray,
+        n_replicates: int = 1,
+        streaming: bool = False,
+    ):
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
         types = np.asarray(types, dtype=np.int8)
@@ -80,12 +99,18 @@ class MetricsCollector:
         self.types = types.reshape(-1)
         self._n_per_rep = self.types.size // self.n_replicates
         types2d = self.types.reshape(self.n_replicates, self._n_per_rep)
+        self.streaming = bool(streaming)
         # Per-(replicate, type) member indices, precomputed once; gathers
         # through these match boolean-mask compression element-for-element.
-        self._type_idx = [
-            {t: np.flatnonzero(types2d[r] == t) for t in self._TYPES}
-            for r in range(self.n_replicates)
-        ]
+        # The streaming path reduces by label instead and skips them.
+        self._type_idx = (
+            None
+            if self.streaming
+            else [
+                {t: np.flatnonzero(types2d[r] == t) for t in self._TYPES}
+                for r in range(self.n_replicates)
+            ]
+        )
         self._cursor = 0
 
         R = self.n_replicates
@@ -105,36 +130,50 @@ class MetricsCollector:
         self._votes_successful = np.zeros(shape)
         self._vote_bans = np.zeros(shape)
         self._reputation_resets = np.zeros(shape)
-        # Scratch: the four per-peer series stacked so one contiguous
-        # gather serves all per-type means (reused every step).
-        self._type_buf = np.empty((4, self.types.size))
-        # When a type has the same member count in every replicate (the
-        # common case — replicates share one mix), its means batch into a
-        # single take over flat slot ids; ragged types fall back to a
-        # per-replicate loop.  Both paths gather the same elements in the
-        # same per-replicate order and reduce contiguous rows of the same
-        # length, so they are bit-identical.
-        self._type_flat_idx: dict[int, np.ndarray | None] = {}
-        for t in self._TYPES:
-            sizes = {self._type_idx[r][t].size for r in range(R)}
-            if len(sizes) == 1 and sizes != {0}:
-                self._type_flat_idx[t] = np.concatenate(
-                    [
-                        self._type_idx[r][t] + r * self._n_per_rep
-                        for r in range(R)
-                    ]
-                )
-            else:
-                self._type_flat_idx[t] = None
-        # Reused per-step scratch for the by-type gathers: one (4, R*k)
-        # take target per type and one (4, R) mean target, so the hot
-        # record() path allocates nothing for the batched types.
-        self._gather_buf = {
-            t: np.empty((4, idx.size))
-            for t, idx in self._type_flat_idx.items()
-            if idx is not None
-        }
-        self._type_mean = np.empty((4, R))
+        if self.streaming:
+            # One (replicate, type) label per slot: per-type means become
+            # bincount segment sums — no per-peer gather buffers at all.
+            pos = np.full(self.types.size, -1, dtype=np.int64)
+            for k, t in enumerate(self._TYPES):
+                pos[self.types == t] = k
+            reps = np.repeat(np.arange(R, dtype=np.int64), self._n_per_rep)
+            self._labels = reps * len(self._TYPES) + pos
+            counts = np.bincount(
+                self._labels, minlength=R * len(self._TYPES)
+            ).reshape(R, len(self._TYPES))
+            self._label_counts = counts.astype(np.float64)
+            self._label_empty = counts == 0
+        else:
+            # Scratch: the four per-peer series stacked so one contiguous
+            # gather serves all per-type means (reused every step).
+            self._type_buf = np.empty((4, self.types.size))
+            # When a type has the same member count in every replicate (the
+            # common case — replicates share one mix), its means batch into a
+            # single take over flat slot ids; ragged types fall back to a
+            # per-replicate loop.  Both paths gather the same elements in the
+            # same per-replicate order and reduce contiguous rows of the same
+            # length, so they are bit-identical.
+            self._type_flat_idx: dict[int, np.ndarray | None] = {}
+            for t in self._TYPES:
+                sizes = {self._type_idx[r][t].size for r in range(R)}
+                if len(sizes) == 1 and sizes != {0}:
+                    self._type_flat_idx[t] = np.concatenate(
+                        [
+                            self._type_idx[r][t] + r * self._n_per_rep
+                            for r in range(R)
+                        ]
+                    )
+                else:
+                    self._type_flat_idx[t] = None
+            # Reused per-step scratch for the by-type gathers: one (4, R*k)
+            # take target per type and one (4, R) mean target, so the hot
+            # record() path allocates nothing for the batched types.
+            self._gather_buf = {
+                t: np.empty((4, idx.size))
+                for t, idx in self._type_flat_idx.items()
+                if idx is not None
+            }
+            self._type_mean = np.empty((4, R))
 
         # Public views: single runs keep the historical 1-D attributes
         # (row-0 views, zero-copy); stacked runs expose the (R, steps)
@@ -169,6 +208,53 @@ class MetricsCollector:
         rep_e = np.asarray(stats.reputation_e).reshape(R, N)
         np.mean(files, axis=1, out=self._files_all[:, i])
         np.mean(bw, axis=1, out=self._bandwidth_all[:, i])
+        if self.streaming:
+            self._record_types_streaming(i, files, bw, rep_s, rep_e)
+        else:
+            self._record_types_gathered(i, files, bw, rep_s, rep_e)
+        np.mean(
+            np.asarray(stats.sharing_utility).reshape(R, N),
+            axis=1,
+            out=self._utility_s_all[:, i],
+        )
+        np.mean(
+            np.asarray(stats.editing_utility).reshape(R, N),
+            axis=1,
+            out=self._utility_e_all[:, i],
+        )
+        self._proposals[:, i] = np.asarray(stats.proposals).reshape(R, 3, 2)
+        self._accepted[:, i] = np.asarray(stats.accepted).reshape(R, 3, 2)
+        self._votes_cast[:, i] = np.asarray(stats.votes_cast)
+        self._votes_successful[:, i] = np.asarray(stats.votes_successful)
+        self._vote_bans[:, i] = np.asarray(stats.vote_bans)
+        self._reputation_resets[:, i] = np.asarray(stats.reputation_resets)
+        self._cursor += 1
+
+    def _record_types_streaming(self, i, files, bw, rep_s, rep_e) -> None:
+        """Per-type means as one-pass label-segment sums (large N)."""
+        R = self.n_replicates
+        nt = len(self._TYPES)
+        for series, arr in (
+            (self._files_by_type, files),
+            (self._bandwidth_by_type, bw),
+            (self._rep_s_by_type, rep_s),
+            (self._rep_e_by_type, rep_e),
+        ):
+            sums = np.bincount(
+                self._labels, weights=arr.reshape(-1), minlength=R * nt
+            ).reshape(R, nt)
+            means = np.divide(
+                sums,
+                self._label_counts,
+                out=np.full((R, nt), np.nan),
+                where=~self._label_empty,
+            )
+            for k, t in enumerate(self._TYPES):
+                series[t][:, i] = means[:, k]
+
+    def _record_types_gathered(self, i, files, bw, rep_s, rep_e) -> None:
+        """Per-type means through the reused gather buffers (small N)."""
+        R, N = self.n_replicates, self._n_per_rep
         buf = self._type_buf
         buf[0] = files.reshape(-1)
         buf[1] = bw.reshape(-1)
@@ -202,23 +288,6 @@ class MetricsCollector:
                     self._bandwidth_by_type[t][r, i] = np.nan
                     self._rep_s_by_type[t][r, i] = np.nan
                     self._rep_e_by_type[t][r, i] = np.nan
-        np.mean(
-            np.asarray(stats.sharing_utility).reshape(R, N),
-            axis=1,
-            out=self._utility_s_all[:, i],
-        )
-        np.mean(
-            np.asarray(stats.editing_utility).reshape(R, N),
-            axis=1,
-            out=self._utility_e_all[:, i],
-        )
-        self._proposals[:, i] = np.asarray(stats.proposals).reshape(R, 3, 2)
-        self._accepted[:, i] = np.asarray(stats.accepted).reshape(R, 3, 2)
-        self._votes_cast[:, i] = np.asarray(stats.votes_cast)
-        self._votes_successful[:, i] = np.asarray(stats.votes_successful)
-        self._vote_bans[:, i] = np.asarray(stats.vote_bans)
-        self._reputation_resets[:, i] = np.asarray(stats.reputation_resets)
-        self._cursor += 1
 
     @property
     def steps_recorded(self) -> int:

@@ -111,17 +111,35 @@ def _voting_rounds(
     rep_of_prop = np.repeat(np.arange(state.n_replicates), rep_prop_counts)
     proposers = local_proposers + rep_of_prop * n
 
-    # One ragged filter over every proposal's candidate voters.
+    # One ragged filter over every proposal's candidate voters, processed
+    # in chunks of at most ``scale.chunk_size`` candidates (voter pools
+    # grow with accepted edits, so unchunked temporaries would scale with
+    # pool size, not population).  Chunk boundaries fall between
+    # proposals and every step below is elementwise, so the kept voters
+    # are identical to a single-pass filter for any chunk size.
     counts = np.fromiter((a.size for a in arrays), dtype=np.int64, count=n_prop)
     if counts.sum():
-        cand_local = np.concatenate(arrays)
-        prop_of_cand = np.repeat(np.arange(n_prop), counts)
-        keep = cand_local != local_proposers[prop_of_cand]
-        flat_cand = cand_local + rep_of_prop[prop_of_cand] * n
-        if not all_can_vote:
-            keep &= can_vote[flat_cand]
-        flat_voters = flat_cand[keep]
-        cand_prop = prop_of_cand[keep]
+        chunk = state.config.scale.chunk_size
+        csum = np.cumsum(counts)
+        kept_voters: list[np.ndarray] = []
+        kept_props: list[np.ndarray] = []
+        start = 0
+        while start < n_prop:
+            base = int(csum[start - 1]) if start else 0
+            end = int(np.searchsorted(csum, base + chunk, side="right"))
+            if end <= start:
+                end = start + 1  # one oversized pool still processes alone
+            cand_local = np.concatenate(arrays[start:end])
+            prop_of_cand = np.repeat(np.arange(start, end), counts[start:end])
+            keep = cand_local != local_proposers[prop_of_cand]
+            flat_cand = cand_local + rep_of_prop[prop_of_cand] * n
+            if not all_can_vote:
+                keep &= can_vote[flat_cand]
+            kept_voters.append(flat_cand[keep])
+            kept_props.append(prop_of_cand[keep])
+            start = end
+        flat_voters = np.concatenate(kept_voters)
+        cand_prop = np.concatenate(kept_props)
         voter_counts = np.bincount(cand_prop, minlength=n_prop)
     else:
         flat_voters = np.empty(0, dtype=np.int64)

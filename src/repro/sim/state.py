@@ -296,6 +296,14 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
             optimistic_floor=slot_values(configs, "tft_optimistic_floor", n),
             history_decay=lane_values(configs, "tft_history_decay"),
             n_replicates=n_rep,
+            # Scale path: sparse/chunking are structural (one storage
+            # layout per batch); the cap lifts per lane like any other
+            # scheme knob.
+            sparse=cfg.scale.sparse,
+            ledger_cap=slot_values(
+                [conf.scale for conf in configs], "ledger_cap", n, np.int64
+            ),
+            chunk_size=cfg.scale.chunk_size,
         )
     elif scheme_name == "karma":
         scheme = KarmaScheme(
@@ -378,7 +386,11 @@ def build_sim_state(configs: list[SimulationConfig]) -> SimState:
         )
         for conf in configs
     ]
-    metrics = MetricsCollector(cfg.total_steps, types2d)
+    metrics = MetricsCollector(
+        cfg.total_steps,
+        types2d,
+        streaming=n >= cfg.scale.stream_metrics_threshold,
+    )
     events = [EventLog() if conf.collect_events else None for conf in configs]
     lanes = build_lane_params(
         configs,

@@ -66,7 +66,7 @@ from .engine import (
     replicate_configs,
     run_simulation,
 )
-from .lanes import structural_key
+from .lanes import estimate_lane_state_bytes, structural_key
 
 __all__ = [
     "run_sweep",
@@ -76,7 +76,18 @@ __all__ = [
     "set_default_store",
     "get_default_store",
     "plan_lane_batches",
+    "default_lane_width",
+    "DEFAULT_LANE_MEMORY_BUDGET",
 ]
+
+#: Per-batch state budget (bytes) the lane planner aims for when no
+#: explicit ``lane_width`` is given: a compatible group whose estimated
+#: stacked footprint (:func:`repro.sim.lanes.estimate_lane_state_bytes`
+#: per lane) would exceed this is chunked into narrower batches.  Small
+#: grids never hit the budget, so historical plans are unchanged; what it
+#: stops is an unbounded lane count multiplying ``(N, N)`` tft history
+#: stacks into tens of gigabytes.
+DEFAULT_LANE_MEMORY_BUDGET = 2 << 30
 
 #: Ambient store used by sweeps that are not passed one explicitly; lets
 #: the experiment runner cache every figure sweep without threading a
@@ -168,9 +179,27 @@ def _group_replicates(
     return order
 
 
+def default_lane_width(
+    config: SimulationConfig,
+    memory_budget: int = DEFAULT_LANE_MEMORY_BUDGET,
+) -> int:
+    """Widest batch of ``config``-shaped lanes fitting the state budget.
+
+    Derived from the estimated per-lane footprint
+    (:func:`~repro.sim.lanes.estimate_lane_state_bytes`) so callers no
+    longer have to guess a safe ``lane_width``: a 100-agent grid still
+    batches thousands of lanes wide, a dense-tft 2000-agent grid stops
+    at the budget, and a 50k-agent sparse lane runs essentially solo.
+    Always at least 1 — a single lane that alone exceeds the budget must
+    still be runnable.
+    """
+    return max(1, int(memory_budget) // max(1, estimate_lane_state_bytes(config)))
+
+
 def plan_lane_batches(
     pending: list[tuple[SimulationConfig, list[int]]],
     lane_width: int | None = None,
+    memory_budget: int = DEFAULT_LANE_MEMORY_BUDGET,
 ) -> list[list[tuple[SimulationConfig, list[int]]]]:
     """Partition pending configs into maximal lane-compatible batches.
 
@@ -188,24 +217,43 @@ def plan_lane_batches(
     ``lane_width`` caps the lanes per batch: a compatible group larger
     than the cap is chunked into consecutive batches of at most that
     width.  Use it to keep process-backend parallelism (several chunks
-    fan out across workers) and to bound per-batch memory — the tft
-    scheme's private-history stack is ``(R, N, N)``, so an unbounded
-    1000-lane batch holds a thousand ``(N, N)`` matrices at once.
-    ``None`` (the default) keeps groups maximal.
+    fan out across workers) and to bound per-batch memory — the dense
+    tft scheme's private-history stack is ``(R, N, N)``, so an unbounded
+    1000-lane batch holds a thousand ``(N, N)`` matrices at once.  With
+    ``None`` (the default) each group derives its own cap from the
+    estimated per-lane state footprint against ``memory_budget``
+    (:func:`default_lane_width`); small-footprint grids keep maximal
+    batches, memory-heavy ones are chunked instead of exhausting RAM.
+    An explicit ``lane_width`` always wins over the derived cap.
     """
     if lane_width is not None and lane_width < 1:
         raise ValueError("lane_width must be >= 1")
     groups: dict[tuple, list[tuple[SimulationConfig, list[int]]]] = {}
+    widths: dict[tuple, int] = {}
     order: list[list[tuple[SimulationConfig, list[int]]]] = []
     for cfg, indices in pending:
         if cfg.collect_events:
             order.append([(cfg, indices)])
             continue
         key = structural_key(cfg)
+        own = (
+            lane_width
+            if lane_width is not None
+            else default_lane_width(cfg, memory_budget)
+        )
         batch = groups.get(key)
-        if batch is None or (lane_width is not None and len(batch) >= lane_width):
+        # A batch's width is the min over its members' derived widths:
+        # non-structural knobs (e.g. a per-lane ledger_cap) can grow the
+        # footprint mid-group, and the ledger allocates every row at the
+        # batch's widest cap — so a heavy lane narrows the batch it joins.
+        # The width is per *open batch*, not per key: once a heavy batch
+        # closes, later light-only batches recover their full width.
+        if batch is None or len(batch) >= min(widths[key], own):
             batch = groups[key] = []
+            widths[key] = own
             order.append(batch)
+        else:
+            widths[key] = min(widths[key], own)
         batch.append((cfg, indices))
     return order
 

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from ..analysis.report import aggregate_stored_runs, render_stored_table
-from ..sim.config import SimulationConfig
+from ..sim.config import ScaleConfig, SimulationConfig
 from ..sim.scenarios import base_config
 from ..sim.sweep import run_sweep
 from .compose import iter_modifiers, resolve_scenario
@@ -38,11 +38,13 @@ from .runstore import RunStore, StoredRun
 
 __all__ = ["build_parser", "main"]
 
-# --set reaches every scalar config field; the structured fields (mix,
-# constants) need real objects and are set by scenario builders instead.
-_CONFIG_FIELDS = {
-    f.name for f in dataclasses.fields(SimulationConfig)
-} - {"mix", "constants"}
+# --set reaches every scalar config field plus the scale section's leaves
+# as dotted keys (``--set scale.sparse=true``); the remaining structured
+# fields (mix, constants) need real objects and are set by scenario
+# builders instead.
+_CONFIG_FIELDS = (
+    {f.name for f in dataclasses.fields(SimulationConfig)} - {"mix", "constants", "scale"}
+) | {f"scale.{f.name}" for f in dataclasses.fields(ScaleConfig)}
 _DEFAULT_METRICS = ("shared_files", "shared_bandwidth")
 _DEFAULT_SEEDS = 3
 
@@ -76,7 +78,7 @@ def _parse_set(
         if not valid:
             known = ", ".join(sorted(all_fields if allow_dotted else _CONFIG_FIELDS))
             raise SystemExit(f"error: unknown config field {key!r}; fields: {known}")
-        if allow_dotted and key in ("mix", "constants"):
+        if allow_dotted and key in ("mix", "constants", "scale"):
             # A structured field can never equal a scalar filter value;
             # without this the query would silently match nothing.
             raise SystemExit(

@@ -35,8 +35,11 @@ __all__ = [
 ]
 
 #: Bump when the canonicalization rules (or config semantics) change in a
-#: way that must invalidate previously stored keys.
-CONFIG_SCHEMA_VERSION = 1
+#: way that must invalidate previously stored keys.  v2: the ``scale``
+#: section joined :class:`~repro.sim.config.SimulationConfig` — every
+#: config now canonicalizes with its scale leaves, so pre-scale keys must
+#: not alias the (behaviourally identical) defaults.
+CONFIG_SCHEMA_VERSION = 2
 
 _INF = "__inf__"
 _NEG_INF = "__-inf__"

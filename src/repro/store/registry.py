@@ -20,9 +20,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..agents.population import PopulationMix
-from ..sim.config import SimulationConfig
+from ..sim.config import ScaleConfig, SimulationConfig
 from ..sim.rng import spawn_seeds
-from ..sim.scenarios import base_config, fig3_configs, fig6_configs, mixture_configs
+from ..sim.scenarios import (
+    base_config,
+    fig3_configs,
+    fig6_configs,
+    mixture_configs,
+    scale_config,
+)
 
 __all__ = [
     "ScenarioPack",
@@ -386,6 +392,102 @@ def _adversary_sybil(
     return [
         base.with_(sybil_fraction=fraction, sybil_rate=r, seed=s)
         for r in rates
+        for s in _seeds(n_seeds)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Scale packs: the memory-bounded large-N path (sparse incentive ledgers,
+# chunked kernels, streaming metrics — see docs/ARCHITECTURE.md)
+# ----------------------------------------------------------------------
+def _scale_base(
+    n_agents: int, fast: bool, fast_agents: int, **overrides
+) -> SimulationConfig:
+    """Shared shape of the large-N packs: one call into the canonical
+    :func:`~repro.sim.scenarios.scale_config` workload (the same recipe
+    the nightly memory gate and scale benchmarks measure), with the
+    ``fast`` flag shrinking population and horizon for smoke tests."""
+    if fast:
+        overrides = {"training_steps": 40, "eval_steps": 30, **overrides}
+    return scale_config(fast_agents if fast else n_agents, **overrides)
+
+
+@register_scenario(
+    "scale/50k",
+    "50 000 peers per run: reputation vs tit-for-tat on the sparse scale path.",
+    tags=("scale", "schemes"),
+)
+def _scale_50k(
+    fast: bool,
+    n_seeds: int,
+    n_agents: int = 50_000,
+    schemes: tuple[str, ...] = ("reputation", "tft"),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = _scale_base(n_agents, fast, fast_agents=2_000)
+    return [
+        base.with_(scheme=scheme, seed=s)
+        for scheme in schemes
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "scale/100k-churn",
+    "100 000 peers under join/leave churn and whitewashing, sparse path.",
+    tags=("scale", "churn"),
+)
+def _scale_100k_churn(
+    fast: bool,
+    n_seeds: int,
+    n_agents: int = 100_000,
+    rates: tuple[float, ...] = (0.0, 0.01),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = _scale_base(
+        n_agents,
+        fast,
+        fast_agents=4_000,
+        training_steps=60 if not fast else 30,
+        eval_steps=40 if not fast else 20,
+    )
+    return [
+        base.with_(leave_rate=r, join_rate=min(10 * r, 0.5), whitewash_rate=r, seed=s)
+        for r in rates
+        for s in _seeds(n_seeds)
+    ]
+
+
+@register_scenario(
+    "scale/sparse-shootout",
+    "Sparse-vs-dense tit-for-tat ledgers: eviction caps against the exact matrix.",
+    tags=("scale", "schemes"),
+)
+def _scale_sparse_shootout(
+    fast: bool,
+    n_seeds: int,
+    n_agents: int = 2_000,
+    caps: tuple[int, ...] = (8, 32, 128),
+    **_: Any,
+) -> list[SimulationConfig]:
+    base = _scale_base(
+        n_agents,
+        fast,
+        fast_agents=400,
+        scheme="tft",
+        training_steps=300 if not fast else 60,
+        eval_steps=200 if not fast else 40,
+    )
+    dense = base.with_(scale=ScaleConfig(sparse=False))
+    return [
+        cfg.with_(seed=s)
+        for cfg in (
+            [dense]
+            + [
+                base.with_(scale=ScaleConfig(sparse=True, ledger_cap=cap))
+                for cap in caps
+            ]
+        )
         for s in _seeds(n_seeds)
     ]
 

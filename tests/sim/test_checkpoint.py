@@ -73,3 +73,103 @@ class TestCheckpoint:
         sim = make_sim()
         path = save_checkpoint(sim, tmp_path / "deep" / "nest" / "ck.npz")
         assert path.exists()
+
+
+def make_tft_sim(seed=9, n_agents=20, steps=50, **scale_kw):
+    from repro.sim.config import ScaleConfig
+
+    cfg = SimulationConfig(
+        n_agents=n_agents,
+        n_articles=5,
+        training_steps=60,
+        eval_steps=30,
+        scheme="tft",
+        seed=seed,
+        scale=ScaleConfig(**scale_kw),
+    )
+    sim = CollaborationSimulation(cfg)
+    for _ in range(steps):
+        sim.step(float("inf"))
+    return sim
+
+
+class TestTftLedgerCheckpoint:
+    """v2 checkpoints carry the tit-for-tat history across storage modes."""
+
+    def test_dense_roundtrip_restores_history(self, tmp_path):
+        sim = make_tft_sim()
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_tft_sim(steps=0)
+        assert not np.array_equal(fresh.scheme.given, sim.scheme.given)
+        load_checkpoint(fresh, path)
+        assert np.array_equal(fresh.scheme.given, sim.scheme.given)
+        assert np.array_equal(fresh.scheme._totals, sim.scheme._totals)
+        assert np.array_equal(fresh.scheme.reputation_s(), sim.scheme.reputation_s())
+
+    def test_sparse_roundtrip_restores_ledger(self, tmp_path):
+        sim = make_tft_sim(sparse=True, ledger_cap=19)
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_tft_sim(steps=0, sparse=True, ledger_cap=19)
+        load_checkpoint(fresh, path)
+        led, want = fresh.scheme._ledger, sim.scheme._ledger
+        assert np.array_equal(led.partners, want.partners)
+        assert np.array_equal(led.amounts, want.amounts)
+        assert np.array_equal(led.counts, want.counts)
+        assert np.array_equal(fresh.scheme.reputation_s(), sim.scheme.reputation_s())
+
+    def test_dense_checkpoint_migrates_into_sparse_sim(self, tmp_path):
+        sim = make_tft_sim()
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_tft_sim(steps=0, sparse=True, ledger_cap=19)
+        load_checkpoint(fresh, path)
+        assert np.array_equal(fresh.scheme.given, sim.scheme.given)
+        assert np.array_equal(fresh.scheme.reputation_s(), sim.scheme.reputation_s())
+        fresh.step(1.0)  # migrated ledger keeps serving the engine
+
+    def test_dense_checkpoint_too_wide_for_cap_is_a_clear_error(self, tmp_path):
+        sim = make_tft_sim()
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_tft_sim(steps=0, sparse=True, ledger_cap=2)
+        with pytest.raises(ValueError, match="ledger_cap"):
+            load_checkpoint(fresh, path)
+
+    def test_sparse_checkpoint_expands_into_dense_sim(self, tmp_path):
+        sim = make_tft_sim(sparse=True, ledger_cap=19)
+        path = save_checkpoint(sim, tmp_path / "ck.npz")
+        fresh = make_tft_sim(steps=0)
+        load_checkpoint(fresh, path)
+        assert np.array_equal(fresh.scheme.given, sim.scheme.given)
+        assert np.array_equal(fresh.scheme._totals, sim.scheme._totals)
+
+    def test_foreign_scheme_checkpoint_rejected_for_tft_sim(self, tmp_path):
+        karma = CollaborationSimulation(
+            SimulationConfig(
+                n_agents=20, n_articles=5, training_steps=60, eval_steps=30,
+                scheme="karma", seed=9,
+            )
+        )
+        path = save_checkpoint(karma, tmp_path / "ck.npz")
+        fresh = make_tft_sim(steps=0)
+        with pytest.raises(ValueError, match="tit-for-tat"):
+            load_checkpoint(fresh, path)
+
+    def test_v1_checkpoint_still_loads(self, tmp_path):
+        """Legacy files (no tft payload) restore learned state as before."""
+        sim = make_tft_sim()
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            n_agents=np.int64(sim.config.n_agents),
+            n_rational=np.int64(sim.rational_idx.size),
+            step_count=np.int64(sim.step_count),
+            sharing_q=sim.sharing_learner.q,
+            edit_q=sim.edit_learner.q,
+            ledger_c_s=sim.scheme.ledger.sharing.copy(),
+            ledger_c_e=sim.scheme.ledger.editing.copy(),
+            types=sim.peers.types,
+        )
+        fresh = make_tft_sim(steps=0)
+        load_checkpoint(fresh, path)
+        assert np.array_equal(fresh.sharing_learner.q, sim.sharing_learner.q)
+        assert np.all(fresh.scheme.given == 0.0)  # v1 never carried history

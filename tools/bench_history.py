@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -59,10 +60,9 @@ def run_benches(extra_args: list[str] | None = None) -> dict:
         f"--benchmark-json={json_path}",
         *(extra_args or []),
     ]
-    env = dict(
-        PYTHONPATH=str(REPO_ROOT / "src"),
-        PATH=__import__("os").environ.get("PATH", ""),
-    )
+    # Inherit the full environment (conda/virtualenv interpreters need
+    # more than PATH to start) and only pin PYTHONPATH at the repo's src.
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
     proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
     if proc.returncode != 0:
         raise SystemExit(f"bench run failed with exit code {proc.returncode}")

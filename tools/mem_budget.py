@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Memory-regression gate: prove the sparse scale path stays O(N).
+
+Builds a tit-for-tat simulation on the sparse ledger path, steps it a few
+times, and measures the **tracemalloc peak** of everything the run
+allocates (numpy routes its buffers through the traced allocator).  The
+gate: that peak must stay below ``--budget-fraction`` (default 25%) of
+the *dense equivalent* — the ``N × N × 8``-byte private-history matrix a
+dense run would have to hold for the same population.  The dense side is
+computed, not allocated, so the check runs comfortably on CI runners.
+
+Exit status 0 when within budget, 1 on a breach — wired into the nightly
+``scale-smoke`` CI job and runnable locally::
+
+    PYTHONPATH=src python tools/mem_budget.py --agents 10000
+
+Peak RSS (``resource.getrusage``) is reported alongside for context but
+not gated: RSS includes the interpreter and imports, which would drown
+the signal at small budgets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+
+
+def measure_peak_bytes(n_agents: int, steps: int, ledger_cap: int) -> tuple[int, int]:
+    """(tracemalloc peak, ledger nbytes) for a short sparse tft run.
+
+    Delegates to ``repro.sim.scenarios.scale_peak_bytes`` — the shared
+    measurement recipe over the canonical ``scale_config`` workload — so
+    this gate, the scale benchmarks and ``repro run scale/50k`` can
+    never drift apart.
+    """
+    from repro.sim.scenarios import scale_peak_bytes
+
+    return scale_peak_bytes(
+        n_agents,
+        steps,
+        scheme="tft",
+        seed=0,
+        **{"scale.ledger_cap": ledger_cap},
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--agents", type=int, default=10_000,
+                        help="population size (default: 10000)")
+    parser.add_argument("--steps", type=int, default=5,
+                        help="steps to run before measuring (default: 5)")
+    parser.add_argument("--ledger-cap", type=int, default=64,
+                        help="sparse ledger cap (default: 64)")
+    parser.add_argument("--budget-fraction", type=float, default=0.25,
+                        help="allowed peak as a fraction of the dense "
+                        "equivalent (default: 0.25)")
+    args = parser.parse_args(argv)
+
+    dense_bytes = args.agents * args.agents * 8
+    peak, ledger_bytes = measure_peak_bytes(
+        args.agents, args.steps, args.ledger_cap
+    )
+    budget = int(dense_bytes * args.budget_fraction)
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    print(f"population:        {args.agents} agents, {args.steps} steps, "
+          f"ledger cap {args.ledger_cap}")
+    print(f"dense equivalent:  {dense_bytes / 1e6:9.1f} MB  (N*N*8 history matrix)")
+    print(f"sparse ledger:     {ledger_bytes / 1e6:9.1f} MB")
+    print(f"traced peak:       {peak / 1e6:9.1f} MB  "
+          f"({peak / dense_bytes:.1%} of dense)")
+    print(f"budget:            {budget / 1e6:9.1f} MB  "
+          f"({args.budget_fraction:.0%} of dense)")
+    print(f"process peak RSS:  {rss_kb / 1024:9.1f} MB  (reported, not gated)")
+
+    if peak > budget:
+        print(
+            f"FAIL: sparse-path peak {peak / 1e6:.1f} MB exceeds the "
+            f"{args.budget_fraction:.0%} budget — the scale path has "
+            "regressed toward O(N^2)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: sparse scale path within the memory budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
