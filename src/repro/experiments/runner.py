@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
+
+from ..obs import Stopwatch, get_tracer
 
 from . import (
     ablations,
@@ -97,9 +98,12 @@ def run_experiment(name: str, args: argparse.Namespace, store=None) -> list:
     if args.seeds is not None:
         kwargs["n_seeds"] = args.seeds
     cache0 = (store.hits, store.misses) if store is not None else (0, 0)
-    t0 = time.perf_counter()
-    figs = EXPERIMENTS[name](**kwargs)
-    dt = time.perf_counter() - t0
+    # Timing via the obs layer: Stopwatch for the reported duration, plus
+    # an experiment/<name> span when an enabled tracer is ambient.
+    watch = Stopwatch()
+    with get_tracer().span(f"experiment/{name}"):
+        figs = EXPERIMENTS[name](**kwargs)
+    dt = watch.elapsed()
     for fig in figs:
         print(fig.render())
         csv_path = fig.to_csv(args.out / f"{fig.name}.csv")

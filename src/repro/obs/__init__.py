@@ -1,0 +1,66 @@
+"""Zero-dependency telemetry: tracing, metrics and persisted artifacts.
+
+The engine-wide observability layer (docs/OBSERVABILITY.md).  Three
+pieces, all stdlib-only:
+
+* :mod:`repro.obs.tracer` — :class:`Stopwatch` (the repo's timing
+  primitive), the span :class:`Tracer` with its process-global current
+  instance, and the :func:`tracing` context manager that enables it;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with a
+  Prometheus text exposition;
+* :mod:`repro.obs.artifact` — the schema-versioned per-run
+  ``telemetry`` artifact persisted in the :class:`repro.store.RunStore`
+  plus the phase-breakdown/aggregation tables behind ``repro trace``
+  and ``repro stats``.
+
+Instrumentation contract: the ambient tracer is **disabled by default**
+and every hot call site checks :attr:`Tracer.enabled` before doing any
+work, so the step loop pays (benchmarked, gated) ~zero when tracing is
+off and a bounded overhead when it is on — see
+``benchmarks/test_bench_obs.py``.
+"""
+
+from .artifact import (
+    TELEMETRY_SCHEMA_VERSION,
+    aggregate_telemetry,
+    build_telemetry,
+    phase_breakdown,
+    render_phase_table,
+    render_stats_table,
+    validate_telemetry,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    OBS_SCHEMA_VERSION,
+    SpanAggregate,
+    SpanEvent,
+    Stopwatch,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "OBS_SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Stopwatch",
+    "SpanAggregate",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "write_events_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "build_telemetry",
+    "validate_telemetry",
+    "phase_breakdown",
+    "render_phase_table",
+    "aggregate_telemetry",
+    "render_stats_table",
+]

@@ -1,0 +1,246 @@
+"""Persisted per-run telemetry artifacts and phase-time breakdowns.
+
+A telemetry artifact is the JSON document ``repro trace`` (and any other
+traced execution) persists next to a run's results in the
+:class:`repro.store.RunStore`, keyed by the same config hash as the run
+itself — so ``repro stats`` and sweep tooling can aggregate phase-time
+breakdowns across stored runs without re-executing anything.  The layout
+is schema-versioned independently of both the store record schema and
+the config-hash schema::
+
+    {
+      "schema_version": 1,
+      "config_hash": "...",          # or null for unkeyed traces
+      "created_at": 1723...,
+      "wall_time_s": 12.3,           # the traced run's reported wall time
+      "spans": [ {name, count, total_s, min_s, max_s, mean_s,
+                  mem_delta_bytes?, attrs?}, ... ],
+      "metrics": { name: [ {type, labels?, value | sum/count/buckets} ] },
+      "meta": { ... }                # caller extras (scenario name, ...)
+    }
+
+:func:`phase_breakdown` derives the per-phase wall-time/memory table the
+CLI prints: one row per ``phase/*`` span, shares of the protocol total
+(the ``engine/train`` + ``engine/eval`` spans), and the **coverage**
+ratio — the fraction of total protocol time the phase spans account for.
+Coverage is the artifact's self-check: the phase kernels are the whole
+step loop, so anything below ~0.95 means the engine grew untraced work.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from .tracer import Tracer
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "build_telemetry",
+    "validate_telemetry",
+    "phase_breakdown",
+    "render_phase_table",
+    "aggregate_telemetry",
+    "render_stats_table",
+]
+
+#: Version of the persisted telemetry artifact layout.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Span-name prefixes with special meaning in breakdowns.
+PHASE_PREFIX = "phase/"
+_PROTOCOL_SPANS = ("engine/train", "engine/eval")
+
+
+def build_telemetry(
+    tracer: Tracer,
+    config_hash: str | None = None,
+    wall_time_s: float | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Distill a tracer into the JSON-able persisted artifact payload."""
+    snap = tracer.snapshot()
+    payload: dict[str, Any] = {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "config_hash": config_hash,
+        "created_at": time.time(),
+        "spans": snap["spans"],
+        "metrics": snap["metrics"],
+    }
+    if wall_time_s is not None:
+        payload["wall_time_s"] = float(wall_time_s)
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def validate_telemetry(payload: Any) -> dict[str, Any] | None:
+    """Return the payload if it is a usable artifact, else ``None``.
+
+    Mirrors the store's tolerance rules: foreign schema versions and
+    malformed shapes are skipped by readers, never fatal.
+    """
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        return None
+    if not isinstance(payload.get("spans"), list):
+        return None
+    if not all(
+        isinstance(s, dict) and isinstance(s.get("name"), str)
+        for s in payload["spans"]
+    ):
+        return None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Per-run breakdown (the `repro trace` table)
+# ----------------------------------------------------------------------
+def _span_index(payload: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Name -> span-row mapping for one artifact."""
+    return {s["name"]: s for s in payload.get("spans", [])}
+
+
+def phase_breakdown(payload: dict[str, Any]) -> dict[str, Any]:
+    """Reduce one artifact to the per-phase wall-time/memory table.
+
+    Returns ``{"phases": [...], "protocol_s": float, "phase_total_s":
+    float, "coverage": float}`` where each phase row carries ``name``,
+    ``calls``, ``total_s``, ``mean_s``, ``share`` (of the protocol
+    total) and ``mem_delta_bytes``.  ``protocol_s`` is the summed
+    ``engine/train``/``engine/eval`` span time; when neither span exists
+    (a trace of something that never ran the protocol) it falls back to
+    the summed phase time so shares stay well-defined.
+    """
+    spans = _span_index(payload)
+    phases = [
+        {
+            "name": s["name"],
+            "calls": s.get("count", 0),
+            "total_s": s.get("total_s", 0.0),
+            "mean_s": s.get("mean_s", 0.0),
+            "mem_delta_bytes": s.get("mem_delta_bytes", 0),
+        }
+        for name, s in spans.items()
+        if name.startswith(PHASE_PREFIX)
+    ]
+    phases.sort(key=lambda row: -row["total_s"])
+    phase_total = sum(row["total_s"] for row in phases)
+    protocol = sum(
+        spans[name]["total_s"] for name in _PROTOCOL_SPANS if name in spans
+    )
+    if protocol <= 0.0:
+        protocol = phase_total
+    for row in phases:
+        row["share"] = row["total_s"] / protocol if protocol > 0 else 0.0
+    return {
+        "phases": phases,
+        "protocol_s": protocol,
+        "phase_total_s": phase_total,
+        "coverage": phase_total / protocol if protocol > 0 else 0.0,
+    }
+
+
+def _fmt_bytes(n: int) -> str:
+    """Human-readable signed byte count."""
+    sign = "-" if n < 0 else ""
+    size = float(abs(n))
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{sign}{size:.1f}{unit}" if unit != "B" else f"{sign}{int(size)}B"
+        size /= 1024.0
+    return f"{sign}{size:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def render_phase_table(breakdown: dict[str, Any], memory: bool = False) -> str:
+    """Plain-text table for one :func:`phase_breakdown` result."""
+    rows = breakdown["phases"]
+    if not rows:
+        return "(no phase spans recorded)"
+    headers = ["phase", "calls", "total", "mean", "share"]
+    if memory:
+        headers.append("mem delta")
+    cells = []
+    for row in rows:
+        line = [
+            row["name"].removeprefix(PHASE_PREFIX),
+            str(row["calls"]),
+            f"{row['total_s']:.3f}s",
+            f"{row['mean_s'] * 1e6:.1f}us",
+            f"{row['share'] * 100:5.1f}%",
+        ]
+        if memory:
+            line.append(_fmt_bytes(row["mem_delta_bytes"]))
+        cells.append(line)
+    widths = [
+        max(len(headers[i]), *(len(c[i]) for c in cells))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    lines.append(
+        f"protocol {breakdown['protocol_s']:.3f}s, phase coverage "
+        f"{breakdown['coverage'] * 100:.1f}%"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cross-run aggregation (the `repro stats` table)
+# ----------------------------------------------------------------------
+def aggregate_telemetry(payloads: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate span rows across many stored artifacts.
+
+    Returns ``{"runs": n, "spans": [...]}`` with one row per span name:
+    total calls and seconds, the number of runs recording it, and the
+    mean seconds per run.  Rows sort by total time, descending.
+    """
+    totals: dict[str, dict[str, Any]] = {}
+    for payload in payloads:
+        for span in payload.get("spans", []):
+            row = totals.setdefault(
+                span["name"],
+                {"name": span["name"], "runs": 0, "calls": 0,
+                 "total_s": 0.0, "mem_delta_bytes": 0},
+            )
+            row["runs"] += 1
+            row["calls"] += span.get("count", 0)
+            row["total_s"] += span.get("total_s", 0.0)
+            row["mem_delta_bytes"] += span.get("mem_delta_bytes", 0)
+    rows = sorted(totals.values(), key=lambda r: -r["total_s"])
+    n_runs = len(payloads)
+    for row in rows:
+        row["mean_s_per_run"] = row["total_s"] / row["runs"] if row["runs"] else 0.0
+    return {"runs": n_runs, "spans": rows}
+
+
+def render_stats_table(aggregate: dict[str, Any]) -> str:
+    """Plain-text table for one :func:`aggregate_telemetry` result."""
+    rows = aggregate["spans"]
+    if not rows:
+        return "(no telemetry artifacts stored)"
+    headers = ["span", "runs", "calls", "total", "mean/run"]
+    cells = [
+        [
+            row["name"],
+            str(row["runs"]),
+            str(row["calls"]),
+            f"{row['total_s']:.3f}s",
+            f"{row['mean_s_per_run']:.3f}s",
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(c[i]) for c in cells))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join(lines)

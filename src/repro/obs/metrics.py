@@ -1,0 +1,244 @@
+"""Counters, gauges and histograms with a Prometheus-style exposition.
+
+The instrument model is deliberately the smallest one that covers the
+engine's needs (pure stdlib, no client library):
+
+* :class:`Counter`   — monotonically increasing totals (``_total`` names);
+* :class:`Gauge`     — a settable level (queue depth, worker count);
+* :class:`Histogram` — cumulative fixed-bucket observation counts plus
+  ``sum``/``count``, Prometheus ``le`` semantics (each bucket counts
+  observations ``<=`` its upper bound; ``+Inf`` is implicit).
+
+Instruments live in a :class:`MetricsRegistry`, which hands out
+get-or-create handles (`counter()`/`gauge()`/`histogram()`), optionally
+labelled — one child per distinct label set, addressed positionally by
+sorted label items so ``labels(a=1, b=2)`` and ``labels(b=2, a=1)`` are
+the same child.  :meth:`MetricsRegistry.exposition` renders the classic
+text format (``# HELP``/``# TYPE`` plus one sample line per child);
+:meth:`MetricsRegistry.snapshot` returns the same data as a JSON-able
+dict for the persisted telemetry artifact.
+
+Example::
+
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("sweep_cache_hits_total", "Cache-served slots").inc()
+    >>> reg.gauge("sweep_workers", "Pool width").set(4)
+    >>> h = reg.histogram("task_seconds", "Task wall time", buckets=(0.1, 1.0))
+    >>> h.observe(0.25)
+    >>> "sweep_cache_hits_total 1" in reg.exposition()
+    True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured: the engine's
+#: observations range from sub-millisecond phase slices to minute-scale
+#: sweep tasks).  ``+Inf`` is always appended implicitly.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (level, depth, width)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current level."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the current level by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Shift the current level down by ``amount``."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket observation counts with Prometheus ``le`` semantics.
+
+    ``bucket_counts[i]`` is *cumulative*: the number of observations
+    ``<= buckets[i]``; the implicit ``+Inf`` bucket equals ``count``.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into every bucket it falls under."""
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                for j in range(i, len(self.buckets)):
+                    self.bucket_counts[j] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (NaN before the first one)."""
+        return self.sum / self.count if self.count else math.nan
+
+
+#: ``(name, ((label, value), ...))`` — one registry key per child.
+_ChildKey = tuple[str, tuple[tuple[str, str], ...]]
+
+_TYPES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, with text exposition."""
+
+    def __init__(self) -> None:
+        self._children: dict[_ChildKey, Any] = {}
+        self._families: dict[str, tuple[str, str]] = {}  # name -> (type, help)
+
+    # ------------------------------------------------------------------
+    # Instrument handles
+    # ------------------------------------------------------------------
+    def _get(self, cls: type, name: str, help_: str, labels: dict | None, **kw: Any):
+        """Shared get-or-create path for the three instrument kinds."""
+        kind = _TYPES[cls]
+        family = self._families.get(name)
+        if family is None:
+            self._families[name] = (kind, help_)
+        elif family[0] != kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {family[0]}"
+            )
+        key = (name, tuple(sorted((k, str(v)) for k, v in (labels or {}).items())))
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = cls(**kw)
+        return child
+
+    def counter(self, name: str, help_: str = "", **labels: Any) -> Counter:
+        """The counter child for ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, help_, labels)
+
+    def gauge(self, name: str, help_: str = "", **labels: Any) -> Gauge:
+        """The gauge child for ``(name, labels)``, created on first use."""
+        return self._get(Gauge, name, help_, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram child for ``(name, labels)``, created on first use.
+
+        ``buckets`` applies on creation only; later calls return the
+        existing child unchanged.
+        """
+        return self._get(Histogram, name, help_, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def exposition(self) -> str:
+        """Prometheus text-format rendering of every instrument."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            kind, help_ = self._families[name]
+            if help_:
+                lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} {kind}")
+            children = sorted(
+                (k, v) for k, v in self._children.items() if k[0] == name
+            )
+            for (_, labels), child in children:
+                base = _render_labels(labels)
+                if isinstance(child, Histogram):
+                    for bound, n in zip(child.buckets, child.bucket_counts):
+                        le = _render_labels(labels + (("le", _fmt_num(bound)),))
+                        lines.append(f"{name}_bucket{le} {n}")
+                    inf = _render_labels(labels + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{inf} {child.count}")
+                    lines.append(f"{name}_sum{base} {_fmt_num(child.sum)}")
+                    lines.append(f"{name}_count{base} {child.count}")
+                else:
+                    lines.append(f"{name}{base} {_fmt_num(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump of every instrument (for the telemetry artifact)."""
+        out: dict[str, Any] = {}
+        for (name, labels), child in sorted(self._children.items()):
+            kind = self._families[name][0]
+            entry: dict[str, Any] = {"type": kind}
+            if labels:
+                entry["labels"] = dict(labels)
+            if isinstance(child, Histogram):
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+                entry["buckets"] = {
+                    _fmt_num(b): n
+                    for b, n in zip(child.buckets, child.bucket_counts)
+                }
+            else:
+                entry["value"] = child.value
+            out.setdefault(name, []).append(entry)
+        return out
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    """``{k="v",...}`` suffix for one label set (empty when unlabelled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt_num(value: float) -> str:
+    """Render a sample value, keeping integers integral."""
+    if value == int(value) and abs(value) < 1e15 and not math.isinf(value):
+        return str(int(value))
+    return repr(float(value))

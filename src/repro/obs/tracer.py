@@ -1,0 +1,366 @@
+"""Span-based tracer: the engine's one timing code path.
+
+Three layers, cheapest first:
+
+* :class:`Stopwatch` — a ``perf_counter`` handle; every ad-hoc
+  ``time.perf_counter()`` pair in the engine and the experiment runner
+  now goes through this, traced or not.
+* :class:`Tracer` — named **spans** aggregated in-process (call count,
+  total/min/max wall seconds, optional ``tracemalloc`` byte deltas, and
+  whatever dimensions the first recording attaches — lane count, agent
+  count, step counts).  A bounded ring buffer of individual
+  :class:`SpanEvent` records backs the JSONL trace export.  Disabled
+  tracers record nothing and cost one attribute check at each
+  instrumentation site — the phase kernels' hot path dispatches around
+  the tracer entirely (see :mod:`repro.sim.phases`).
+* a process-global **current tracer** (:func:`get_tracer` /
+  :func:`set_tracer`) plus the :func:`tracing` context manager, which
+  installs a fresh enabled tracer for the duration of a ``with`` block —
+  the ``repro trace`` CLI and the tests use this, so instrumented code
+  never needs a tracer argument threaded through.
+
+The tracer is append-only and single-threaded by design: one tracer per
+process, written by the simulation loop that owns the process.  Sweep
+worker processes therefore trace independently; the coordinator's tracer
+sees the coordinator-side spans (task dispatch, queue waits).
+
+Example::
+
+    >>> from repro.obs import tracing
+    >>> with tracing() as tracer:
+    ...     with tracer.span("demo/work", items=3):
+    ...         pass
+    >>> agg = tracer.spans()["demo/work"]
+    >>> agg.count, agg.attrs["items"]
+    (1, 3)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterator
+
+__all__ = [
+    "OBS_SCHEMA_VERSION",
+    "Stopwatch",
+    "SpanAggregate",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "write_events_jsonl",
+]
+
+#: Version of the tracer snapshot layout (embedded in every snapshot and
+#: in the persisted telemetry artifact built from it).
+OBS_SCHEMA_VERSION = 1
+
+#: Default capacity of the per-tracer span-event ring buffer.
+DEFAULT_RING_SIZE = 4096
+
+
+class Stopwatch:
+    """A started ``perf_counter`` handle; the repo's timing primitive."""
+
+    __slots__ = ("started_at",)
+
+    def __init__(self) -> None:
+        self.started_at = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self.started_at
+
+    def restart(self) -> float:
+        """Return the elapsed seconds and restart the watch at now."""
+        now = time.perf_counter()
+        dt = now - self.started_at
+        self.started_at = now
+        return dt
+
+
+@dataclass
+class SpanAggregate:
+    """In-process aggregate of every recording under one span name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    #: Sum of ``tracemalloc`` current-size deltas across recordings
+    #: (0 unless the tracer tracks memory; may be negative — phases can
+    #: free more than they allocate).
+    mem_delta_bytes: int = 0
+    #: Dimensions attached by the first recording (lanes, agents, steps
+    #: ...).  Aggregation does not re-check them: a span name is expected
+    #: to keep its dimensions for the tracer's lifetime.
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per recording (0 before the first one)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able dump (snapshot / telemetry-artifact row)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "mean_s": self.mean_s,
+        }
+        if self.mem_delta_bytes:
+            out["mem_delta_bytes"] = self.mem_delta_bytes
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One individual span occurrence (ring buffer / JSONL export row)."""
+
+    name: str
+    #: Start time relative to the tracer's construction, seconds.
+    start_s: float
+    duration_s: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able dump (one JSONL line)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+
+
+class Tracer:
+    """Collects span aggregates, span events and metrics for one process.
+
+    ``enabled=False`` (the default of the ambient tracer) makes every
+    recording a no-op; instrumented call sites check :attr:`enabled`
+    once and skip all bookkeeping, which is what keeps the disabled
+    overhead under the benchmarked 2% budget.
+
+    ``trace_events=True`` additionally appends each span occurrence to a
+    bounded ring buffer (newest kept) for the JSONL trace export.
+    ``track_memory=True`` records per-span ``tracemalloc`` deltas; the
+    tracer starts ``tracemalloc`` on demand and stops it again when
+    :meth:`close`d if it was the one that started it.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        trace_events: bool = False,
+        track_memory: bool = False,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        from .metrics import MetricsRegistry
+
+        self.enabled = enabled
+        self.trace_events = trace_events
+        self.track_memory = track_memory
+        self.metrics = MetricsRegistry()
+        self.events: deque[SpanEvent] = deque(maxlen=ring_size)
+        self._spans: dict[str, SpanAggregate] = {}
+        self._epoch = time.perf_counter()
+        self._started_tracemalloc = False
+        if track_memory and enabled and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        attrs: dict[str, Any] | None = None,
+        mem_delta: int = 0,
+    ) -> None:
+        """Fold one span occurrence into the aggregates (and the ring).
+
+        This is the fast path the traced step loop calls directly with a
+        pre-measured duration; :meth:`span` wraps it for ``with``-block
+        call sites.  No-op while the tracer is disabled.
+        """
+        if not self.enabled:
+            return
+        agg = self._spans.get(name)
+        if agg is None:
+            agg = self._spans[name] = SpanAggregate(name, attrs=dict(attrs or {}))
+        agg.count += 1
+        agg.total_s += duration_s
+        if duration_s < agg.min_s:
+            agg.min_s = duration_s
+        if duration_s > agg.max_s:
+            agg.max_s = duration_s
+        agg.mem_delta_bytes += mem_delta
+        if self.trace_events:
+            now = time.perf_counter() - self._epoch
+            self.events.append(SpanEvent(name, now - duration_s, duration_s))
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Record the wall time (and memory delta) of a ``with`` block.
+
+        Intended for coarse boundaries — protocol phases, sweep tasks,
+        experiment sections — not for per-step hot loops, which measure
+        manually and call :meth:`record`.  Disabled tracers skip all
+        measurement.
+        """
+        if not self.enabled:
+            yield
+            return
+        mem0 = self._mem_now()
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.record(
+                name, dt, attrs=attrs or None, mem_delta=self._mem_now() - mem0
+            )
+
+    def _mem_now(self) -> int:
+        """Current ``tracemalloc`` size, 0 when memory is untracked."""
+        if self.track_memory and tracemalloc.is_tracing():
+            return tracemalloc.get_traced_memory()[0]
+        return 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def spans(self) -> dict[str, SpanAggregate]:
+        """The live name -> aggregate mapping (insertion-ordered)."""
+        return self._spans
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump of everything recorded so far."""
+        return {
+            "schema_version": OBS_SCHEMA_VERSION,
+            "spans": [agg.as_dict() for agg in self._spans.values()],
+            "metrics": self.metrics.snapshot(),
+            "n_events": len(self.events),
+            "track_memory": self.track_memory,
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text format: metrics plus derived span samples.
+
+        Span aggregates export as ``repro_span_seconds_total`` /
+        ``repro_span_calls_total`` with a ``span`` label, so a scrape of
+        a long-running process sees phase-time totals without a separate
+        trace pipeline.
+        """
+        text = self.metrics.exposition()
+        if not self._spans:
+            return text
+        lines = [
+            "# HELP repro_span_seconds_total Wall seconds recorded per span",
+            "# TYPE repro_span_seconds_total counter",
+        ]
+        for agg in sorted(self._spans.values(), key=lambda a: a.name):
+            lines.append(
+                f'repro_span_seconds_total{{span="{agg.name}"}} {agg.total_s!r}'
+            )
+        lines += [
+            "# HELP repro_span_calls_total Recordings per span",
+            "# TYPE repro_span_calls_total counter",
+        ]
+        for agg in sorted(self._spans.values(), key=lambda a: a.name):
+            lines.append(
+                f'repro_span_calls_total{{span="{agg.name}"}} {agg.count}'
+            )
+        return text + "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every aggregate, event and metric recorded so far."""
+        from .metrics import MetricsRegistry
+
+        self._spans.clear()
+        self.events.clear()
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+
+    def close(self) -> None:
+        """Release resources (stops ``tracemalloc`` if this tracer started it)."""
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+
+#: The ambient tracer instrumented code records into.  Disabled (and
+#: therefore free) unless someone installs an enabled one.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global current tracer (disabled by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the current one; returns the previous."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+@contextmanager
+def tracing(
+    enabled: bool = True,
+    trace_events: bool = False,
+    track_memory: bool = False,
+    ring_size: int = DEFAULT_RING_SIZE,
+) -> Iterator[Tracer]:
+    """Install a fresh tracer for a ``with`` block; restore on exit.
+
+    The yielded tracer keeps its data after the block, so callers
+    snapshot/export it once the traced section finishes::
+
+        with tracing(track_memory=True) as tracer:
+            run_simulation(config)
+        payload = tracer.snapshot()
+    """
+    tracer = Tracer(
+        enabled=enabled,
+        trace_events=trace_events,
+        track_memory=track_memory,
+        ring_size=ring_size,
+    )
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.close()
+
+
+def write_events_jsonl(events: Any, fh: IO[str]) -> int:
+    """Write span events as one JSON object per line; returns the count.
+
+    ``events`` is any iterable of :class:`SpanEvent` (typically
+    ``tracer.events``, the ring buffer — i.e. the newest
+    ``ring_size`` occurrences).
+    """
+    n = 0
+    for event in events:
+        fh.write(json.dumps(event.as_dict()) + "\n")
+        n += 1
+    return n

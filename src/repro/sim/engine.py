@@ -35,11 +35,11 @@ individually, so batched and sequential execution share one cache.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..network.events import EventLog
+from ..obs import Stopwatch, get_tracer
 from .config import SimulationConfig
 from .phases import step_state
 from .rng import spawn_seeds
@@ -102,16 +102,29 @@ def _run_protocol(state) -> float:
     are structural (shared by every lane); the temperatures come from the
     lane parameters, so mixed-temperature batches train/evaluate each
     lane at its own ``T``.  Returns the wall time consumed.
+
+    Timing flows through :mod:`repro.obs`: the returned wall time is a
+    :class:`~repro.obs.Stopwatch` reading, and an enabled ambient tracer
+    additionally records ``engine/train`` / ``engine/eval`` boundary
+    spans (plus the per-kernel ``phase/*`` spans inside ``step_state``).
     """
     cfg = state.config
     lanes = state.lanes
-    t0 = time.perf_counter()
-    for _ in range(cfg.training_steps):
-        step_state(state, lanes.t_train, learn=True)
+    tracer = get_tracer()
+    dims = {
+        "lanes": state.n_replicates,
+        "agents": state.n_agents,
+        "steps": cfg.training_steps,
+    }
+    watch = Stopwatch()
+    with tracer.span("engine/train", **dims):
+        for _ in range(cfg.training_steps):
+            step_state(state, lanes.t_train, learn=True)
     state.scheme.reset_reputations()
-    for _ in range(cfg.eval_steps):
-        step_state(state, lanes.t_eval, learn=cfg.learn_during_eval)
-    return time.perf_counter() - t0
+    with tracer.span("engine/eval", **{**dims, "steps": cfg.eval_steps}):
+        for _ in range(cfg.eval_steps):
+            step_state(state, lanes.t_eval, learn=cfg.learn_during_eval)
+    return watch.elapsed()
 
 
 def _phase_summaries(state, replicate: int) -> tuple[dict, dict]:

@@ -24,6 +24,9 @@ replicates bit-identical to their sequential twins.
 
 from __future__ import annotations
 
+from time import perf_counter
+
+from ...obs import get_tracer
 from ..state import SimState
 from .act import act_phase
 from .adversary import collusion_phase, sybil_phase
@@ -51,7 +54,24 @@ def step_state(state: SimState, temperature, learn: bool = True) -> None:
 
     ``temperature`` is a scalar (all lanes) or a per-lane ``(R,)`` array
     (mixed-config batches where lanes train/evaluate at different ``T``).
+
+    Telemetry: when the ambient :class:`repro.obs.Tracer` is enabled,
+    every kernel is wrapped in a ``phase/<name>`` span (wall time, call
+    count, lane/agent dimensions, optional tracemalloc delta).  With the
+    default disabled tracer the cost is one attribute check — the plain
+    kernel sequence runs untouched (overhead budget enforced by
+    ``benchmarks/test_bench_obs.py``).  Tracing never draws from the RNG
+    streams, so traced and untraced runs are bit-identical.
     """
+    tracer = get_tracer()
+    if tracer.enabled:
+        _step_state_traced(state, temperature, learn, tracer)
+    else:
+        _step_state_plain(state, temperature, learn)
+
+
+def _step_state_plain(state: SimState, temperature, learn: bool) -> None:
+    """The uninstrumented kernel sequence (the disabled-tracer hot path)."""
     cfg = state.config
     churn_phase(state, cfg)
     sybil_phase(state, cfg)
@@ -61,4 +81,37 @@ def step_state(state: SimState, temperature, learn: bool = True) -> None:
     edit_vote_phase(state, cfg)
     learn_phase(state, cfg, learn)
     record_phase(state, cfg)
+    state.step_count += 1
+
+
+def _step_state_traced(state: SimState, temperature, learn: bool, tracer) -> None:
+    """The same kernel sequence with a per-phase span around each kernel.
+
+    Durations are measured with raw ``perf_counter`` pairs and handed to
+    :meth:`Tracer.record` directly — no context-manager machinery in the
+    per-step loop.  Memory deltas use the tracer's ``tracemalloc`` hook
+    only when memory tracking is on (it costs a tracemalloc query per
+    phase, which the enabled-mode overhead budget accounts for).
+    """
+    cfg = state.config
+    dims = {"lanes": state.n_replicates, "agents": state.n_agents}
+    record = tracer.record
+    mem = tracer._mem_now if tracer.track_memory else None
+    m0 = mem() if mem else 0
+    t0 = perf_counter()
+    for name, kernel, args in (
+        ("phase/churn", churn_phase, (state, cfg)),
+        ("phase/sybil", sybil_phase, (state, cfg)),
+        ("phase/act", act_phase, (state, cfg, temperature)),
+        ("phase/collusion", collusion_phase, (state, cfg)),
+        ("phase/download", download_phase, (state, cfg)),
+        ("phase/edit_vote", edit_vote_phase, (state, cfg)),
+        ("phase/learn", learn_phase, (state, cfg, learn)),
+        ("phase/record", record_phase, (state, cfg)),
+    ):
+        kernel(*args)
+        t1 = perf_counter()
+        m1 = mem() if mem else 0
+        record(name, t1 - t0, attrs=dims, mem_delta=m1 - m0)
+        t0, m0 = t1, m1
     state.step_count += 1

@@ -43,12 +43,23 @@ Worker failures are wrapped in :class:`SweepWorkerError`, which names the
 failing config's position and content hash; remaining queued work is
 cancelled (results persisted before the failure stay in the store).
 
+Progress callbacks receive a :class:`SweepProgress` tail argument —
+elapsed seconds, an ETA, and the cached-vs-computed slot split — in
+addition to the historical ``(done, total, index, result, cached)``
+positional arguments; legacy five-argument callables keep working.  When
+the ambient :class:`repro.obs.Tracer` is enabled, the coordinator also
+records ``sweep/task`` spans and per-task execution/queue-wait
+histograms (``sweep_task_seconds``, ``sweep_queue_wait_seconds``) plus
+cached/computed slot counters — the substrate the distributed-sweep
+work will schedule against.
+
 The worker function is module-level so it pickles under the ``spawn`` start
 method.  Results are returned in input order.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -57,8 +68,10 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
+from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..obs import Stopwatch, get_tracer
 from .config import SimulationConfig
 from .engine import (
     BatchedSimulation,
@@ -73,6 +86,7 @@ __all__ = [
     "replicate",
     "available_workers",
     "SweepWorkerError",
+    "SweepProgress",
     "set_default_store",
     "get_default_store",
     "plan_lane_batches",
@@ -94,11 +108,65 @@ DEFAULT_LANE_MEMORY_BUDGET = 2 << 30
 #: ``store=`` argument through each experiment module's signature.
 _DEFAULT_STORE: Any = None
 
-#: ``progress(done, total, index, result, cached)`` — invoked once per
-#: input config as its result becomes available.  ``cached`` is True when
-#: no simulation executed for that slot (store hit, or duplicate of an
-#: earlier config in the same sweep).
-ProgressCallback = Callable[[int, int, int, SimulationResult, bool], None]
+@dataclass(frozen=True)
+class SweepProgress:
+    """Live statistics handed to progress callbacks with every slot.
+
+    ``cached``/``computed`` split the ``done`` count by how each slot was
+    filled — a store hit (or an in-grid duplicate) versus a fresh
+    simulation — so callers no longer have to re-query the store to tell
+    the two apart.  ``eta_s`` estimates the remaining wall time from the
+    observed per-computed-slot rate; it is ``None`` until the first
+    computed slot lands (an all-cached sweep never produces one) and the
+    cached prefix makes early estimates optimistic by construction.
+    """
+
+    done: int
+    total: int
+    elapsed_s: float
+    eta_s: float | None
+    cached: int
+    computed: int
+
+
+#: ``progress(done, total, index, result, cached, stats)`` — invoked once
+#: per input config as its result becomes available.  ``cached`` is True
+#: when no simulation executed for that slot (store hit, or duplicate of
+#: an earlier config in the same sweep); ``stats`` is the running
+#: :class:`SweepProgress`.  Legacy five-argument callables (without
+#: ``stats``) are still accepted and called with the historical
+#: signature.
+ProgressCallback = Callable[
+    [int, int, int, SimulationResult, bool, SweepProgress], None
+]
+
+
+def _adapt_progress(progress: Callable | None) -> Callable | None:
+    """Bridge legacy 5-positional-argument callbacks to the new signature.
+
+    Callables that accept six positional arguments (or ``*args``) are
+    used as-is; five-argument ones get the :class:`SweepProgress` tail
+    dropped.  Exotic signatures that defeat introspection are assumed
+    new-style.
+    """
+    if progress is None:
+        return None
+    try:
+        params = inspect.signature(progress).parameters.values()
+    except (TypeError, ValueError):  # builtins/C callables: assume new-style
+        return progress
+    if any(p.kind == p.VAR_POSITIONAL for p in params):
+        return progress
+    n_positional = sum(
+        1
+        for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    )
+    if n_positional >= 6:
+        return progress
+    return lambda done, total, index, result, cached, stats: progress(
+        done, total, index, result, cached
+    )
 
 
 class SweepWorkerError(RuntimeError):
@@ -310,16 +378,52 @@ def run_sweep(
     if not configs:
         return []
     store = store if store is not None else _DEFAULT_STORE
+    progress = _adapt_progress(progress)
+    tracer = get_tracer()
     n = len(configs)
     results: list[SimulationResult | None] = [None] * n
     done = 0
+    n_cached = 0
+    n_computed = 0
+    watch = Stopwatch()
 
     def notify(index: int, cached: bool) -> None:
-        """Advance the done-counter and fire the progress callback."""
-        nonlocal done
+        """Advance the counters and fire the progress callback."""
+        nonlocal done, n_cached, n_computed
         done += 1
+        if cached:
+            n_cached += 1
+        else:
+            n_computed += 1
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "sweep_slots_total", "Sweep slots filled", outcome=(
+                    "cached" if cached else "computed"
+                )
+            ).inc()
         if progress is not None:
-            progress(done, n, index, results[index], cached)
+            elapsed = watch.elapsed()
+            if n_computed and done < n:
+                # Rate over computed slots only: cached slots land in
+                # microseconds and would collapse the estimate to ~zero.
+                eta = elapsed / n_computed * (n - done)
+            else:
+                eta = 0.0 if done >= n else None
+            progress(
+                done,
+                n,
+                index,
+                results[index],
+                cached,
+                SweepProgress(
+                    done=done,
+                    total=n,
+                    elapsed_s=elapsed,
+                    eta_s=eta,
+                    cached=n_cached,
+                    computed=n_computed,
+                ),
+            )
 
     # Cache phase: serve hits and — only when a store provides identity —
     # dedupe identical configs so one execution feeds every duplicate
@@ -376,22 +480,56 @@ def run_sweep(
             for (cfg, indices), result in zip(task, task_results):
                 complete(cfg, indices, result)
 
+        def book_task_metrics(
+            task: list[tuple[SimulationConfig, list[int]]],
+            task_results: list[SimulationResult],
+            turnaround_s: float,
+        ) -> None:
+            """Record per-task telemetry (span, timings, queue wait).
+
+            ``turnaround_s`` is submit-to-completion; the queue wait is
+            the part of it not explained by the task's own reported
+            execution time (which each result carries as its amortized
+            share, so their sum is the task's wall time).
+            """
+            exec_s = sum(r.wall_time_s for r in task_results)
+            tracer.record(
+                "sweep/task", exec_s, attrs={"backend": backend, "lanes": len(task)}
+            )
+            tracer.metrics.histogram(
+                "sweep_task_seconds", "Per-task execution wall time"
+            ).observe(exec_s)
+            tracer.metrics.histogram(
+                "sweep_queue_wait_seconds",
+                "Submit-to-completion time not spent executing",
+            ).observe(max(0.0, turnaround_s - exec_s))
+
         if backend == "serial" or len(tasks) == 1:
             for task in tasks:
+                task_watch = Stopwatch()
                 try:
                     task_results = _task_worker([cfg for cfg, _ in task])
                 except Exception as exc:
                     raise SweepWorkerError(task[0][1][0], task[0][0], exc) from exc
+                if tracer.enabled:
+                    book_task_metrics(task, task_results, task_watch.elapsed())
                 complete_task(task, task_results)
         else:
             pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
             workers = workers if workers is not None else available_workers()
             workers = max(1, min(workers, len(tasks)))
+            if tracer.enabled:
+                tracer.metrics.gauge(
+                    "sweep_workers", "Worker-pool width of the last sweep"
+                ).set(workers)
             with pool_cls(max_workers=workers) as pool:
                 futures: dict[Future, list[tuple[SimulationConfig, list[int]]]] = {
                     pool.submit(_task_worker, [cfg for cfg, _ in task]): task
                     for task in tasks
                 }
+                # Every task is submitted up front, so one watch dates
+                # all submissions for the queue-wait measurement.
+                submitted = Stopwatch()
                 not_done = set(futures)
                 try:
                     while not_done:
@@ -410,6 +548,10 @@ def run_sweep(
                                 if failure is None:
                                     failure = (task[0][1][0], task[0][0], exc)
                                 continue
+                            if tracer.enabled:
+                                book_task_metrics(
+                                    task, task_results, submitted.elapsed()
+                                )
                             complete_task(task, task_results)
                         if failure is not None:
                             raise SweepWorkerError(*failure) from failure[2]

@@ -10,12 +10,16 @@ drives the scenario registry and the content-addressed run store::
     repro sweep --set scheme=karma,tft --set n_agents=50,100
     repro sweep --set t_eval=0.5,1,2 --lane-batch   # one vectorized batch
     repro profile base/default --fast    # cProfile one pack config
+    repro trace scale/50k --json         # traced run: phase-time breakdown
     repro ls                             # stored runs, no simulation
     repro report --metric shared_files   # aggregate table, no simulation
+    repro stats                          # aggregate stored telemetry
 
 ``run`` and ``sweep`` persist into ``--store`` (default ``./runstore``),
 so repeating a command is free and an interrupted grid resumes where it
-stopped.  ``ls`` and ``report`` only read the store.
+stopped.  ``ls``, ``report`` and ``stats`` only read the store.
+``trace`` executes one config under the :mod:`repro.obs` tracer and
+persists both the result and its ``telemetry/<hash>.json`` artifact.
 """
 
 from __future__ import annotations
@@ -268,6 +272,89 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one pack config under the tracer and report phase timings.
+
+    Expands the pack (or ``pack+modifier`` spec), takes its first config
+    with a single seed, runs it with :mod:`repro.obs` tracing enabled and
+    prints the per-phase wall-time breakdown (``--json`` for the machine
+    form, ``--jsonl PATH`` to also export individual span events).  The
+    result and its ``telemetry/<hash>.json`` artifact are persisted into
+    ``--store`` unless ``--no-store`` is given, so ``repro stats`` and
+    reports can aggregate phase-time breakdowns later.
+    """
+    try:
+        pack = resolve_scenario(args.scenario)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    overrides = _single_overrides(_parse_set(args.set))
+    configs = pack.expand(fast=args.fast, n_seeds=1, overrides=overrides or None)
+    cfg = configs[0]
+    if not args.json:
+        print(
+            f"tracing {pack.name} config 1/{len(configs)} "
+            f"[{short_hash(cfg)}] {cfg.describe()}"
+        )
+
+    from ..obs import (
+        build_telemetry,
+        phase_breakdown,
+        render_phase_table,
+        tracing,
+        write_events_jsonl,
+    )
+    from ..sim.engine import run_simulation
+    from .hashing import config_hash
+
+    with tracing(
+        trace_events=args.jsonl is not None, track_memory=args.memory
+    ) as tracer:
+        result = run_simulation(cfg)
+        payload = build_telemetry(
+            tracer,
+            config_hash=config_hash(cfg),
+            wall_time_s=result.wall_time_s,
+            meta={"scenario": pack.name, "fast": args.fast},
+        )
+        if args.jsonl is not None:
+            with open(args.jsonl, "w", encoding="utf-8") as fh:
+                n_events = write_events_jsonl(tracer.events, fh)
+
+    stored_in = None
+    if not args.no_store:
+        store = RunStore(args.store)
+        if not cfg.collect_events:
+            store.put(result)
+        store.put_telemetry(payload)
+        stored_in = store.root
+
+    breakdown = phase_breakdown(payload)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "config_hash": payload["config_hash"],
+                    "scenario": pack.name,
+                    "wall_time_s": result.wall_time_s,
+                    "breakdown": breakdown,
+                    "telemetry": payload,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(render_phase_table(breakdown, memory=args.memory))
+        print(f"run finished in {result.wall_time_s:.2f}s")
+        if args.jsonl is not None:
+            print(f"wrote {n_events} span events to {args.jsonl}")
+        if stored_in is not None:
+            print(
+                f"telemetry stored as {short_hash(payload['config_hash'])} "
+                f"in {stored_in}"
+            )
+    return 0
+
+
 def cmd_ls(args: argparse.Namespace) -> int:
     """List stored runs (reads the store; never simulates)."""
     store = RunStore(args.store)
@@ -310,6 +397,33 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
     records = store.query(**where) if where else store.records()
     print(render_stored_table(aggregate_stored_runs(records, metrics), metrics))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Aggregate stored telemetry artifacts (never simulates).
+
+    Reads every ``telemetry/<hash>.json`` artifact in the store and
+    prints span totals across runs — where does the engine actually
+    spend its time on this machine?  Populate artifacts with
+    ``repro trace`` first.
+    """
+    from ..obs import aggregate_telemetry, render_stats_table
+
+    store = RunStore(args.store)
+    payloads = [
+        payload
+        for key in store.telemetry_hashes()
+        if (payload := store.get_telemetry(key)) is not None
+    ]
+    aggregate = aggregate_telemetry(payloads)
+    if args.json:
+        print(json.dumps(aggregate, indent=2))
+    elif not payloads:
+        print(f"(no telemetry artifacts in {store.root}; run 'repro trace' first)")
+    else:
+        print(render_stats_table(aggregate))
+        print(f"{len(payloads)} telemetry artifacts in {store.root}")
     return 0
 
 
@@ -431,6 +545,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_profile)
 
+    p = sub.add_parser(
+        "trace",
+        help="run one pack config with tracing on; phase-time breakdown",
+    )
+    p.add_argument(
+        "scenario",
+        help="pack name or pack+modifier[+modifier...] spec (see 'scenarios')",
+    )
+    _add_store_arg(p)
+    p.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not persist the run or its telemetry artifact",
+    )
+    p.add_argument("--fast", action="store_true", help="reduced horizon")
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VAL",
+        help="config override (repeatable, single-valued)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit breakdown + full telemetry as JSON instead of the table",
+    )
+    p.add_argument(
+        "--jsonl",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also export individual span events as JSON lines to PATH",
+    )
+    p.add_argument(
+        "--memory",
+        action="store_true",
+        help="track per-phase tracemalloc deltas (slower)",
+    )
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("ls", help="list stored runs (no simulation)")
     _add_store_arg(p)
     p.add_argument("--limit", type=int, default=None, help="show only the last N")
@@ -447,6 +601,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="filter by config field (dotted paths reach nested fields)",
     )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "stats", help="aggregate stored telemetry artifacts (no simulation)"
+    )
+    _add_store_arg(p)
+    p.add_argument(
+        "--json", action="store_true", help="emit the aggregate as JSON"
+    )
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -2,8 +2,10 @@
 
 Layout under the store root::
 
-    index.jsonl        one slim record per stored run (append-only)
-    runs/<hash>.json   full payload: record + canonical config dict
+    index.jsonl             one slim record per stored run (append-only)
+    runs/<hash>.json        full payload: record + canonical config dict
+    telemetry/<hash>.json   optional per-run telemetry artifact (traced
+                            runs only; see :mod:`repro.obs.artifact`)
 
 The index is the fast path — it is loaded once at open and answers
 ``contains``/``get`` without touching payload files.  Payloads carry the
@@ -45,6 +47,7 @@ STORE_SCHEMA_VERSION = 1
 
 _INDEX_NAME = "index.jsonl"
 _RUNS_DIR = "runs"
+_TELEMETRY_DIR = "telemetry"
 _INDEX_FIELDS = (
     "config_hash",
     "schema_version",
@@ -163,6 +166,7 @@ class RunStore:
     def __init__(self, root: str | Path, recover_orphans: bool = True):
         self.root = Path(root)
         self.runs_dir = self.root / _RUNS_DIR
+        self.telemetry_dir = self.root / _TELEMETRY_DIR
         self.index_path = self.root / _INDEX_NAME
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self._records: dict[str, StoredRun] = {}
@@ -262,6 +266,64 @@ class RunStore:
         self._append_index(rec)
         self._records[rec.config_hash] = rec
         return rec.config_hash
+
+    # ------------------------------------------------------------------
+    # Telemetry artifacts
+    # ------------------------------------------------------------------
+    def put_telemetry(
+        self, payload: dict[str, Any], config_hash_: str | None = None
+    ) -> str:
+        """Persist one per-run telemetry artifact; returns its key.
+
+        ``payload`` is a :func:`repro.obs.build_telemetry` document; the
+        key is ``config_hash_`` or, when omitted, the payload's own
+        ``config_hash`` — the same content hash the run record uses, so
+        results and telemetry of a traced run are retrievable together.
+        Telemetry lives beside the index (``telemetry/<hash>.json``,
+        atomic replace, last write wins) but is *diagnostic*: it never
+        affects ``get``/``contains`` cache decisions, and re-tracing a
+        cached config simply refreshes its artifact.
+        """
+        from ..obs.artifact import validate_telemetry
+
+        key = config_hash_ or payload.get("config_hash")
+        if not isinstance(key, str) or not key:
+            raise ValueError("telemetry payload carries no config hash key")
+        if validate_telemetry(payload) is None:
+            raise ValueError("not a valid telemetry artifact payload")
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        final = self.telemetry_dir / f"{key}.json"
+        tmp = self.telemetry_dir / f".{key}.tmp"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, final)
+        return key
+
+    def get_telemetry(
+        self, config: SimulationConfig | str
+    ) -> dict[str, Any] | None:
+        """Stored telemetry artifact for a config (or hash), or ``None``.
+
+        Follows the store's corruption-tolerance rules: unreadable files
+        and foreign schema versions read as missing, never fatal.
+        """
+        from ..obs.artifact import validate_telemetry
+
+        key = config if isinstance(config, str) else config_hash(config)
+        path = self.telemetry_dir / f"{key}.json"
+        try:
+            parsed = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return validate_telemetry(parsed)
+
+    def telemetry_hashes(self) -> list[str]:
+        """Config hashes with a stored telemetry artifact (sorted)."""
+        if not self.telemetry_dir.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self.telemetry_dir.glob("*.json")
+            if not p.stem.startswith(".")
+        )
 
     # ------------------------------------------------------------------
     # Reading

@@ -1,0 +1,139 @@
+"""Tests for telemetry artifacts, phase breakdowns and aggregation."""
+
+import json
+
+from repro.obs import (
+    TELEMETRY_SCHEMA_VERSION,
+    Tracer,
+    aggregate_telemetry,
+    build_telemetry,
+    phase_breakdown,
+    render_phase_table,
+    render_stats_table,
+    validate_telemetry,
+)
+
+
+def traced_payload(**kwargs):
+    """A small artifact with two phases covering the protocol spans."""
+    tracer = Tracer(enabled=True)
+    tracer.record("engine/train", 6.0, attrs={"lanes": 1})
+    tracer.record("engine/eval", 4.0)
+    tracer.record("phase/act", 3.0, mem_delta=1024)
+    tracer.record("phase/act", 4.0, mem_delta=1024)
+    tracer.record("phase/edit_vote", 2.5)
+    return build_telemetry(tracer, **kwargs)
+
+
+class TestBuildValidate:
+    def test_build_shape(self):
+        payload = traced_payload(
+            config_hash="abc", wall_time_s=10.5, meta={"scenario": "x"}
+        )
+        assert payload["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert payload["config_hash"] == "abc"
+        assert payload["wall_time_s"] == 10.5
+        assert payload["meta"] == {"scenario": "x"}
+        assert {s["name"] for s in payload["spans"]} == {
+            "engine/train", "engine/eval", "phase/act", "phase/edit_vote",
+        }
+        json.dumps(payload)  # must be JSON-able as-is
+
+    def test_optional_fields_omitted(self):
+        payload = traced_payload()
+        assert payload["config_hash"] is None
+        assert "wall_time_s" not in payload
+        assert "meta" not in payload
+
+    def test_validate_accepts_roundtrip(self):
+        payload = traced_payload(config_hash="abc")
+        revived = json.loads(json.dumps(payload))
+        assert validate_telemetry(revived) == revived
+
+    def test_validate_rejects_garbage(self):
+        assert validate_telemetry(None) is None
+        assert validate_telemetry("nope") is None
+        assert validate_telemetry({}) is None
+        assert validate_telemetry(
+            {"schema_version": TELEMETRY_SCHEMA_VERSION + 1, "spans": []}
+        ) is None
+        assert validate_telemetry(
+            {"schema_version": TELEMETRY_SCHEMA_VERSION, "spans": "x"}
+        ) is None
+        assert validate_telemetry(
+            {"schema_version": TELEMETRY_SCHEMA_VERSION, "spans": [{"name": 3}]}
+        ) is None
+
+
+class TestPhaseBreakdown:
+    def test_shares_and_coverage(self):
+        b = phase_breakdown(traced_payload())
+        assert b["protocol_s"] == 10.0
+        assert b["phase_total_s"] == 9.5
+        assert b["coverage"] == 0.95
+        assert [row["name"] for row in b["phases"]] == [
+            "phase/act", "phase/edit_vote",
+        ]
+        act = b["phases"][0]
+        assert act["calls"] == 2
+        assert act["total_s"] == 7.0
+        assert act["share"] == 0.7
+        assert act["mem_delta_bytes"] == 2048
+
+    def test_protocol_fallback_without_engine_spans(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("phase/act", 2.0)
+        b = phase_breakdown(build_telemetry(tracer))
+        assert b["protocol_s"] == 2.0
+        assert b["coverage"] == 1.0
+
+    def test_empty_payload(self):
+        b = phase_breakdown(build_telemetry(Tracer(enabled=True)))
+        assert b["phases"] == []
+        assert b["coverage"] == 0.0
+
+
+class TestRendering:
+    def test_phase_table(self):
+        text = render_phase_table(phase_breakdown(traced_payload()))
+        assert "act" in text and "edit_vote" in text
+        assert "phase coverage 95.0%" in text
+        assert "mem delta" not in text
+
+    def test_phase_table_with_memory(self):
+        text = render_phase_table(
+            phase_breakdown(traced_payload()), memory=True
+        )
+        assert "mem delta" in text
+        assert "2.0KiB" in text
+
+    def test_phase_table_empty(self):
+        empty = phase_breakdown(build_telemetry(Tracer(enabled=True)))
+        assert "no phase spans" in render_phase_table(empty)
+
+    def test_stats_table(self):
+        agg = aggregate_telemetry([traced_payload(), traced_payload()])
+        text = render_stats_table(agg)
+        assert "phase/act" in text
+        assert "engine/train" in text
+
+    def test_stats_table_empty(self):
+        assert "no telemetry" in render_stats_table(aggregate_telemetry([]))
+
+
+class TestAggregate:
+    def test_totals_across_runs(self):
+        agg = aggregate_telemetry([traced_payload(), traced_payload()])
+        assert agg["runs"] == 2
+        rows = {row["name"]: row for row in agg["spans"]}
+        act = rows["phase/act"]
+        assert act["runs"] == 2
+        assert act["calls"] == 4
+        assert act["total_s"] == 14.0
+        assert act["mean_s_per_run"] == 7.0
+        # Sorted by total time, descending.
+        totals = [row["total_s"] for row in agg["spans"]]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty(self):
+        assert aggregate_telemetry([]) == {"runs": 0, "spans": []}

@@ -1,0 +1,165 @@
+"""Tests for counters, gauges, histograms and the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_inc_accepts_negative(self):
+        g = Gauge()
+        g.inc(-1.5)
+        assert g.value == -1.5
+
+
+class TestHistogram:
+    def test_buckets_are_sorted_and_cumulative(self):
+        h = Histogram(buckets=(1.0, 0.1, 10.0))
+        assert h.buckets == (0.1, 1.0, 10.0)
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)  # above every bound: only sum/count see it
+        assert h.bucket_counts == [1, 2, 3]
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_boundary_is_le(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(1.0)
+        assert h.bucket_counts == [1]
+
+    def test_mean(self):
+        h = Histogram()
+        assert math.isnan(h.mean)
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_default_buckets_cover_engine_scales(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 300.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_child(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+        reg.counter("hits").inc()
+        assert reg.counter("hits").value == 1.0
+
+    def test_labels_address_distinct_children(self):
+        reg = MetricsRegistry()
+        reg.counter("slots", outcome="cached").inc()
+        reg.counter("slots", outcome="computed").inc(2)
+        assert reg.counter("slots", outcome="cached").value == 1.0
+        assert reg.counter("slots", outcome="computed").value == 2.0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", a=1, b=2)
+        b = reg.gauge("g", b=2, a=1)
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_histogram_buckets_fixed_on_creation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        assert reg.histogram("h", buckets=(5.0, 9.0)) is h
+        assert h.buckets == (1.0,)
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "Cache hits").inc(3)
+        reg.gauge("workers", "Pool width").set(4)
+        text = reg.exposition()
+        assert "# HELP hits_total Cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 3" in text
+        assert "# TYPE workers gauge" in text
+        assert "workers 4" in text
+
+    def test_labelled_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("slots", "Slots", outcome="cached").inc()
+        assert 'slots{outcome="cached"} 1' in reg.exposition()
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", tag='quo"te').inc()
+        assert 'tag="quo\\"te"' in reg.exposition()
+
+    def test_histogram_rendering(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "Latency", buckets=(0.5, 1.0))
+        h.observe(0.25)
+        h.observe(0.75)
+        text = reg.exposition()
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 1" in text  # integral sums render integral
+        assert "lat_count 2" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().exposition() == ""
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.gauge("workers").set(2)
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        snap = reg.snapshot()
+        assert snap["hits"] == [{"type": "counter", "value": 1.0}]
+        assert snap["workers"] == [{"type": "gauge", "value": 2.0}]
+        (lat,) = snap["lat"]
+        assert lat["type"] == "histogram"
+        assert lat["count"] == 1
+        assert lat["buckets"] == {"1": 1}
+
+    def test_snapshot_includes_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("slots", outcome="cached").inc()
+        (entry,) = reg.snapshot()["slots"]
+        assert entry["labels"] == {"outcome": "cached"}

@@ -1,0 +1,209 @@
+"""Tests for the span tracer, the stopwatch and the ambient-tracer API."""
+
+import io
+import json
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs import (
+    OBS_SCHEMA_VERSION,
+    SpanAggregate,
+    SpanEvent,
+    Stopwatch,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    write_events_jsonl,
+)
+
+
+class TestStopwatch:
+    def test_elapsed_is_positive_and_monotone(self):
+        watch = Stopwatch()
+        a = watch.elapsed()
+        b = watch.elapsed()
+        assert 0.0 <= a <= b
+
+    def test_restart_returns_elapsed_and_rebases(self):
+        watch = Stopwatch()
+        time.sleep(0.001)
+        dt = watch.restart()
+        assert dt >= 0.001
+        assert watch.elapsed() < dt
+
+
+class TestSpanAggregate:
+    def test_mean_before_first_recording(self):
+        assert SpanAggregate("x").mean_s == 0.0
+
+    def test_as_dict_omits_empty_extras(self):
+        agg = SpanAggregate("x")
+        agg.count, agg.total_s = 2, 3.0
+        d = agg.as_dict()
+        assert d["mean_s"] == 1.5
+        assert "mem_delta_bytes" not in d
+        assert "attrs" not in d
+
+    def test_as_dict_includes_extras_when_present(self):
+        agg = SpanAggregate("x", attrs={"lanes": 4})
+        agg.count, agg.mem_delta_bytes = 1, -128
+        d = agg.as_dict()
+        assert d["mem_delta_bytes"] == -128
+        assert d["attrs"] == {"lanes": 4}
+
+
+class TestRecording:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("phase/act", 0.5)
+        with tracer.span("engine/train"):
+            pass
+        assert tracer.spans() == {}
+        assert len(tracer.events) == 0
+
+    def test_record_aggregates(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("phase/act", 0.5, attrs={"lanes": 2})
+        tracer.record("phase/act", 1.5)
+        agg = tracer.spans()["phase/act"]
+        assert agg.count == 2
+        assert agg.total_s == 2.0
+        assert agg.min_s == 0.5
+        assert agg.max_s == 1.5
+        assert agg.mean_s == 1.0
+        assert agg.attrs == {"lanes": 2}
+
+    def test_span_context_manager_times_block(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", items=3):
+            time.sleep(0.001)
+        agg = tracer.spans()["work"]
+        assert agg.count == 1
+        assert agg.total_s >= 0.001
+        assert agg.attrs == {"items": 3}
+
+    def test_span_records_even_when_block_raises(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        assert tracer.spans()["work"].count == 1
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = Tracer(enabled=True, trace_events=True, ring_size=3)
+        for i in range(5):
+            tracer.record("s", float(i))
+        assert len(tracer.events) == 3
+        assert [e.duration_s for e in tracer.events] == [2.0, 3.0, 4.0]
+        # The aggregate still saw every recording.
+        assert tracer.spans()["s"].count == 5
+
+    def test_events_not_collected_without_trace_events(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("s", 1.0)
+        assert len(tracer.events) == 0
+
+    def test_reset_drops_everything(self):
+        tracer = Tracer(enabled=True, trace_events=True)
+        tracer.record("s", 1.0)
+        tracer.metrics.counter("c").inc()
+        tracer.reset()
+        assert tracer.spans() == {}
+        assert len(tracer.events) == 0
+        assert tracer.metrics.snapshot() == {}
+
+
+class TestSnapshotAndExposition:
+    def test_snapshot_shape(self):
+        tracer = Tracer(enabled=True, trace_events=True)
+        tracer.record("phase/act", 0.25)
+        snap = tracer.snapshot()
+        assert snap["schema_version"] == OBS_SCHEMA_VERSION
+        assert snap["n_events"] == 1
+        (row,) = snap["spans"]
+        assert row["name"] == "phase/act"
+        assert row["count"] == 1
+        json.dumps(snap)  # must be JSON-able as-is
+
+    def test_exposition_derives_span_samples(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("phase/act", 0.5)
+        tracer.record("phase/act", 0.5)
+        text = tracer.exposition()
+        assert '# TYPE repro_span_seconds_total counter' in text
+        assert 'repro_span_seconds_total{span="phase/act"} 1.0' in text
+        assert 'repro_span_calls_total{span="phase/act"} 2' in text
+
+    def test_exposition_without_spans_is_metrics_only(self):
+        tracer = Tracer(enabled=True)
+        tracer.metrics.counter("c", "help").inc()
+        assert "repro_span" not in tracer.exposition()
+
+
+class TestMemoryTracking:
+    def test_tracemalloc_started_and_stopped(self):
+        assert not tracemalloc.is_tracing()
+        tracer = Tracer(enabled=True, track_memory=True)
+        try:
+            assert tracemalloc.is_tracing()
+            with tracer.span("alloc"):
+                blob = [0] * 50_000
+            assert tracer.spans()["alloc"].mem_delta_bytes > 0
+            del blob
+        finally:
+            tracer.close()
+        assert not tracemalloc.is_tracing()
+
+    def test_disabled_tracer_never_starts_tracemalloc(self):
+        tracer = Tracer(enabled=False, track_memory=True)
+        assert not tracemalloc.is_tracing()
+        tracer.close()
+
+    def test_mem_now_is_zero_when_untracked(self):
+        assert Tracer(enabled=True)._mem_now() == 0
+
+
+class TestAmbientTracer:
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_set_tracer_returns_previous(self):
+        fresh = Tracer(enabled=True)
+        previous = set_tracer(fresh)
+        try:
+            assert get_tracer() is fresh
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        assert get_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_tracing_data_survives_the_block(self):
+        with tracing() as tracer:
+            tracer.record("s", 1.0)
+        assert tracer.spans()["s"].count == 1
+
+
+class TestJsonlExport:
+    def test_write_events_jsonl(self):
+        events = [SpanEvent("a", 0.0, 0.5), SpanEvent("b", 0.5, 0.25)]
+        buf = io.StringIO()
+        assert write_events_jsonl(events, buf) == 2
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert lines[0] == {"name": "a", "start_s": 0.0, "duration_s": 0.5}
+        assert lines[1]["name"] == "b"

@@ -38,6 +38,8 @@ class TestParser:
             ["profile", "base/default"],
             ["ls"],
             ["report"],
+            ["trace", "base/default"],
+            ["stats"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -250,6 +252,90 @@ class TestLsReport:
         )
         assert rc == 0
         assert "utility_sharing" in capsys.readouterr().out
+
+
+class TestTrace:
+    def trace_tiny(self, store_dir, extra=()):
+        return main(
+            [
+                "trace", "base/default",
+                "--fast",
+                "--store", str(store_dir),
+                *TINY_SETS,
+                *extra,
+            ]
+        )
+
+    def test_trace_prints_breakdown_and_persists(self, tmp_path, capsys):
+        assert self.trace_tiny(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "tracing base/default" in out
+        assert "edit_vote" in out
+        assert "phase coverage" in out
+        store = RunStore(tmp_path)
+        assert len(store) == 1  # the traced run itself is cached
+        (key,) = store.telemetry_hashes()
+        payload = store.get_telemetry(key)
+        assert payload["meta"]["scenario"] == "base/default"
+        assert any(
+            s["name"] == "phase/edit_vote" for s in payload["spans"]
+        )
+
+    def test_trace_json_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        assert self.trace_tiny(tmp_path, extra=("--json",)) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config_hash"] == RunStore(tmp_path).telemetry_hashes()[0]
+        rows = doc["breakdown"]["phases"]
+        assert {r["name"] for r in rows} >= {"phase/act", "phase/edit_vote"}
+        assert doc["breakdown"]["coverage"] >= 0.95
+
+    def test_trace_jsonl_exports_events(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert self.trace_tiny(tmp_path, extra=("--jsonl", str(path))) == 0
+        lines = path.read_text("utf-8").splitlines()
+        assert lines
+        event = json.loads(lines[0])
+        assert set(event) == {"name", "start_s", "duration_s"}
+
+    def test_trace_no_store(self, tmp_path, capsys):
+        assert self.trace_tiny(tmp_path, extra=("--no-store",)) == 0
+        store = RunStore(tmp_path)
+        assert len(store) == 0
+        assert store.telemetry_hashes() == []
+
+    def test_trace_unknown_scenario_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["trace", "no/such", "--store", str(tmp_path)])
+
+
+class TestStats:
+    def test_stats_empty_store(self, tmp_path, capsys):
+        assert main(["stats", "--store", str(tmp_path)]) == 0
+        assert "no telemetry" in capsys.readouterr().out
+
+    def test_stats_aggregates_without_simulating(self, tmp_path, capsys, monkeypatch):
+        assert TestTrace().trace_tiny(tmp_path) == 0
+        capsys.readouterr()
+        monkeypatch.setattr(sweep_mod, "_worker", _raise_worker)
+        monkeypatch.setattr("repro.sim.engine.run_simulation", _raise_worker)
+        assert main(["stats", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase/edit_vote" in out
+        assert "1 telemetry artifacts" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        assert TestTrace().trace_tiny(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["stats", "--store", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"] == 1
+        assert any(row["name"] == "engine/train" for row in doc["spans"])
 
 
 def _raise_worker(*args, **kwargs):  # pragma: no cover - must never run

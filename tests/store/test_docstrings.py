@@ -15,6 +15,8 @@ import doctest
 
 import pytest
 
+import repro.obs.metrics
+import repro.obs.tracer
 import repro.sim.engine
 import repro.sim.sweep
 import repro.store.compose
@@ -25,6 +27,8 @@ MODULES = [
     repro.store.compose,  # compose_scenarios: churn/storm cross product
     repro.sim.sweep,  # run_sweep: serial two-seed grid
     repro.sim.engine,  # run_replicates: batched three-seed ensemble
+    repro.obs.tracer,  # tracing(): span aggregation walkthrough
+    repro.obs.metrics,  # MetricsRegistry: counter/gauge/histogram exposition
 ]
 
 

@@ -1,0 +1,108 @@
+"""Telemetry-artifact persistence in the RunStore."""
+
+import json
+
+import pytest
+
+from repro.obs import TELEMETRY_SCHEMA_VERSION, Tracer, build_telemetry
+from repro.sim.config import SimulationConfig
+from repro.store.hashing import config_hash
+from repro.store.runstore import RunStore
+
+
+def tiny(seed=0, **kw):
+    return SimulationConfig(
+        n_agents=20, n_articles=5, training_steps=30, eval_steps=20, seed=seed, **kw
+    )
+
+
+def payload_for(cfg, **meta):
+    tracer = Tracer(enabled=True)
+    tracer.record("engine/train", 2.0)
+    tracer.record("phase/act", 1.5, attrs={"lanes": 1})
+    return build_telemetry(
+        tracer, config_hash=config_hash(cfg), wall_time_s=2.5, meta=meta or None
+    )
+
+
+class TestRoundTrip:
+    def test_put_get_by_config_and_by_hash(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = tiny()
+        key = store.put_telemetry(payload_for(cfg))
+        assert key == config_hash(cfg)
+        by_cfg = store.get_telemetry(cfg)
+        by_hash = store.get_telemetry(key)
+        assert by_cfg == by_hash
+        assert by_cfg["config_hash"] == key
+        assert {s["name"] for s in by_cfg["spans"]} == {
+            "engine/train", "phase/act",
+        }
+
+    def test_reopened_store_sees_artifacts(self, tmp_path):
+        cfg = tiny(seed=3)
+        RunStore(tmp_path).put_telemetry(payload_for(cfg))
+        reopened = RunStore(tmp_path)
+        assert reopened.get_telemetry(cfg) is not None
+        assert reopened.telemetry_hashes() == [config_hash(cfg)]
+
+    def test_rewrite_wins(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = tiny(seed=5)
+        store.put_telemetry(payload_for(cfg, attempt=1))
+        store.put_telemetry(payload_for(cfg, attempt=2))
+        assert store.get_telemetry(cfg)["meta"] == {"attempt": 2}
+        assert len(store.telemetry_hashes()) == 1
+
+    def test_explicit_key_overrides_payload(self, tmp_path):
+        store = RunStore(tmp_path)
+        payload = payload_for(tiny())
+        key = store.put_telemetry(payload, config_hash_="deadbeef")
+        assert key == "deadbeef"
+        assert store.get_telemetry("deadbeef") is not None
+
+
+class TestValidation:
+    def test_unkeyed_payload_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        payload = build_telemetry(Tracer(enabled=True))  # config_hash=None
+        with pytest.raises(ValueError, match="config hash"):
+            store.put_telemetry(payload)
+
+    def test_invalid_payload_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError, match="telemetry"):
+            store.put_telemetry({"config_hash": "abc", "spans": []})
+
+    def test_missing_artifact_reads_none(self, tmp_path):
+        assert RunStore(tmp_path).get_telemetry(tiny()) is None
+
+    def test_corrupt_artifact_reads_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = tiny(seed=7)
+        key = store.put_telemetry(payload_for(cfg))
+        (store.telemetry_dir / f"{key}.json").write_text("{not json", "utf-8")
+        assert store.get_telemetry(cfg) is None
+
+    def test_foreign_schema_reads_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = tiny(seed=8)
+        key = store.put_telemetry(payload_for(cfg))
+        path = store.telemetry_dir / f"{key}.json"
+        doc = json.loads(path.read_text("utf-8"))
+        doc["schema_version"] = TELEMETRY_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc), "utf-8")
+        assert store.get_telemetry(cfg) is None
+
+
+class TestIsolation:
+    def test_telemetry_never_affects_cache_decisions(self, tmp_path):
+        store = RunStore(tmp_path)
+        cfg = tiny(seed=9)
+        store.put_telemetry(payload_for(cfg))
+        assert cfg not in store
+        assert store.get(cfg) is None
+        assert len(store) == 0
+
+    def test_empty_store_has_no_hashes(self, tmp_path):
+        assert RunStore(tmp_path).telemetry_hashes() == []
