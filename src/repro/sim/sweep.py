@@ -50,8 +50,14 @@ positional arguments; legacy five-argument callables keep working.  When
 the ambient :class:`repro.obs.Tracer` is enabled, the coordinator also
 records ``sweep/task`` spans and per-task execution/queue-wait
 histograms (``sweep_task_seconds``, ``sweep_queue_wait_seconds``) plus
-cached/computed slot counters — the substrate the distributed-sweep
-work will schedule against.
+cached/computed slot counters.
+
+``dispatch="store"`` escapes the single process entirely: the grid is
+published into the store as a manifest, deterministically partitioned
+into lease-claimable task units, and *every* ``run_sweep`` /
+``repro sweep-worker`` invocation pointed at the same store drains it
+cooperatively — zero duplicate computation, crash-tolerant via lease
+expiry and reclamation.  See :mod:`repro.store.dispatch`.
 
 The worker function is module-level so it pickles under the ``spawn`` start
 method.  Results are returned in input order.
@@ -172,14 +178,24 @@ def _adapt_progress(progress: Callable | None) -> Callable | None:
 class SweepWorkerError(RuntimeError):
     """A sweep worker raised; identifies which config failed.
 
-    Attributes: ``index`` (position in the input list), ``config`` and
+    Attributes: ``index`` (position in the input list), ``config``,
     ``config_hash`` (the store's content hash, so the failure can be
-    correlated with cache state).
+    correlated with cache state) and ``task_hashes`` (under distributed
+    dispatch, every config hash of the claimed task — so a failed task
+    is attributable from any cooperating worker's logs, whichever lane
+    actually raised).
     """
 
-    def __init__(self, index: int, config: SimulationConfig, cause: BaseException):
+    def __init__(
+        self,
+        index: int,
+        config: SimulationConfig,
+        cause: BaseException,
+        task_hashes: list[str] | None = None,
+    ):
         self.index = index
         self.config = config
+        self.task_hashes = list(task_hashes or [])
         try:
             # Imported lazily: repro.store imports repro.sim at package
             # init, so a top-level import here would be circular.
@@ -188,10 +204,14 @@ class SweepWorkerError(RuntimeError):
             self.config_hash = config_hash(config)
         except Exception:  # pragma: no cover - hashing is total over configs
             self.config_hash = "unknown"
-        super().__init__(
+        message = (
             f"sweep config #{index} [{self.config_hash[:12]}] "
             f"({config.describe()}) failed: {cause!r}"
         )
+        if self.task_hashes:
+            listed = ", ".join(h[:12] for h in self.task_hashes)
+            message += f" (claimed task configs: {listed})"
+        super().__init__(message)
 
 
 def set_default_store(store: Any) -> Any:
@@ -208,8 +228,19 @@ def get_default_store() -> Any:
 
 
 def available_workers() -> int:
-    """Worker-count default: leave one core for the coordinator."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """Worker-count default: leave one core for the coordinator.
+
+    Counts the cores this process may actually run on — the CPU
+    affinity mask (``os.sched_getaffinity``) where the platform exposes
+    it — rather than ``os.cpu_count()``, which reports the whole
+    machine and overcommits the pool inside cgroup-limited containers
+    (CI runners, ``taskset``/k8s CPU quotas).
+    """
+    try:
+        n_cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux platforms
+        n_cores = os.cpu_count() or 2
+    return max(1, n_cores - 1)
 
 
 def _worker(config: SimulationConfig) -> SimulationResult:
@@ -335,11 +366,26 @@ def run_sweep(
     batch_replicates: bool = False,
     lane_batch: bool = False,
     lane_width: int | None = None,
+    dispatch: str | None = None,
+    lease_expiry_s: float | None = None,
 ) -> list[SimulationResult]:
     """Run every config; results align with the input list.
 
     ``store`` (or the ambient default) enables cache-skip and immediate
     persistence; ``progress`` observes each completed slot.
+
+    ``dispatch="store"`` drains the grid cooperatively with every other
+    invocation pointed at the same store (see
+    :mod:`repro.store.dispatch`): the grid is published as a manifest,
+    partitioned into deterministic lease-claimable task units, and this
+    invocation computes only the tasks it wins — configs computed by
+    peers are served from the store as they land.  Requires a store;
+    parallelism comes from the cooperating *processes*, so claimed
+    tasks execute in-process and ``backend``/``workers`` only govern
+    the non-dispatchable leftovers (event-collecting configs).
+    ``lease_expiry_s`` tunes how long a crashed peer's claim survives
+    before survivors reclaim it.  ``dispatch=None`` (or ``"local"``)
+    keeps the classic single-invocation behaviour.
 
     ``batch_replicates=True`` routes seed-replicate groups (configs
     identical except for ``seed`` — exactly what :func:`replicate`
@@ -375,9 +421,16 @@ def run_sweep(
     """
     if backend not in ("serial", "thread", "process"):
         raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
+    if dispatch not in (None, "local", "store"):
+        raise ValueError(f"unknown dispatch {dispatch!r}; use local|store")
     if not configs:
         return []
     store = store if store is not None else _DEFAULT_STORE
+    if dispatch == "store" and store is None:
+        raise ValueError(
+            "dispatch='store' needs a store: the store is the coordination "
+            "substrate (pass store= or install a default via set_default_store)"
+        )
     progress = _adapt_progress(progress)
     tracer = get_tracer()
     n = len(configs)
@@ -463,6 +516,80 @@ def run_sweep(
             # mutation of one slot can't alias another.
             results[idx] = store.get(cfg)
             notify(idx, cached=True)
+
+    if dispatch == "store":
+        # Imported lazily: repro.store imports repro.sim at package init,
+        # so a top-level import here would be circular.
+        from ..store.dispatch import (
+            DEFAULT_DISPATCH_LANE_WIDTH,
+            DEFAULT_LEASE_EXPIRY_S,
+            StoreDispatcher,
+            plan_dispatch_tasks,
+            publish_sweep_grid,
+        )
+
+        # Event-collecting configs cannot travel through the store; they
+        # stay behind for the classic local path below.
+        shared: dict[SimulationConfig, list[int]] = {
+            cfg: indices for cfg, indices in pending if not cfg.collect_events
+        }
+        pending = [(cfg, indices) for cfg, indices in pending if cfg.collect_events]
+        width = lane_width if lane_width is not None else DEFAULT_DISPATCH_LANE_WIDTH
+        # Publish and plan over the FULL storable grid — cached configs
+        # included — never over this invocation's pending remainder:
+        # every cooperating worker must derive identical task keys, and
+        # what is already cached differs per invocation over time.
+        _, grid = publish_sweep_grid(
+            store, [cfg for cfg in configs if not cfg.collect_events], lane_width=width
+        )
+        if grid:
+            dispatch_tasks = plan_dispatch_tasks(grid, lane_width=width)
+            dispatcher = StoreDispatcher(
+                store,
+                expiry_s=(
+                    lease_expiry_s
+                    if lease_expiry_s is not None
+                    else DEFAULT_LEASE_EXPIRY_S
+                ),
+            )
+
+            def run_claimed(
+                task_configs: list[SimulationConfig], task: Any
+            ) -> list[SimulationResult]:
+                """Execute one claimed task's missing lanes in-process."""
+                try:
+                    return _task_worker(task_configs)
+                except Exception as exc:
+                    indices = shared.get(task_configs[0])
+                    raise SweepWorkerError(
+                        indices[0] if indices else -1,
+                        task_configs[0],
+                        exc,
+                        task_hashes=list(task.config_hashes),
+                    ) from exc
+
+            def on_computed(
+                cfg: SimulationConfig, config_hash_: str, result: SimulationResult
+            ) -> None:
+                """Persist a locally computed result and fill its slots."""
+                indices = shared.pop(cfg, None)
+                if indices is not None:
+                    complete(cfg, indices, result)
+                else:  # not one of ours (e.g. a reclaimed peer task): persist only
+                    store.put(result)
+
+            def on_served(cfg: SimulationConfig, config_hash_: str) -> None:
+                """Fill slots for a config a peer (or the cache) provided."""
+                indices = shared.pop(cfg, None)
+                if indices is None:
+                    return  # already served during the cache phase
+                for idx in indices:
+                    # One fresh cache read per slot, so in-place mutation
+                    # of one result can't alias another.
+                    results[idx] = store.get(cfg)
+                    notify(idx, cached=True)
+
+            dispatcher.drain(dispatch_tasks, run_claimed, on_computed, on_served)
 
     if pending:
         if lane_batch:

@@ -12,6 +12,9 @@
   and ``pack+modifier`` composition with hash-stable results;
 * :mod:`repro.store.catalog` — the self-documenting scenario catalog
   rendered into ``docs/SCENARIOS.md``;
+* :mod:`repro.store.dispatch` — store-coordinated distributed sweep
+  dispatch: lease files, grid manifests and the cooperative drain loop
+  behind ``repro sweep --dispatch=store`` / ``repro sweep-worker``;
 * :mod:`repro.store.cli` — the unified ``repro`` console command
   (imported on demand; not re-exported here to keep import cost low).
 """
@@ -27,10 +30,26 @@ from .compose import (
     register_modifier,
     resolve_scenario,
 )
+from .dispatch import (
+    DEFAULT_DISPATCH_LANE_WIDTH,
+    DEFAULT_LEASE_EXPIRY_S,
+    DispatchStats,
+    DispatchTask,
+    Lease,
+    LeaseBoard,
+    LeaseLost,
+    StoreDispatcher,
+    default_owner_id,
+    last_dispatch_stats,
+    plan_dispatch_tasks,
+    publish_sweep_grid,
+    task_key,
+)
 from .hashing import (
     CONFIG_SCHEMA_VERSION,
     canonical_config_dict,
     canonical_json,
+    config_from_dict,
     config_hash,
     short_hash,
 )
@@ -42,14 +61,34 @@ from .registry import (
     register_scenario,
     scenario_names,
 )
-from .runstore import STORE_SCHEMA_VERSION, RunStore, StoredRun
+from .runstore import (
+    GRID_SCHEMA_VERSION,
+    STORE_SCHEMA_VERSION,
+    GridManifest,
+    RunStore,
+    StoredRun,
+)
 
 __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "canonical_config_dict",
     "canonical_json",
+    "config_from_dict",
     "config_hash",
     "short_hash",
+    "DEFAULT_DISPATCH_LANE_WIDTH",
+    "DEFAULT_LEASE_EXPIRY_S",
+    "DispatchStats",
+    "DispatchTask",
+    "Lease",
+    "LeaseBoard",
+    "LeaseLost",
+    "StoreDispatcher",
+    "default_owner_id",
+    "last_dispatch_stats",
+    "plan_dispatch_tasks",
+    "publish_sweep_grid",
+    "task_key",
     "ScenarioPack",
     "ScenarioModifier",
     "compose_scenarios",
@@ -66,6 +105,8 @@ __all__ = [
     "resolve_scenario",
     "scenario_names",
     "STORE_SCHEMA_VERSION",
+    "GRID_SCHEMA_VERSION",
+    "GridManifest",
     "RunStore",
     "StoredRun",
 ]

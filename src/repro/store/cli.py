@@ -9,6 +9,9 @@ drives the scenario registry and the content-addressed run store::
     repro run paper/fig3 --seeds 5
     repro sweep --set scheme=karma,tft --set n_agents=50,100
     repro sweep --set t_eval=0.5,1,2 --lane-batch   # one vectorized batch
+    repro sweep --set scheme=karma,tft --dispatch=store  # cooperative drain
+    repro sweep --publish-only --set n_agents=50,100  # publish, don't run
+    repro sweep-worker ./runstore        # join any drain on this store
     repro profile base/default --fast    # cProfile one pack config
     repro trace scale/50k --json         # traced run: phase-time breakdown
     repro ls                             # stored runs, no simulation
@@ -28,6 +31,7 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any
 
@@ -133,6 +137,11 @@ def _progress_printer(quiet: bool):
 def _run_and_report(
     configs: list[SimulationConfig], args: argparse.Namespace
 ) -> int:
+    if args.dispatch == "store" and args.no_store:
+        raise SystemExit(
+            "error: --dispatch=store needs the store (it is the "
+            "coordination substrate); drop --no-store"
+        )
     store = None if args.no_store else RunStore(args.store)
     results = run_sweep(
         configs,
@@ -143,7 +152,20 @@ def _run_and_report(
         batch_replicates=args.batch_replicates,
         lane_batch=args.lane_batch,
         lane_width=args.lane_width,
+        dispatch=args.dispatch,
+        lease_expiry_s=args.lease_expiry,
     )
+    if args.dispatch == "store" and not args.quiet:
+        from .dispatch import last_dispatch_stats
+
+        stats = last_dispatch_stats()
+        if stats is not None:
+            print(
+                f"dispatch: {stats.computed} computed / {stats.served} served "
+                f"by peers or cache; {stats.claimed} tasks claimed, "
+                f"{stats.reclaimed} reclaimed "
+                f"({stats.configs_per_sec:.2f} configs/s as {stats.owner})"
+            )
     records = [StoredRun.from_result(r) for r in results]
     metrics = tuple(args.metric or _DEFAULT_METRICS)
     print(render_stored_table(aggregate_stored_runs(records, metrics), metrics))
@@ -230,7 +252,118 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
     if not args.quiet:
         print(f"sweep: {len(configs)} configs")
+    if args.publish_only:
+        if args.no_store:
+            raise SystemExit("error: --publish-only writes the store; drop --no-store")
+        from .dispatch import publish_sweep_grid
+
+        store = RunStore(args.store)
+        key, grid = publish_sweep_grid(store, configs, lane_width=args.lane_width)
+        print(
+            f"published grid {key} ({len(grid)} configs) to {store.root}; "
+            f"drain it with: repro sweep-worker {store.root}"
+        )
+        return 0
     return _run_and_report(configs, args)
+
+
+def cmd_sweep_worker(args: argparse.Namespace) -> int:
+    """Join the cooperative drain of published grids in a store.
+
+    The inverse handshake of ``repro sweep --dispatch=store``: instead of
+    bringing a grid, the worker discovers grid manifests already
+    published in the store (``repro sweep --publish-only``, or any
+    dispatching sweep) and computes whatever task units it can claim.
+    Launch any number against one store — terminals, cron jobs, other
+    machines on a shared filesystem — and they drain it together with
+    zero duplicate computation.
+    """
+    from ..obs import build_telemetry, tracing
+    from .dispatch import last_dispatch_stats
+
+    store = RunStore(args.store)
+    poll_s = max(0.05, args.poll_interval)
+    deadline = (
+        time.monotonic() + args.wait_for_grid
+        if args.wait_for_grid is not None
+        else None
+    )
+    grid_stats: dict[str, dict[str, Any]] = {}
+
+    def drain_one(key: str, manifest: Any) -> None:
+        """Cooperatively drain one grid and book its stats."""
+        if not args.quiet:
+            print(f"draining grid {key} ({len(manifest.configs)} configs)")
+        run_sweep(
+            manifest.configs,
+            backend="serial",
+            store=store,
+            progress=_progress_printer(args.quiet),
+            lane_width=manifest.lane_width,
+            dispatch="store",
+            lease_expiry_s=args.lease_expiry,
+        )
+        stats = last_dispatch_stats()
+        if stats is not None:
+            grid_stats[key] = stats.as_dict()
+            if not args.quiet:
+                print(
+                    f"grid {key[:12]}: {stats.computed} computed / "
+                    f"{stats.served} served ({stats.claimed} claimed, "
+                    f"{stats.reclaimed} reclaimed)"
+                )
+
+    while True:
+        store.refresh()
+        keys = [args.grid] if args.grid else store.grid_keys()
+        worked = False
+        for key in keys:
+            manifest = store.get_grid(key)
+            if manifest is None:
+                if args.grid and deadline is None:
+                    raise SystemExit(f"error: no grid {key!r} in {store.root}")
+                continue
+            if all(store.contains_hash(h) for h in manifest.config_hashes):
+                continue  # grid fully drained; nothing to join
+            worked = True
+            if args.trace:
+                with tracing() as tracer:
+                    drain_one(key, manifest)
+                    payload = build_telemetry(
+                        tracer,
+                        config_hash=key,
+                        meta={"kind": "sweep-worker", "grid": key},
+                    )
+                store.put_telemetry(payload, config_hash_=key)
+            else:
+                drain_one(key, manifest)
+        if worked:
+            continue  # rescan at once: new grids may have been published
+        if deadline is None or time.monotonic() >= deadline:
+            break
+        time.sleep(poll_s)
+
+    computed = sorted({h for s in grid_stats.values() for h in s["computed_hashes"]})
+    if args.summary_json:
+        print(
+            json.dumps(
+                {
+                    "store": str(store.root),
+                    "grids": grid_stats,
+                    "computed": len(computed),
+                    "computed_hashes": computed,
+                }
+            )
+        )
+    elif not args.quiet:
+        if grid_stats:
+            print(
+                f"worker done: {len(grid_stats)} grid(s), "
+                f"{len(computed)} configs computed locally"
+            )
+        else:
+            print(f"no undrained grids in {store.root}")
+    return 0
 
 
 #: Valid ``repro profile --sort`` keys (pstats sort_stats spellings).
@@ -478,6 +611,22 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         "per-batch memory on large grids (default: unbounded)",
     )
     p.add_argument(
+        "--dispatch",
+        choices=["local", "store"],
+        default=None,
+        help="'store': drain the grid cooperatively with every other "
+        "invocation pointed at the same store (lease-claimed task units, "
+        "zero duplicate computation); default: classic local execution",
+    )
+    p.add_argument(
+        "--lease-expiry",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --dispatch=store: seconds without a heartbeat before "
+        "a crashed peer's task claim is reclaimed (default 30)",
+    )
+    p.add_argument(
         "--set",
         action="append",
         metavar="KEY=VAL[,VAL...]",
@@ -514,7 +663,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="run an ad-hoc --set grid (cached)")
     _add_exec_args(p)
+    p.add_argument(
+        "--publish-only",
+        action="store_true",
+        help="publish the grid manifest into the store and exit without "
+        "computing anything; a fleet of 'repro sweep-worker' processes "
+        "does the draining",
+    )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "sweep-worker",
+        help="join the cooperative drain of grids published in a store",
+    )
+    p.add_argument("store", type=Path, help="run-store directory to drain")
+    p.add_argument(
+        "--grid",
+        default=None,
+        metavar="KEY",
+        help="drain only this grid manifest (default: every undrained grid)",
+    )
+    p.add_argument(
+        "--wait-for-grid",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep polling this long for new undrained grids instead of "
+        "exiting when none are found",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sleep between polls while waiting for grids (default 1.0)",
+    )
+    p.add_argument(
+        "--lease-expiry",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without a heartbeat before a crashed peer's task "
+        "claim is reclaimed (default 30)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace each grid drain and persist a telemetry artifact "
+        "keyed by the grid (inspect with 'repro stats')",
+    )
+    p.add_argument(
+        "--summary-json",
+        action="store_true",
+        help="emit a JSON summary (per-grid lease counters, locally "
+        "computed config hashes) to stdout on exit",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
+    p.set_defaults(func=cmd_sweep_worker)
 
     p = sub.add_parser(
         "profile",

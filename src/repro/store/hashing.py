@@ -29,6 +29,7 @@ __all__ = [
     "CONFIG_SCHEMA_VERSION",
     "canonical_config_dict",
     "canonical_json",
+    "config_from_dict",
     "config_hash",
     "revive_floats",
     "short_hash",
@@ -92,6 +93,42 @@ def revive_floats(obj: Any) -> Any:
     if obj == _NAN:
         return float("nan")
     return obj
+
+
+def _revive_dataclass(cls: type, data: dict) -> Any:
+    """Rebuild a (possibly nested) config dataclass from plain dicts."""
+    import typing
+
+    hints = typing.get_type_hints(cls)
+    kwargs: dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue  # field added since the dict was written: keep default
+        value = data[f.name]
+        hint = hints.get(f.name)
+        if dataclasses.is_dataclass(hint) and isinstance(value, dict):
+            value = _revive_dataclass(hint, value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(data: dict) -> SimulationConfig:
+    """Inverse of :func:`canonical_config_dict`: revive a real config.
+
+    Round-trip stable under the hash: a revived config canonicalizes to
+    the same bytes (integral floats come back as ints, which the
+    canonicalizer re-normalizes identically), so grid manifests and
+    payload config dicts rebuild configs that hash to their stored keys.
+    Unknown keys are rejected (they would silently change the run), and
+    missing keys fall back to field defaults.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"config dict expected, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(SimulationConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown config fields: {', '.join(sorted(unknown))}")
+    return _revive_dataclass(SimulationConfig, revive_floats(data))
 
 
 def canonical_json(obj: Any) -> str:

@@ -6,6 +6,10 @@ Layout under the store root::
     runs/<hash>.json        full payload: record + canonical config dict
     telemetry/<hash>.json   optional per-run telemetry artifact (traced
                             runs only; see :mod:`repro.obs.artifact`)
+    grids/<key>.json        published sweep-grid manifests (distributed
+                            dispatch; see :mod:`repro.store.dispatch`)
+    claims/<key>.lease      live task leases of cooperating sweep
+                            workers (managed by the dispatch layer)
 
 The index is the fast path — it is loaded once at open and answers
 ``contains``/``get`` without touching payload files.  Payloads carry the
@@ -20,7 +24,13 @@ Durability model (pure stdlib, no locking daemon):
 * loading tolerates corruption: malformed JSON lines, records with a
   foreign schema version and index entries whose payload vanished are
   skipped, never fatal.  A sweep interrupted by SIGKILL therefore resumes
-  from exactly the set of runs whose payloads hit the disk.
+  from exactly the set of runs whose payloads hit the disk;
+* the store is safe to share between concurrent writer processes: the
+  index is append-only (one flushed+fsynced line per ``put``), payload
+  temp files carry the writer's pid so two processes putting the same
+  hash cannot tear each other's writes, and :meth:`RunStore.refresh`
+  folds in index lines appended by other processes since open — the
+  substrate the distributed sweep dispatch coordinates over.
 
 Only summary statistics are persisted; per-step event logs
 (``SimulationResult.events``) are diagnostics and are dropped on ``put``.
@@ -28,6 +38,7 @@ Only summary statistics are persisted; per-step event logs
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -37,17 +48,27 @@ from typing import Any, Iterator
 
 from ..sim.config import SimulationConfig
 from ..sim.engine import SimulationResult
-from .hashing import canonical_config_dict, config_hash
+from .hashing import CONFIG_SCHEMA_VERSION, canonical_config_dict, config_hash
 
-__all__ = ["STORE_SCHEMA_VERSION", "StoredRun", "RunStore"]
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "GRID_SCHEMA_VERSION",
+    "StoredRun",
+    "GridManifest",
+    "RunStore",
+]
 
 #: Version of the on-disk record layout (independent of the config-hash
 #: schema version; both are embedded in every record).
 STORE_SCHEMA_VERSION = 1
 
+#: Version of the sweep-grid manifest layout (``grids/<key>.json``).
+GRID_SCHEMA_VERSION = 1
+
 _INDEX_NAME = "index.jsonl"
 _RUNS_DIR = "runs"
 _TELEMETRY_DIR = "telemetry"
+_GRIDS_DIR = "grids"
 _INDEX_FIELDS = (
     "config_hash",
     "schema_version",
@@ -142,6 +163,23 @@ class StoredRun:
         )
 
 
+@dataclass(frozen=True)
+class GridManifest:
+    """One published sweep grid: the shared planning input of a drain.
+
+    Cooperating invocations must partition the grid identically for
+    their dispatch task keys to line up, so the manifest pins everything
+    the partition depends on: the config list (in first-appearance
+    order) and the lane width.  See :mod:`repro.store.dispatch`.
+    """
+
+    key: str
+    configs: tuple[SimulationConfig, ...]
+    config_hashes: tuple[str, ...]
+    lane_width: int
+    created_at: float | None = None
+
+
 class RunStore:
     """Content-addressed store of :class:`SimulationResult` summaries.
 
@@ -167,9 +205,14 @@ class RunStore:
         self.root = Path(root)
         self.runs_dir = self.root / _RUNS_DIR
         self.telemetry_dir = self.root / _TELEMETRY_DIR
+        self.grids_dir = self.root / _GRIDS_DIR
         self.index_path = self.root / _INDEX_NAME
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self._records: dict[str, StoredRun] = {}
+        #: Byte offset of the last *complete* index line consumed; the
+        #: tail past it (lines appended by other processes, or a torn
+        #: final line) is picked up by :meth:`refresh`.
+        self._index_pos = 0
         self.hits = 0
         self.misses = 0
         self._load_index()
@@ -179,21 +222,57 @@ class RunStore:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
+    def _consume_index_lines(self, data: bytes) -> int:
+        """Fold complete ``data`` lines into the records; returns count."""
+        n = 0
+        for raw in data.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write / corruption: skip, never fatal
+            rec = StoredRun.from_record(parsed)
+            if rec is not None:
+                self._records[rec.config_hash] = rec  # last write wins
+                n += 1
+        return n
+
     def _load_index(self) -> None:
-        if not self.index_path.exists():
+        try:
+            data = self.index_path.read_bytes()
+        except OSError:
             return
-        with self.index_path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    parsed = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write / corruption: skip, never fatal
-                rec = StoredRun.from_record(parsed)
-                if rec is not None:
-                    self._records[rec.config_hash] = rec  # last write wins
+        end = data.rfind(b"\n") + 1  # a torn final line stays unconsumed
+        self._index_pos = end
+        self._consume_index_lines(data[:end])
+
+    def refresh(self) -> int:
+        """Fold in index lines appended since open (or the last refresh).
+
+        The cross-process fast path of the distributed sweep dispatch:
+        cooperating workers appending to the shared index become visible
+        without re-reading the whole file — only the tail past the last
+        consumed complete line is parsed, and a torn trailing line is
+        left for the next refresh.  Returns the number of records read
+        (re-reads of this process's own appends included; last write
+        wins, so folding them again is harmless).
+        """
+        try:
+            size = self.index_path.stat().st_size
+        except OSError:
+            return 0
+        if size <= self._index_pos:
+            return 0
+        with self.index_path.open("rb") as fh:
+            fh.seek(self._index_pos)
+            data = fh.read()
+        end = data.rfind(b"\n") + 1
+        if end <= 0:
+            return 0
+        self._index_pos += end
+        return self._consume_index_lines(data[:end])
 
     def _recover_orphans(self) -> None:
         """Adopt payload files whose index line never made it to disk."""
@@ -257,7 +336,10 @@ class RunStore:
         rec = StoredRun.from_result(result)
         payload = json.dumps(rec.payload_record())
         final = self.runs_dir / f"{rec.config_hash}.json"
-        tmp = self.runs_dir / f".{rec.config_hash}.tmp"
+        # The pid keeps concurrent writers of the *same* hash (possible
+        # under distributed dispatch after a lease reclaim) from tearing
+        # each other's temp file; both replaces land identical bytes.
+        tmp = self.runs_dir / f".{rec.config_hash}.{os.getpid()}.tmp"
         tmp.write_text(payload, encoding="utf-8")
         os.replace(tmp, final)
         # Always append, even for an overwrite: the index is an append-only
@@ -293,10 +375,106 @@ class RunStore:
             raise ValueError("not a valid telemetry artifact payload")
         self.telemetry_dir.mkdir(parents=True, exist_ok=True)
         final = self.telemetry_dir / f"{key}.json"
-        tmp = self.telemetry_dir / f".{key}.tmp"
+        tmp = self.telemetry_dir / f".{key}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         os.replace(tmp, final)
         return key
+
+    # ------------------------------------------------------------------
+    # Sweep-grid manifests (distributed dispatch)
+    # ------------------------------------------------------------------
+    def put_grid(
+        self, configs: list[SimulationConfig], lane_width: int
+    ) -> str:
+        """Publish a sweep-grid manifest; returns its key.
+
+        The key is content-derived (config hashes in grid order plus the
+        lane width), so republishing the same grid — every cooperating
+        ``repro sweep --dispatch=store`` invocation does — overwrites
+        one manifest idempotently instead of accumulating copies.
+        Event-collecting configs are refused for the same reason ``put``
+        refuses their results.
+        """
+        from .hashing import canonical_config_dict, canonical_json, config_hash
+
+        if lane_width < 1:
+            raise ValueError("lane_width must be >= 1")
+        for cfg in configs:
+            if cfg.collect_events:
+                raise ValueError(
+                    "refusing to publish a collect_events config in a grid "
+                    "manifest: its results cannot be shared through the store"
+                )
+        hashes = [config_hash(c) for c in configs]
+        key_doc = {
+            "schema_version": GRID_SCHEMA_VERSION,
+            "config_hashes": hashes,
+            "lane_width": int(lane_width),
+        }
+        key = hashlib.sha256(canonical_json(key_doc).encode("utf-8")).hexdigest()
+        payload = {
+            "schema_version": GRID_SCHEMA_VERSION,
+            "config_schema_version": CONFIG_SCHEMA_VERSION,
+            "key": key,
+            "lane_width": int(lane_width),
+            "created_at": time.time(),
+            "config_hashes": hashes,
+            "configs": [canonical_config_dict(c) for c in configs],
+        }
+        self.grids_dir.mkdir(parents=True, exist_ok=True)
+        final = self.grids_dir / f"{key}.json"
+        tmp = self.grids_dir / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, final)
+        return key
+
+    def get_grid(self, key: str) -> GridManifest | None:
+        """A published grid manifest with revived configs, or ``None``.
+
+        Follows the store's tolerance rules: unreadable files, foreign
+        schema versions (manifest *or* config canonicalization) and
+        configs that no longer revive read as missing, never fatal.
+        """
+        from .hashing import config_from_dict
+
+        path = self.grids_dir / f"{key}.json"
+        try:
+            parsed = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(parsed, dict):
+            return None
+        if parsed.get("schema_version") != GRID_SCHEMA_VERSION:
+            return None
+        if parsed.get("config_schema_version") != CONFIG_SCHEMA_VERSION:
+            return None
+        raw_configs = parsed.get("configs")
+        raw_hashes = parsed.get("config_hashes")
+        if not isinstance(raw_configs, list) or not isinstance(raw_hashes, list):
+            return None
+        if len(raw_configs) != len(raw_hashes):
+            return None
+        try:
+            configs = tuple(config_from_dict(c) for c in raw_configs)
+            lane_width = int(parsed["lane_width"])
+        except (TypeError, ValueError, KeyError):
+            return None
+        return GridManifest(
+            key=key,
+            configs=configs,
+            config_hashes=tuple(str(h) for h in raw_hashes),
+            lane_width=lane_width,
+            created_at=parsed.get("created_at"),
+        )
+
+    def grid_keys(self) -> list[str]:
+        """Keys of every published grid manifest (sorted)."""
+        if not self.grids_dir.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self.grids_dir.glob("*.json")
+            if not p.stem.startswith(".")
+        )
 
     def get_telemetry(
         self, config: SimulationConfig | str
@@ -333,6 +511,16 @@ class RunStore:
         return config_hash(config) in self._records
 
     __contains__ = contains
+
+    def contains_hash(self, config_hash_: str) -> bool:
+        """Whether a record with this content hash is loaded.
+
+        Pure membership — no hit/miss accounting — because the dispatch
+        layer polls it while waiting on other workers and would skew the
+        cache counters otherwise.  Pair with :meth:`refresh` to observe
+        records other processes append.
+        """
+        return config_hash_ in self._records
 
     def __len__(self) -> int:
         return len(self._records)

@@ -338,5 +338,82 @@ class TestStats:
         assert any(row["name"] == "engine/train" for row in doc["spans"])
 
 
+class TestDispatchCLI:
+    SWEEP_TINY = [
+        "sweep", "--fast", "--seeds", "1", "--backend", "serial",
+        "--set", "n_agents=8,10", "--set", "n_articles=2",
+        "--set", "founders_per_article=2",
+        "--set", "training_steps=5", "--set", "eval_steps=5",
+    ]
+
+    def test_sweep_worker_registered(self):
+        args = build_parser().parse_args(["sweep-worker", "rs"])
+        assert callable(args.func)
+
+    def test_dispatch_store_requires_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="dispatch=store"):
+            main([*self.SWEEP_TINY, "--dispatch", "store", "--no-store",
+                  "--store", str(tmp_path)])
+
+    def test_publish_only_requires_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="publish-only"):
+            main([*self.SWEEP_TINY, "--publish-only", "--no-store",
+                  "--store", str(tmp_path)])
+
+    def test_publish_only_writes_manifest_without_running(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(sweep_mod, "_worker", _raise_worker)
+        monkeypatch.setattr(sweep_mod, "_task_worker", _raise_worker)
+        assert main([*self.SWEEP_TINY, "--publish-only",
+                     "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "published grid" in out
+        store = RunStore(tmp_path)
+        assert len(store.grid_keys()) == 1
+        assert len(store) == 0  # nothing computed
+
+    def test_dispatch_sweep_then_worker_finds_nothing_left(
+        self, tmp_path, capsys
+    ):
+        assert main([*self.SWEEP_TINY, "--dispatch", "store",
+                     "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch:" in out and "computed" in out
+        assert main(["sweep-worker", str(tmp_path)]) == 0
+        assert "no undrained grids" in capsys.readouterr().out
+
+    def test_sweep_worker_drains_published_grid(self, tmp_path, capsys):
+        assert main([*self.SWEEP_TINY, "--publish-only",
+                     "--store", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["sweep-worker", str(tmp_path), "--summary-json",
+                     "--quiet"]) == 0
+        import json as _json
+
+        summary = _json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert summary["computed"] == 2
+        store = RunStore(tmp_path)
+        assert len(store) == 2
+
+    def test_sweep_worker_trace_persists_grid_telemetry(self, tmp_path, capsys):
+        assert main([*self.SWEEP_TINY, "--publish-only",
+                     "--store", str(tmp_path)]) == 0
+        store = RunStore(tmp_path)
+        key = store.grid_keys()[0]
+        assert main(["sweep-worker", str(tmp_path), "--trace", "--quiet"]) == 0
+        telemetry = store.get_telemetry(key)
+        assert telemetry is not None
+        assert telemetry["meta"]["kind"] == "sweep-worker"
+        assert any(
+            s["name"].startswith("dispatch/") for s in telemetry["spans"]
+        )
+
+    def test_sweep_worker_unknown_grid_errors(self, tmp_path):
+        RunStore(tmp_path)
+        with pytest.raises(SystemExit, match="no grid"):
+            main(["sweep-worker", str(tmp_path), "--grid", "feedbeef"])
+
+
 def _raise_worker(*args, **kwargs):  # pragma: no cover - must never run
     raise AssertionError("a simulation executed where none was allowed")

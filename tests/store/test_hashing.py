@@ -9,6 +9,7 @@ from repro.core.params import PaperConstants, ReputationParams
 from repro.sim.config import SimulationConfig
 from repro.store.hashing import (
     canonical_config_dict,
+    config_from_dict,
     canonical_json,
     config_hash,
     revive_floats,
@@ -102,3 +103,44 @@ class TestCanonicalSerialization:
     def test_unserializable_rejected(self):
         with pytest.raises(TypeError):
             canonical_json(canonical_config_dict(object()))  # type: ignore[arg-type]
+
+
+class TestConfigFromDict:
+    def test_roundtrip_preserves_hash(self):
+        original = cfg(
+            seed=7,
+            scheme="karma",
+            mix=PopulationMix(rational=0.5, altruistic=0.3, irrational=0.2),
+        )
+        revived = config_from_dict(canonical_config_dict(original))
+        assert revived == original
+        assert config_hash(revived) == config_hash(original)
+
+    def test_roundtrip_with_float_sentinels(self):
+        original = cfg(t_train=float("inf"))
+        revived = config_from_dict(canonical_config_dict(original))
+        assert revived.t_train == float("inf")
+        assert config_hash(revived) == config_hash(original)
+
+    def test_nested_dataclasses_revive_as_real_objects(self):
+        revived = config_from_dict(canonical_config_dict(cfg()))
+        assert isinstance(revived.mix, PopulationMix)
+        assert isinstance(revived.constants, PaperConstants)
+        assert isinstance(revived.constants.reputation_s, ReputationParams)
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        d = canonical_config_dict(cfg(seed=9))
+        d.pop("scheme")
+        revived = config_from_dict(d)
+        assert revived.scheme == cfg().scheme
+        assert revived.seed == 9
+
+    def test_unknown_keys_rejected(self):
+        d = canonical_config_dict(cfg())
+        d["not_a_field"] = 1
+        with pytest.raises(ValueError, match="unknown config fields"):
+            config_from_dict(d)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            config_from_dict([1, 2, 3])  # type: ignore[arg-type]

@@ -187,3 +187,94 @@ class TestQueryRecords:
         assert len(records) == 3
         assert [r.config["seed"] for r in records] == [3, 1, 2]  # insertion order
         assert all(isinstance(r, StoredRun) for r in records)
+
+
+class TestRefresh:
+    def test_sees_records_appended_by_another_handle(self, tmp_path):
+        writer = RunStore(tmp_path)
+        reader = RunStore(tmp_path)
+        assert reader.refresh() == 0
+        writer.put(run_simulation(tiny(seed=1)))
+        assert not reader.contains(tiny(seed=1))  # stale until refreshed
+        assert reader.refresh() >= 1
+        assert reader.contains(tiny(seed=1))
+        assert reader.get(tiny(seed=1)) is not None
+
+    def test_ignores_torn_trailing_line(self, tmp_path):
+        writer = RunStore(tmp_path)
+        writer.put(run_simulation(tiny(seed=1)))
+        reader = RunStore(tmp_path)
+        # A writer crashed mid-append: no trailing newline yet.
+        with (tmp_path / "index.jsonl").open("a") as fh:
+            fh.write('{"config_hash": "deadbeef", "config"')
+        assert reader.refresh() == 0  # torn tail deferred, not consumed
+        # The write completes; the whole line is now visible.
+        with (tmp_path / "index.jsonl").open("a") as fh:
+            fh.write(": {}}\n")
+        reader.refresh()
+        assert len(reader) >= 1
+
+    def test_missing_index_is_not_fatal(self, tmp_path):
+        store = RunStore(tmp_path / "fresh")
+        assert store.refresh() == 0
+
+    def test_contains_hash(self, tmp_path):
+        store = RunStore(tmp_path)
+        h = store.put(run_simulation(tiny(seed=1)))
+        assert store.contains_hash(h)
+        assert not store.contains_hash("0" * 64)
+
+
+class TestGridManifests:
+    def grid(self, n=3):
+        return [tiny(seed=s) for s in range(n)]
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        grid = self.grid()
+        key = store.put_grid(grid, lane_width=2)
+        manifest = store.get_grid(key)
+        assert manifest is not None
+        assert manifest.key == key
+        assert list(manifest.configs) == grid
+        assert list(manifest.config_hashes) == [config_hash(c) for c in grid]
+        assert manifest.lane_width == 2
+        assert store.grid_keys() == [key]
+
+    def test_key_is_content_derived(self, tmp_path):
+        store = RunStore(tmp_path)
+        k1 = store.put_grid(self.grid(), lane_width=2)
+        k2 = store.put_grid(self.grid(), lane_width=2)
+        k3 = store.put_grid(self.grid(), lane_width=4)
+        assert k1 == k2
+        assert k1 != k3
+        assert len(store.grid_keys()) == 2
+
+    def test_refuses_event_configs(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError, match="collect_events"):
+            store.put_grid([tiny(collect_events=True)], lane_width=1)
+
+    def test_refuses_bad_lane_width(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put_grid(self.grid(), lane_width=0)
+
+    def test_missing_and_corrupt_manifests_read_as_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.get_grid("0" * 64) is None
+        key = store.put_grid(self.grid(), lane_width=1)
+        (store.grids_dir / f"{key}.json").write_text("{torn", encoding="utf-8")
+        assert store.get_grid(key) is None
+
+    def test_foreign_schema_reads_as_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = store.put_grid(self.grid(), lane_width=1)
+        path = store.grids_dir / f"{key}.json"
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = 999
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert store.get_grid(key) is None
+
+    def test_grid_keys_empty_store(self, tmp_path):
+        assert RunStore(tmp_path).grid_keys() == []

@@ -4,7 +4,7 @@
 Two modes:
 
 ``python tools/bench_history.py``
-    Run the kernel + engine benches under ``pytest-benchmark
+    Run the kernel + engine + sweep benches under ``pytest-benchmark
     --benchmark-json`` and distill the per-bench **median seconds** (plus
     machine info and the speedup extra-infos) into ``BENCH_engine.json``
     at the repo root.  Commit the file so later PRs can diff against it.
@@ -40,10 +40,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "BENCH_engine.json"
 
 #: Bench files distilled into the baseline.  Kernel benches are the
-#: regression-gated set (stable microbenchmarks); engine benches are
-#: recorded for trend-watching only.
+#: regression-gated set (stable microbenchmarks); engine and sweep
+#: benches are recorded for trend-watching only (single-round end-to-end
+#: runs; the sweep benches additionally involve subprocess workers).
 KERNEL_BENCH_FILE = "benchmarks/test_bench_kernels.py"
 ENGINE_BENCH_FILE = "benchmarks/test_bench_engine.py"
+SWEEP_BENCH_FILE = "benchmarks/test_bench_sweep.py"
 
 
 def run_benches(extra_args: list[str] | None = None) -> dict:
@@ -56,6 +58,7 @@ def run_benches(extra_args: list[str] | None = None) -> dict:
         "pytest",
         KERNEL_BENCH_FILE,
         ENGINE_BENCH_FILE,
+        SWEEP_BENCH_FILE,
         "-q",
         f"--benchmark-json={json_path}",
         *(extra_args or []),
@@ -82,6 +85,8 @@ def distill(payload: dict) -> dict:
             "group": (
                 "kernel"
                 if "test_bench_kernels" in bench["fullname"]
+                else "sweep"
+                if "test_bench_sweep" in bench["fullname"]
                 else "engine"
             ),
         }
@@ -160,7 +165,7 @@ def check(args: argparse.Namespace) -> int:
             continue
         ratio = entry["median_s"] / base["median_s"]
         gated = base.get("group") == "kernel"
-        tag = "kernel" if gated else "engine"
+        tag = base.get("group") or "engine"
         print(
             f"  {tag:<8} {name}: {entry['median_s']:.3e}s "
             f"vs {base['median_s']:.3e}s ({ratio:.2f}x)"

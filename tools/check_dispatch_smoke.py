@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Assert a cooperative sweep drain was clean: complete, zero duplicates.
+
+Usage::
+
+    python tools/check_dispatch_smoke.py STORE_DIR SUMMARY_JSON [SUMMARY_JSON...]
+
+Feed it the store a grid was published into plus the ``--summary-json``
+output of every ``repro sweep-worker`` that drained it.  It verifies the
+distributed-dispatch contract end to end:
+
+* every published grid's configs are all present in the store
+  (complete drain);
+* no config hash appears in more than one worker's computed set
+  (zero duplicate computation — the leases actually excluded);
+* the workers' computed sets plus anything cached before the drain
+  cover every grid config (nothing fell through the cracks);
+* no lease files were left behind.
+
+Exits non-zero with a diagnostic on any violation.  Used by the CI
+dispatch smoke step; handy locally after any multi-terminal drain.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(REPO_SRC))
+
+from repro.store.runstore import RunStore  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    """Validate the drain; ``argv`` is ``[store_dir, summary...]``."""
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    store = RunStore(argv[0])
+    summaries = [json.loads(Path(p).read_text(encoding="utf-8")) for p in argv[1:]]
+
+    computed = [set(s.get("computed_hashes", ())) for s in summaries]
+    failures: list[str] = []
+
+    for i, a in enumerate(computed):
+        for j, b in enumerate(computed[i + 1 :], start=i + 1):
+            overlap = a & b
+            if overlap:
+                failures.append(
+                    f"workers {i} and {j} both computed "
+                    f"{len(overlap)} config(s): "
+                    + ", ".join(sorted(h[:12] for h in overlap))
+                )
+
+    grid_hashes: set[str] = set()
+    for key in store.grid_keys():
+        manifest = store.get_grid(key)
+        if manifest is None:
+            failures.append(f"grid manifest {key[:12]} unreadable")
+            continue
+        grid_hashes.update(manifest.config_hashes)
+        undrained = [
+            h for h in manifest.config_hashes if not store.contains_hash(h)
+        ]
+        if undrained:
+            failures.append(
+                f"grid {key[:12]} incomplete: {len(undrained)} config(s) "
+                "missing from the store"
+            )
+
+    all_computed = set().union(*computed) if computed else set()
+    stray = all_computed - grid_hashes
+    if grid_hashes and stray:
+        failures.append(
+            f"workers computed {len(stray)} config(s) outside any "
+            "published grid"
+        )
+
+    leases = list((store.root / "claims").glob("*.lease"))
+    if leases:
+        failures.append(f"{len(leases)} lease file(s) left behind")
+
+    total = sum(len(c) for c in computed)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"dispatch smoke OK: {len(summaries)} worker(s) computed {total} "
+        f"config(s) across {len(store.grid_keys())} grid(s), "
+        "no duplicates, no leftover leases"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
