@@ -1,0 +1,434 @@
+"""Asyncio HTTP front-end of the simulation service.
+
+A deliberately small, stdlib-only HTTP/1.1 server (the repo's zero-dep
+stance: the obs layer renders Prometheus text without a client library,
+and this layer serves it without a web framework).  One
+:class:`asyncio.Server` accepts connections; each request is parsed,
+routed, answered and the connection closed (``Connection: close``) —
+the service's long-lived channel is the SSE stream, not keep-alive.
+
+Routes::
+
+    GET  /                   API index
+    GET  /healthz            liveness + queue counters
+    GET  /metrics            Prometheus text exposition
+    POST /jobs               submit (scenario spec or raw config dicts)
+    GET  /jobs               list jobs (most recent first)
+    GET  /jobs/<id>          job status + per-config results
+    GET  /jobs/<id>/events   SSE stream (replay + live, ends on terminal)
+
+Backpressure is surfaced exactly as the store dedup is: admission is
+atomic inside :meth:`~repro.service.jobs.JobManager.submit`, so a 429
+(queue full, with ``Retry-After``) or 503 (shutting down) means *nothing*
+of the submission was enqueued.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from ..obs import MetricsRegistry
+from ..store.runstore import RunStore
+from .hub import EventHub, sse_encode
+from .jobs import JobManager, QueueFull, ServiceClosing
+from .schemas import SchemaError, parse_submit
+
+__all__ = ["ServiceSettings", "SimulationService", "serve"]
+
+#: Request bodies above this are refused with 413 before being read.
+MAX_BODY_BYTES = 8 << 20
+
+
+class _HttpError(Exception):
+    """An error response to render; carries status + extra headers."""
+
+    def __init__(
+        self, status: int, message: str, headers: list[tuple[str, str]] | None = None
+    ):
+        self.status = status
+        self.message = message
+        self.headers = headers or []
+        super().__init__(message)
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceSettings:
+    """Tunables of one service instance (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    store_path: str | Path = "runstore"
+    workers: int = 2
+    max_pending: int = 256
+    batch_width: int = 4
+    dispatch: str | None = None
+    history_limit: int = 4096
+    heartbeat_s: float = 15.0
+    shutdown_timeout_s: float = 30.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class SimulationService:
+    """The HTTP server plus the job manager and hub it fronts."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        settings: ServiceSettings | None = None,
+        metrics: MetricsRegistry | None = None,
+        runner: Callable | None = None,
+    ):
+        self.settings = settings if settings is not None else ServiceSettings()
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.hub = EventHub(history_limit=self.settings.history_limit)
+        self.manager = JobManager(
+            store,
+            hub=self.hub,
+            metrics=self.metrics,
+            workers=self.settings.workers,
+            max_pending=self.settings.max_pending,
+            batch_width=self.settings.batch_width,
+            dispatch=self.settings.dispatch,
+            runner=runner,
+        )
+        self._server: asyncio.Server | None = None
+        self.port: int | None = None  # actual bound port (settings may say 0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and spawn the compute workers."""
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.settings.host, self.settings.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain compute, wake streams."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.manager.close(timeout_s=self.settings.shutdown_timeout_s)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (valid after :meth:`start`)."""
+        return f"http://{self.settings.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse one request, dispatch it, close the connection."""
+        started = time.perf_counter()
+        method = path = "?"
+        route = "unparsed"
+        status = 500
+        try:
+            method, path, body = await self._read_request(reader)
+            route, handler = self._route(method, path)
+            status = await handler(writer, path, body)
+        except _HttpError as exc:
+            status = exc.status
+            await self._respond_json(
+                writer, exc.status, {"error": exc.message}, exc.headers
+            )
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            status = 499  # client went away mid-request/stream
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                await self._respond_json(writer, 500, {"error": str(exc)})
+            except OSError:
+                pass
+        finally:
+            self.metrics.counter(
+                "service_requests_total",
+                "HTTP requests by method, route and status",
+                method=method,
+                route=route,
+                status=status,
+            ).inc()
+            self.metrics.histogram(
+                "service_request_seconds",
+                "Request handling wall time",
+                route=route,
+            ).observe(time.perf_counter() - started)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        """Parse the request line, headers and (bounded) body."""
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    def _route(
+        self, method: str, target: str
+    ) -> tuple[str, Callable[..., Awaitable[int]]]:
+        """Map ``(method, path)`` to a handler + metrics route label."""
+        path = target.split("?", 1)[0]
+        segments = [s for s in path.split("/") if s]
+        if not segments:
+            return "/", self._require(method, "GET", self._handle_index)
+        if segments == ["healthz"]:
+            return "/healthz", self._require(method, "GET", self._handle_healthz)
+        if segments == ["metrics"]:
+            return "/metrics", self._require(method, "GET", self._handle_metrics)
+        if segments == ["jobs"]:
+            if method == "POST":
+                return "/jobs", self._handle_submit
+            return "/jobs", self._require(method, "GET", self._handle_list)
+        if len(segments) == 2 and segments[0] == "jobs":
+            return "/jobs/{id}", self._require(method, "GET", self._handle_job)
+        if len(segments) == 3 and segments[0] == "jobs" and segments[2] == "events":
+            return (
+                "/jobs/{id}/events",
+                self._require(method, "GET", self._handle_events),
+            )
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str, handler: Callable) -> Callable:
+        if method != expected:
+            raise _HttpError(405, f"method {method} not allowed here")
+        return handler
+
+    # ------------------------------------------------------------------
+    # Handlers (each returns the response status for metrics)
+    # ------------------------------------------------------------------
+    async def _handle_index(self, writer, path: str, body: bytes) -> int:
+        await self._respond_json(
+            writer,
+            200,
+            {
+                "service": "repro simulation service",
+                "endpoints": [
+                    "GET /healthz",
+                    "GET /metrics",
+                    "POST /jobs",
+                    "GET /jobs",
+                    "GET /jobs/{id}",
+                    "GET /jobs/{id}/events",
+                ],
+            },
+        )
+        return 200
+
+    async def _handle_healthz(self, writer, path: str, body: bytes) -> int:
+        payload = {
+            "status": "shutting_down" if self.manager.closing else "ok",
+            "jobs": len(self.manager.jobs),
+            "queue_depth": self.manager.queue_depth,
+            "inflight_units": self.manager.inflight,
+            "max_pending": self.manager.max_pending,
+        }
+        status = 503 if self.manager.closing else 200
+        await self._respond_json(writer, status, payload)
+        return status
+
+    async def _handle_metrics(self, writer, path: str, body: bytes) -> int:
+        text = self.metrics.exposition().encode("utf-8")
+        await self._respond(
+            writer, 200, text, content_type="text/plain; version=0.0.4"
+        )
+        return 200
+
+    async def _handle_submit(self, writer, path: str, body: bytes) -> int:
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from exc
+        try:
+            spec = parse_submit(parsed)
+        except SchemaError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        try:
+            job = self.manager.submit(spec)
+        except QueueFull as exc:
+            raise _HttpError(
+                429, str(exc), headers=[("Retry-After", str(exc.retry_after_s))]
+            ) from exc
+        except ServiceClosing as exc:
+            raise _HttpError(503, str(exc), headers=[("Retry-After", "5")]) from exc
+        await self._respond_json(
+            writer,
+            201,
+            job.view(),
+            headers=[("Location", f"/jobs/{job.id}")],
+        )
+        return 201
+
+    async def _handle_list(self, writer, path: str, body: bytes) -> int:
+        jobs = sorted(
+            self.manager.jobs.values(), key=lambda j: j.created_at, reverse=True
+        )
+        await self._respond_json(
+            writer, 200, {"jobs": [j.view() for j in jobs], "count": len(jobs)}
+        )
+        return 200
+
+    def _job_or_404(self, path: str):
+        job_id = [s for s in path.split("?", 1)[0].split("/") if s][1]
+        job = self.manager.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job: {job_id}")
+        return job
+
+    async def _handle_job(self, writer, path: str, body: bytes) -> int:
+        job = self._job_or_404(path)
+        await self._respond_json(writer, 200, job.view(full=True))
+        return 200
+
+    async def _handle_events(self, writer, path: str, body: bytes) -> int:
+        job = self._job_or_404(path)
+        history, dropped, queue = self.hub.subscribe(job.id)
+        self.metrics.gauge(
+            "service_sse_subscribers", "Open SSE streams"
+        ).inc()
+        try:
+            writer.write(
+                self._head(
+                    200,
+                    [
+                        ("Content-Type", "text/event-stream"),
+                        ("Cache-Control", "no-store"),
+                        ("Connection", "close"),
+                    ],
+                )
+            )
+            if dropped:
+                writer.write(f": {dropped} earlier events dropped\n\n".encode())
+            terminal = False
+            for ev in history:
+                writer.write(sse_encode(ev))
+                terminal = terminal or ev.terminal
+            await writer.drain()
+            while not terminal:
+                try:
+                    ev = await asyncio.wait_for(
+                        queue.get(), timeout=self.settings.heartbeat_s
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(b": keep-alive\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(sse_encode(ev))
+                await writer.drain()
+                terminal = ev.terminal
+        finally:
+            self.hub.unsubscribe(job.id, queue)
+            self.metrics.gauge(
+                "service_sse_subscribers", "Open SSE streams"
+            ).inc(-1)
+        return 200
+
+    # ------------------------------------------------------------------
+    # Response plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _head(status: int, headers: list[tuple[str, str]]) -> bytes:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines += [f"{k}: {v}" for k, v in headers]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: list[tuple[str, str]] | None = None,
+    ) -> None:
+        all_headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+        ] + (headers or [])
+        writer.write(self._head(status, all_headers) + body)
+        await writer.drain()
+
+    async def _respond_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        headers: list[tuple[str, str]] | None = None,
+    ) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        await self._respond(writer, status, body, headers=headers)
+
+
+async def _serve_async(settings: ServiceSettings) -> None:
+    """Run one service until SIGINT/SIGTERM, then shut down gracefully."""
+    store = RunStore(settings.store_path)
+    service = SimulationService(store, settings)
+    await service.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-main thread / windows
+            pass
+    print(
+        f"repro service listening on {service.url} "
+        f"(store={store.root}, workers={settings.workers}, "
+        f"max_pending={settings.max_pending})",
+        flush=True,
+    )
+    await stop.wait()
+    print("repro service shutting down ...", flush=True)
+    await service.stop()
+
+
+def serve(settings: ServiceSettings) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    try:
+        asyncio.run(_serve_async(settings))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,159 @@
+"""Per-job event hub: bounded replay history plus live SSE fan-out.
+
+Every job owns one event stream.  Publishers (the job manager, driven by
+sweep progress callbacks) append :class:`JobEvent` records; subscribers
+(HTTP clients on ``GET /jobs/<id>/events``) receive the retained history
+first and then live events as they land, so a client that connects
+*after* submission still sees the whole lifecycle — the replay is what
+makes the SSE endpoint usable for polling-averse clients without a
+subscribe-before-submit handshake.
+
+The hub is single-threaded by design: every method must be called on
+the service's event loop (worker threads hop over via
+``loop.call_soon_threadsafe``), which makes the append + fan-out
+atomic without locks.  Per-job history is a bounded ring — a
+pathological million-config job cannot pin unbounded memory — and the
+drop count is surfaced on the stream so consumers know the replay is
+partial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["JobEvent", "EventHub", "sse_encode"]
+
+#: Events retained per job for late-subscriber replay; older events are
+#: dropped oldest-first (the drop count is reported in replays).
+DEFAULT_HISTORY_LIMIT = 4096
+
+#: Event types that end a job's stream; subscribers disconnect after one.
+TERMINAL_EVENTS = frozenset({"completed", "failed"})
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One server-sent event: a monotonically numbered typed payload."""
+
+    seq: int
+    event: str
+    data: dict[str, Any]
+
+    @property
+    def terminal(self) -> bool:
+        """Whether this event ends the job's stream."""
+        return self.event in TERMINAL_EVENTS
+
+
+def sse_encode(event: JobEvent) -> bytes:
+    """Render one event in the ``text/event-stream`` wire format."""
+    payload = json.dumps(event.data, separators=(",", ":"))
+    return (
+        f"id: {event.seq}\nevent: {event.event}\ndata: {payload}\n\n"
+    ).encode("utf-8")
+
+
+class _Stream:
+    """One job's retained history and live subscriber queues."""
+
+    __slots__ = ("events", "dropped", "seq", "subscribers", "closed")
+
+    def __init__(self) -> None:
+        self.events: list[JobEvent] = []
+        self.dropped = 0
+        self.seq = 0
+        self.subscribers: list[asyncio.Queue] = []
+        self.closed = False
+
+
+class EventHub:
+    """Fan-out of job lifecycle events to any number of SSE subscribers."""
+
+    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT):
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.history_limit = int(history_limit)
+        self._streams: dict[str, _Stream] = {}
+
+    def _stream(self, job_id: str) -> _Stream:
+        stream = self._streams.get(job_id)
+        if stream is None:
+            stream = self._streams[job_id] = _Stream()
+        return stream
+
+    # ------------------------------------------------------------------
+    # Publishing (event-loop thread only)
+    # ------------------------------------------------------------------
+    def publish(self, job_id: str, event: str, data: dict[str, Any]) -> JobEvent:
+        """Append one event and push it to every live subscriber.
+
+        A terminal event (``completed``/``failed``) closes the stream:
+        later publishes on the same job are refused — the job lifecycle
+        is strictly one terminal event — and subscribers drain and
+        disconnect.
+        """
+        stream = self._stream(job_id)
+        if stream.closed:
+            raise RuntimeError(f"job {job_id} already published a terminal event")
+        stream.seq += 1
+        ev = JobEvent(seq=stream.seq, event=event, data=data)
+        stream.events.append(ev)
+        if len(stream.events) > self.history_limit:
+            del stream.events[0]
+            stream.dropped += 1
+        if ev.terminal:
+            stream.closed = True
+        for queue in stream.subscribers:
+            queue.put_nowait(ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Subscribing
+    # ------------------------------------------------------------------
+    def subscribe(self, job_id: str) -> tuple[list[JobEvent], int, asyncio.Queue]:
+        """Join a job's stream: ``(history, dropped, live queue)``.
+
+        The returned history snapshot covers everything retained so far
+        (``dropped`` counts ring-evicted events the replay cannot
+        include); events published after this call land on the queue.
+        For an already closed stream the queue never produces — the
+        terminal event is in the history.
+        """
+        stream = self._stream(job_id)
+        queue: asyncio.Queue = asyncio.Queue()
+        if not stream.closed:
+            stream.subscribers.append(queue)
+        return list(stream.events), stream.dropped, queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        """Detach one subscriber queue (idempotent)."""
+        stream = self._streams.get(job_id)
+        if stream is not None:
+            try:
+                stream.subscribers.remove(queue)
+            except ValueError:
+                pass
+
+    def subscriber_count(self, job_id: str) -> int:
+        """Live subscribers on one job's stream (0 for unknown jobs)."""
+        stream = self._streams.get(job_id)
+        return len(stream.subscribers) if stream is not None else 0
+
+    def close_all(self) -> None:
+        """Wake every subscriber with a shutdown event (service exit)."""
+        for job_id, stream in self._streams.items():
+            if stream.closed:
+                continue
+            stream.seq += 1
+            ev = JobEvent(
+                seq=stream.seq,
+                event="failed",
+                data={"job_id": job_id, "error": "service shutting down"},
+            )
+            stream.events.append(ev)
+            stream.closed = True
+            for queue in stream.subscribers:
+                queue.put_nowait(ev)

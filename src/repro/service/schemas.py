@@ -1,0 +1,130 @@
+"""Request/response schemas of the simulation service HTTP API.
+
+The submit endpoint accepts three spellings of "what to run", all of
+which reduce to a list of :class:`~repro.sim.config.SimulationConfig`
+before anything is scheduled — the service's job identity, dedup and
+cache keys are *config hashes*, never raw request bytes, so the same
+work submitted in different spellings (a scenario-algebra spec, its
+hand-expanded config dicts, a different field order) collapses onto the
+same store entries and the same in-flight computations:
+
+* ``{"scenario": "pack+mod[+mod...]"}`` — a scenario-algebra spec
+  resolved through :func:`repro.store.compose.resolve_scenario`, with
+  optional ``fast``/``seeds``/``overrides`` knobs mirroring the
+  ``repro run`` CLI;
+* ``{"config": {...}}`` — one raw canonical config dict revived via
+  :func:`repro.store.hashing.config_from_dict`;
+* ``{"configs": [{...}, ...]}`` — a list of raw config dicts (an
+  explicit grid).
+
+Validation failures raise :class:`SchemaError`, which the HTTP layer
+maps to a 400 response carrying the message.  Event-collecting configs
+are rejected up front: the store cannot persist their event logs, so
+the service could neither cache nor replay them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim.config import SimulationConfig
+from ..store.compose import resolve_scenario
+from ..store.hashing import config_from_dict
+
+__all__ = ["SchemaError", "SubmitSpec", "parse_submit"]
+
+#: Hard cap on configs per submission: a single request must not be able
+#: to swallow the whole queue bound (and with it every other client's
+#: admission) in one call.
+MAX_CONFIGS_PER_JOB = 4096
+
+
+class SchemaError(ValueError):
+    """A request body failed validation; the message is client-facing."""
+
+
+@dataclass(frozen=True)
+class SubmitSpec:
+    """One validated submission: the configs to run plus a display label."""
+
+    configs: tuple[SimulationConfig, ...]
+    label: str
+
+
+def _parse_scenario_spec(body: dict[str, Any]) -> SubmitSpec:
+    """Expand a ``{"scenario": ...}`` submission into concrete configs."""
+    spec = body["scenario"]
+    if not isinstance(spec, str) or not spec:
+        raise SchemaError("'scenario' must be a non-empty string")
+    fast = body.get("fast", False)
+    if not isinstance(fast, bool):
+        raise SchemaError("'fast' must be a boolean")
+    seeds = body.get("seeds", 1)
+    if not isinstance(seeds, int) or isinstance(seeds, bool) or seeds < 1:
+        raise SchemaError("'seeds' must be a positive integer")
+    overrides = body.get("overrides")
+    if overrides is not None and not isinstance(overrides, dict):
+        raise SchemaError("'overrides' must be an object of config fields")
+    try:
+        pack = resolve_scenario(spec)
+        configs = pack.expand(fast=fast, n_seeds=seeds, overrides=overrides or None)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SchemaError(str(exc.args[0] if exc.args else exc)) from exc
+    return SubmitSpec(configs=tuple(configs), label=spec)
+
+
+def _parse_config_dicts(raw: list[Any]) -> tuple[SimulationConfig, ...]:
+    """Revive a list of raw canonical config dicts."""
+    configs = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise SchemaError(f"config #{i} must be an object")
+        try:
+            configs.append(config_from_dict(entry))
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"config #{i} invalid: {exc}") from exc
+    return tuple(configs)
+
+
+def parse_submit(body: Any) -> SubmitSpec:
+    """Validate a submit request body into a :class:`SubmitSpec`.
+
+    Exactly one of ``scenario``, ``config`` or ``configs`` must be
+    present.  Every resulting config is checked against the service's
+    storability rules (no ``collect_events``) and the per-job size cap.
+    """
+    if not isinstance(body, dict):
+        raise SchemaError("request body must be a JSON object")
+    keys = [k for k in ("scenario", "config", "configs") if k in body]
+    if len(keys) != 1:
+        raise SchemaError(
+            "exactly one of 'scenario', 'config' or 'configs' is required"
+        )
+    if keys[0] == "scenario":
+        spec = _parse_scenario_spec(body)
+    elif keys[0] == "config":
+        spec = SubmitSpec(
+            configs=_parse_config_dicts([body["config"]]), label="config"
+        )
+    else:
+        raw = body["configs"]
+        if not isinstance(raw, list):
+            raise SchemaError("'configs' must be a list of objects")
+        spec = SubmitSpec(
+            configs=_parse_config_dicts(raw), label=f"configs[{len(raw)}]"
+        )
+    if not spec.configs:
+        raise SchemaError("submission expands to zero configs")
+    if len(spec.configs) > MAX_CONFIGS_PER_JOB:
+        raise SchemaError(
+            f"submission expands to {len(spec.configs)} configs; "
+            f"the per-job cap is {MAX_CONFIGS_PER_JOB}"
+        )
+    for cfg in spec.configs:
+        if cfg.collect_events:
+            raise SchemaError(
+                "collect_events configs cannot be served: event logs are "
+                "not persisted, so results could not be cached or replayed"
+            )
+    return spec

@@ -12,6 +12,7 @@ drives the scenario registry and the content-addressed run store::
     repro sweep --set scheme=karma,tft --dispatch=store  # cooperative drain
     repro sweep --publish-only --set n_agents=50,100  # publish, don't run
     repro sweep-worker ./runstore        # join any drain on this store
+    repro serve --port 8321              # HTTP job API + SSE over the store
     repro profile base/default --fast    # cProfile one pack config
     repro trace scale/50k --json         # traced run: phase-time breakdown
     repro ls                             # stored runs, no simulation
@@ -636,6 +637,32 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service HTTP API until SIGINT/SIGTERM.
+
+    The always-on front-end over this store (docs/SERVICE.md): clients
+    POST scenario specs or config grids, duplicate work dedupes against
+    the store and against jobs already in flight, and progress streams
+    back over SSE.  Serving and sweeping the same store compose — the
+    service refreshes before every admission, so results landed by
+    ``repro sweep``/``sweep-worker`` peers are served from cache.
+    """
+    from ..service import ServiceSettings, serve
+
+    settings = ServiceSettings(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        batch_width=args.batch_width,
+        dispatch="store" if args.dispatch_store else None,
+        heartbeat_s=args.heartbeat,
+        shutdown_timeout_s=args.shutdown_timeout,
+    )
+    return serve(settings)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the ``repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
@@ -720,6 +747,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
     p.set_defaults(func=cmd_sweep_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the simulation job API over a store (HTTP + SSE)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
+    )
+    _add_store_arg(p)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="compute worker threads (default 2)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queued compute-unit bound; beyond it submissions get "
+        "429 + Retry-After (default 256)",
+    )
+    p.add_argument(
+        "--batch-width",
+        type=int,
+        default=4,
+        metavar="N",
+        help="max configs one worker claims per sweep batch (default 4)",
+    )
+    p.add_argument(
+        "--dispatch-store",
+        action="store_true",
+        help="coordinate compute through store leases so external "
+        "sweep-workers can co-drain service jobs",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="SSE keep-alive comment interval (default 15)",
+    )
+    p.add_argument(
+        "--shutdown-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="grace period for running compute on shutdown (default 30)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "profile",

@@ -258,11 +258,21 @@ class RunStore:
         left for the next refresh.  Returns the number of records read
         (re-reads of this process's own appends included; last write
         wins, so folding them again is harmless).
+
+        An index *shorter* than the last consumed offset means the file
+        was rotated or rewritten out from under us (a compaction, a
+        restore from backup); the byte-offset tail would then skip — or
+        tear through the middle of — records written after the rewrite,
+        so the refresh falls back to a full rescan from byte zero.
+        Records already in memory are kept (they were valid when read;
+        last write wins on the re-read).
         """
         try:
             size = self.index_path.stat().st_size
         except OSError:
             return 0
+        if size < self._index_pos:
+            self._index_pos = 0  # index shrank: rescan from the start
         if size <= self._index_pos:
             return 0
         with self.index_path.open("rb") as fh:

@@ -1,0 +1,28 @@
+"""Shared fixtures for the service tests (helpers live in svc_helpers)."""
+
+import pytest
+from svc_helpers import http, make_tiny, sse_open, tiny_dict
+
+
+@pytest.fixture
+def tiny():
+    """Factory fixture over :func:`svc_helpers.make_tiny`."""
+    return make_tiny
+
+
+@pytest.fixture
+def tiny_payload():
+    """Factory fixture over :func:`svc_helpers.tiny_dict`."""
+    return tiny_dict
+
+
+@pytest.fixture
+def http_client():
+    """The raw-socket HTTP request coroutine."""
+    return http
+
+
+@pytest.fixture
+def sse_client():
+    """The SSE stream opener coroutine."""
+    return sse_open

@@ -1,0 +1,146 @@
+"""Service-test toolkit: tiny configs plus a raw asyncio HTTP/SSE client.
+
+The client speaks HTTP/1.1 over :func:`asyncio.open_connection` directly
+— no third-party HTTP library, matching the server's stdlib-only stance
+— and because it runs on the same event loop as the service under test,
+every test exercises the real socket path without extra threads.
+"""
+
+import asyncio
+import json
+
+from repro.sim.config import SimulationConfig
+from repro.store.hashing import canonical_config_dict
+
+
+def make_tiny(seed: int = 0, **kw) -> SimulationConfig:
+    """A config small enough to simulate in milliseconds."""
+    return SimulationConfig(
+        n_agents=8, n_articles=2, founders_per_article=2,
+        training_steps=5, eval_steps=5, seed=seed, **kw,
+    )
+
+
+def tiny_dict(seed: int = 0, **kw) -> dict:
+    """The canonical dict form of :func:`make_tiny` (the HTTP payload)."""
+    return canonical_config_dict(make_tiny(seed=seed, **kw))
+
+
+class HttpResponse:
+    """One parsed HTTP response: status, headers (lower-cased), body."""
+
+    def __init__(self, status: int, headers: dict, body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        """The body decoded as JSON."""
+        return json.loads(self.body)
+
+
+def _parse_head(head: bytes) -> tuple[int, dict]:
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def http(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+) -> HttpResponse:
+    """One request against a local service; reads until EOF."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status, headers = _parse_head(head)
+    return HttpResponse(status, headers, rest)
+
+
+class SseClient:
+    """An open ``/jobs/<id>/events`` stream read one event at a time."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self.events: list[dict] = []
+
+    async def next_event(self, timeout: float = 30.0) -> dict:
+        """The next non-comment SSE event as ``{seq, event, data}``."""
+        fields: dict = {}
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            budget = deadline - asyncio.get_running_loop().time()
+            line = await asyncio.wait_for(self._reader.readline(), budget)
+            if not line:
+                raise EOFError("SSE stream closed mid-event")
+            text = line.decode("utf-8").rstrip("\n")
+            if not text:  # blank line = event boundary
+                if fields:
+                    ev = {
+                        "seq": int(fields.get("id", 0)),
+                        "event": fields.get("event", "message"),
+                        "data": json.loads(fields.get("data", "null")),
+                    }
+                    self.events.append(ev)
+                    return ev
+                continue
+            if text.startswith(":"):  # keep-alive comment
+                continue
+            name, _, value = text.partition(":")
+            fields[name] = value.lstrip(" ")
+
+    async def collect_until_terminal(self, timeout: float = 60.0) -> list[dict]:
+        """Read events until ``completed``/``failed``; returns all seen."""
+        while True:
+            ev = await self.next_event(timeout=timeout)
+            if ev["event"] in ("completed", "failed"):
+                return list(self.events)
+
+    async def close(self) -> None:
+        """Drop the stream connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def sse_open(port: int, path: str) -> SseClient:
+    """Open an SSE stream and consume the response head."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status, _headers = _parse_head(head.rstrip(b"\r\n"))
+    if status != 200:
+        body = await reader.read()
+        writer.close()
+        raise AssertionError(f"SSE open failed: {status} {body!r}")
+    return SseClient(reader, writer)

@@ -1,0 +1,220 @@
+"""Property-based round-trip tests for the config hashing layer.
+
+The service's dedup story — duplicate HTTP submissions, in-flight
+joining, store cache hits — rests on one invariant::
+
+    config_hash(config_from_dict(canonical_config_dict(cfg))) == config_hash(cfg)
+
+for *every* expressible config, including the awkward corners: nested
+dataclasses (constants, mix, scale), float sentinels (inf/-inf/nan),
+integral floats that canonicalize to JSON ints, and dotted ``scale.*``
+updates.  A seeded generator draws hundreds of valid random configs and
+pushes each through the full wire cycle (canonical dict -> JSON text ->
+parsed dict -> revived config), exactly what a config travels through
+the HTTP submit path.
+"""
+
+import dataclasses
+import json
+import random
+
+from repro.agents.population import PopulationMix
+from repro.core.params import (
+    ContributionParams,
+    PaperConstants,
+    ReputationParams,
+    ServiceParams,
+    UtilityParams,
+)
+from repro.core.reputation import REPUTATION_FUNCTIONS
+from repro.sim.config import SimulationConfig
+from repro.store.hashing import (
+    canonical_config_dict,
+    canonical_json,
+    config_from_dict,
+    config_hash,
+)
+
+N_CONFIGS = 300
+
+_SCHEMES = ("auto", "reputation", "none", "tft", "karma")
+_OVERLAYS = ("full", "random", "smallworld", "scalefree")
+
+
+def _eighths(rng: random.Random) -> PopulationMix:
+    """A random mix in exact eighths, so the fractions sum to exactly 1."""
+    a = rng.randint(0, 8)
+    b = rng.randint(0, 8 - a)
+    return PopulationMix(
+        rational=a / 8, altruistic=b / 8, irrational=(8 - a - b) / 8
+    )
+
+
+def _maybe_integral(rng: random.Random, lo: float, hi: float) -> float:
+    """A float in (lo, hi]; sometimes exactly integral (the int-collapse
+    corner: canonical JSON serializes 2.0 as 2)."""
+    if rng.random() < 0.3:
+        value = float(rng.randint(max(1, int(lo)), max(2, int(hi))))
+        return min(max(value, lo), hi)
+    return rng.uniform(lo, hi) or hi
+
+
+def _constants(rng: random.Random) -> PaperConstants:
+    def reputation() -> ReputationParams:
+        r_min = rng.uniform(0.01, 0.4)
+        return ReputationParams(
+            g=_maybe_integral(rng, 1.0, 40.0),
+            beta=rng.uniform(0.05, 2.0),
+            r_min=r_min,
+            r_max=rng.uniform(r_min + 0.05, 1.0),
+        )
+
+    rep_s = reputation()
+    majority_min = rng.uniform(0.3, 0.7)
+    return PaperConstants(
+        reputation_s=rep_s,
+        reputation_e=reputation(),
+        contribution=ContributionParams(
+            alpha_s=_maybe_integral(rng, 1.0, 5.0),
+            beta_s=rng.uniform(0.5, 5.0),
+            d_s=rng.uniform(0.0, 0.2),
+            alpha_e=rng.uniform(0.5, 5.0),
+            beta_e=rng.uniform(0.5, 5.0),
+            d_e=rng.uniform(0.0, 0.2),
+            retention=rng.uniform(0.5, 1.0),
+        ),
+        service=ServiceParams(
+            # edit_threshold must clear the sharing scheme's r_min floor.
+            edit_threshold=rng.uniform(rep_s.r_min + 0.01, 0.9),
+            majority_min=majority_min,
+            majority_max=rng.uniform(majority_min, 1.0),
+            vote_punish_threshold=rng.randint(1, 20),
+            edit_punish_threshold=rng.randint(1, 20),
+        ),
+        utility=UtilityParams(
+            alpha=_maybe_integral(rng, 1.0, 10.0),
+            beta=rng.uniform(0.01, 1.0),
+            gamma=rng.uniform(0.01, 1.0),
+            delta=_maybe_integral(rng, 1.0, 40.0),
+            epsilon=rng.uniform(0.5, 10.0),
+        ),
+    )
+
+
+def random_config(rng: random.Random) -> SimulationConfig:
+    """One valid random config touching every structured corner."""
+    t_train = rng.choice(
+        [float("inf"), float("-inf"), float("nan"), rng.uniform(0.1, 10.0)]
+    )
+    cfg = SimulationConfig(
+        n_agents=rng.randint(2, 500),
+        mix=_eighths(rng),
+        incentives_enabled=rng.random() < 0.5,
+        scheme=rng.choice(_SCHEMES),
+        constants=_constants(rng),
+        reputation_fn_s=rng.choice(list(REPUTATION_FUNCTIONS)),
+        reputation_fn_e=rng.choice(list(REPUTATION_FUNCTIONS)),
+        karma_initial=_maybe_integral(rng, 0.0, 5.0),
+        karma_floor=rng.uniform(0.001, 0.5),
+        tft_optimistic_floor=rng.uniform(0.001, 0.5),
+        tft_history_decay=rng.uniform(0.5, 1.0),
+        n_states=rng.randint(1, 30),
+        training_steps=rng.randint(0, 10_000),
+        eval_steps=rng.randint(1, 5_000),
+        t_train=t_train,
+        t_eval=rng.choice([1.0, 2.0, float("inf"), rng.uniform(0.1, 5.0)]),
+        learning_rate=rng.uniform(0.01, 1.0),
+        discount=rng.uniform(0.0, 1.0),
+        learn_during_eval=rng.random() < 0.5,
+        n_articles=rng.randint(1, 100),
+        founders_per_article=rng.randint(1, 10),
+        download_probability=rng.choice([1.0, rng.uniform(0.0, 1.0)]),
+        edit_attempt_prob=rng.uniform(0.0, 1.0),
+        max_voters_per_edit=rng.randint(1, 30),
+        min_voters_per_edit=rng.randint(1, 5),
+        enforce_edit_threshold=rng.random() < 0.5,
+        overlay_kind=rng.choice(_OVERLAYS),
+        overlay_degree=rng.randint(2, 32),
+        capacity_sigma=rng.choice([0.0, rng.uniform(0.0, 2.0)]),
+        leave_rate=rng.uniform(0.0, 0.2),
+        join_rate=rng.uniform(0.0, 0.2),
+        whitewash_rate=rng.uniform(0.0, 0.2),
+        collusion_fraction=rng.uniform(0.0, 1.0),
+        collusion_ring_size=rng.randint(2, 10),
+        sybil_fraction=rng.uniform(0.0, 1.0),
+        sybil_rate=rng.uniform(0.0, 1.0),
+        seed=rng.randint(0, 2**31),
+        measure_window=rng.uniform(0.1, 1.0),
+    )
+    if rng.random() < 0.5:
+        # Exercise the dotted scale.* update path the CLI and scenario
+        # modifiers use, not just the ScaleConfig constructor.
+        cfg = cfg.with_(**{
+            "scale.sparse": rng.random() < 0.5,
+            "scale.ledger_cap": rng.randint(1, 256),
+            "scale.chunk_size": rng.randint(1, 65536),
+            "scale.stream_metrics_threshold": rng.randint(2, 50_000),
+        })
+    return cfg
+
+
+def _wire_cycle(cfg: SimulationConfig) -> SimulationConfig:
+    """canonical dict -> JSON text -> parsed dict -> revived config."""
+    return config_from_dict(json.loads(json.dumps(canonical_config_dict(cfg))))
+
+
+class TestRoundTripProperty:
+    def test_hash_survives_wire_cycle_for_hundreds_of_configs(self):
+        rng = random.Random(0xC0FFEE)
+        for i in range(N_CONFIGS):
+            cfg = random_config(rng)
+            revived = _wire_cycle(cfg)
+            assert config_hash(revived) == config_hash(cfg), (
+                f"config #{i} changed hash across the wire cycle:\n"
+                f"{canonical_json(canonical_config_dict(cfg))}\nvs\n"
+                f"{canonical_json(canonical_config_dict(revived))}"
+            )
+
+    def test_double_cycle_is_stable(self):
+        rng = random.Random(1234)
+        for _ in range(50):
+            cfg = random_config(rng)
+            once = _wire_cycle(cfg)
+            twice = _wire_cycle(once)
+            assert (canonical_json(canonical_config_dict(once))
+                    == canonical_json(canonical_config_dict(twice)))
+
+    def test_generator_is_deterministic(self):
+        a = [config_hash(random_config(random.Random(7))) for _ in range(3)]
+        b = [config_hash(random_config(random.Random(7))) for _ in range(3)]
+        assert a == b
+
+    def test_generator_covers_the_awkward_corners(self):
+        """The generator must actually hit the cases this file is about."""
+        import math
+
+        rng = random.Random(0xC0FFEE)
+        configs = [random_config(rng) for _ in range(N_CONFIGS)]
+        assert any(math.isinf(c.t_train) for c in configs)
+        assert any(math.isnan(c.t_train) for c in configs)
+        assert any(
+            math.isinf(c.t_train) and c.t_train < 0 for c in configs
+        )
+        assert any(c.t_eval == int(c.t_eval) for c in configs
+                   if not math.isinf(c.t_eval))
+        assert any(c.scale.sparse for c in configs)
+        assert len({c.scheme for c in configs}) == len(_SCHEMES)
+        assert any(c.mix.irrational > 0 for c in configs)
+
+    def test_every_field_is_exercised_by_the_generator(self):
+        """No silently-skipped fields: across the corpus every top-level
+        field takes at least two distinct values (booleans included)."""
+        rng = random.Random(99)
+        corpus = [random_config(rng) for _ in range(100)]
+        constant = ("collect_events",)  # storable configs only, by design
+        for f in dataclasses.fields(SimulationConfig):
+            values = {repr(getattr(c, f.name)) for c in corpus}
+            if f.name in constant:
+                assert values == {"False"}
+            else:
+                assert len(values) >= 2, f"generator never varies {f.name}"
