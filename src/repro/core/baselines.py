@@ -170,6 +170,21 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         # Contributions tracked only for comparable metrics.
         self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
 
+    # ``_totals_flat`` is a live view of ``_totals``; pickle would
+    # serialize the pair as two independent arrays, silently severing the
+    # aliasing and corrupting every post-restore total.  Drop the view
+    # from the state and rebuild it on the other side so a restored
+    # scheme books transfers bit-identically (checkpoint/resume relies
+    # on this).
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_totals_flat"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._totals_flat = self._totals.reshape(-1)
+
     @property
     def given(self) -> np.ndarray:
         """Direct-experience matrix: ``(N, N)`` for a single run (the

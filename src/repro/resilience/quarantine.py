@@ -1,0 +1,46 @@
+"""Quarantine artifacts: the paper trail of configs that kept failing.
+
+A config that exhausts its retry budget is *quarantined*: the grid
+keeps draining, and an ``errors/<config-hash>.json`` artifact records
+everything needed to debug the failure after the fact — the error, the
+remote traceback text, the attempt count, the canonical config dict,
+and the fault context (which injected faults had fired) if a chaos plan
+was active.  :meth:`repro.store.RunStore.put_error` persists these;
+``repro ls --errors`` and the service job detail render them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["QUARANTINE_SCHEMA_VERSION", "build_error_payload"]
+
+QUARANTINE_SCHEMA_VERSION = 1
+
+
+def build_error_payload(
+    *,
+    config_hash: str,
+    error: Any,
+    traceback_text: str = "",
+    attempts: int = 1,
+    config: dict[str, Any] | None = None,
+    plan: Any = None,
+) -> dict[str, Any]:
+    """The ``errors/<hash>.json`` document for one quarantined config.
+
+    ``plan`` is the active :class:`~repro.resilience.faults.FaultPlan`
+    (if any); its ``fired`` log is embedded so a chaos run's artifacts
+    say *which* injected faults produced them.
+    """
+    return {
+        "schema_version": QUARANTINE_SCHEMA_VERSION,
+        "config_hash": config_hash,
+        "attempts": int(attempts),
+        "error": error if isinstance(error, str) else repr(error),
+        "traceback": traceback_text or "",
+        "created_at": time.time(),
+        "config": config,
+        "faults": list(plan.fired) if plan is not None else [],
+    }

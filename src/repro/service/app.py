@@ -81,6 +81,9 @@ class ServiceSettings:
     max_pending: int = 256
     batch_width: int = 4
     dispatch: str | None = None
+    #: Steps between mid-run resume snapshots (0 disables); see
+    #: :mod:`repro.resilience`.
+    checkpoint_every: int = 0
     history_limit: int = 4096
     heartbeat_s: float = 15.0
     shutdown_timeout_s: float = 30.0
@@ -110,6 +113,7 @@ class SimulationService:
             batch_width=self.settings.batch_width,
             dispatch=self.settings.dispatch,
             runner=runner,
+            checkpoint_every=self.settings.checkpoint_every,
         )
         self._server: asyncio.Server | None = None
         self.port: int | None = None  # actual bound port (settings may say 0)
@@ -319,7 +323,26 @@ class SimulationService:
 
     async def _handle_job(self, writer, path: str, body: bytes) -> int:
         job = self._job_or_404(path)
-        await self._respond_json(writer, 200, job.view(full=True))
+        view = job.view(full=True)
+        # Failed slots get their persisted quarantine artifact surfaced
+        # (hash, attempt count, last error) — the API's window into the
+        # store's errors/ directory, same data as `repro ls --errors`.
+        quarantined = []
+        for entry in view["results"]:
+            if entry.get("status") != "failed":
+                continue
+            artifact = self.store.get_error(entry["config_hash"]) or {}
+            detail = {
+                "config_hash": entry["config_hash"],
+                "attempts": artifact.get("attempts", entry.get("attempts")),
+                "error": artifact.get("error", entry.get("error")),
+            }
+            if "created_at" in artifact:
+                detail["created_at"] = artifact["created_at"]
+            quarantined.append(detail)
+        if quarantined:
+            view["quarantined"] = quarantined
+        await self._respond_json(writer, 200, view)
         return 200
 
     async def _handle_events(self, writer, path: str, body: bytes) -> int:

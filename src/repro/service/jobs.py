@@ -25,11 +25,19 @@ lands and is hopped onto the event loop, where unit resolution updates
 every waiting job and publishes its SSE events.  All manager state is
 therefore mutated on the loop thread only; compute threads never touch
 it directly.
+
+Failure degrades per *unit*, not per job: compute runs with
+``on_error="quarantine"`` (see :mod:`repro.resilience`), so a config
+that exhausts its retry budget is booked as a failed slot
+(``config_failed`` event, persisted ``errors/<hash>.json`` artifact)
+and the job still terminates — as ``partial`` — once its remaining
+configs land.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import secrets
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -78,15 +86,20 @@ class Job:
     #: Configs as submitted, duplicates included.
     submitted: int
     created_at: float
-    state: str = "queued"  # queued | running | completed | failed
+    state: str = "queued"  # queued | running | completed | partial | failed
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
-    #: hash -> {"status": "pending"|"done", "source": ..., "summary": ...}
+    #: hash -> {"status": "pending"|"done"|"failed", "source": ...,
+    #: "summary": ...} — failed slots additionally carry "error" and
+    #: "attempts" from the quarantine artifact.
     slots: dict[str, dict[str, Any]] = field(default_factory=dict)
     done: int = 0
     n_cached: int = 0
     n_computed: int = 0
+    #: Configs quarantined after exhausting their retry budget; the job
+    #: still finishes ("partial"), degraded rather than failed outright.
+    n_failed: int = 0
 
     @property
     def total(self) -> int:
@@ -96,7 +109,7 @@ class Job:
     @property
     def finished(self) -> bool:
         """Whether the job reached a terminal state."""
-        return self.state in ("completed", "failed")
+        return self.state in ("completed", "partial", "failed")
 
     def view(self, full: bool = False) -> dict[str, Any]:
         """JSON-able representation (``full`` adds per-config results)."""
@@ -108,6 +121,7 @@ class Job:
             "done": self.done,
             "cached": self.n_cached,
             "computed": self.n_computed,
+            "failed": self.n_failed,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -133,10 +147,32 @@ class _Unit:
         self.running = False
 
 
-#: ``runner(configs, progress)`` — executes the given configs (persisting
-#: into the store) and fires ``progress(done, total, index, result,
-#: cached, stats)`` per completed config.  Injectable for tests.
-Runner = Callable[[list[SimulationConfig], Callable], None]
+#: ``runner(configs, progress, on_failure)`` — executes the given
+#: configs (persisting into the store), fires ``progress(done, total,
+#: index, result, cached, stats)`` per completed config and
+#: ``on_failure(failure)`` (a :class:`repro.sim.sweep.SweepFailure`) per
+#: config quarantined after exhausting its retry budget.  Injectable for
+#: tests; legacy two-argument runners are adapted (their units can then
+#: only succeed or fail the whole batch).
+Runner = Callable[[list[SimulationConfig], Callable, Callable], None]
+
+
+def _adapt_runner(runner: Callable) -> Callable:
+    """Bridge legacy ``runner(configs, progress)`` callables."""
+    try:
+        params = inspect.signature(runner).parameters.values()
+    except (TypeError, ValueError):  # builtins/C callables: assume new-style
+        return runner
+    if any(p.kind == p.VAR_POSITIONAL for p in params):
+        return runner
+    n_positional = sum(
+        1
+        for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    )
+    if n_positional >= 3:
+        return runner
+    return lambda configs, progress, on_failure: runner(configs, progress)
 
 
 class JobManager:
@@ -152,6 +188,7 @@ class JobManager:
         batch_width: int = 4,
         dispatch: str | None = None,
         runner: Runner | None = None,
+        checkpoint_every: int = 0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -159,6 +196,8 @@ class JobManager:
             raise ValueError("max_pending must be >= 1")
         if batch_width < 1:
             raise ValueError("batch_width must be >= 1")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         self.store = store
         self.hub = hub if hub is not None else EventHub()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -166,7 +205,10 @@ class JobManager:
         self.max_pending = int(max_pending)
         self.batch_width = int(batch_width)
         self.dispatch = dispatch
-        self._runner = runner if runner is not None else self._default_runner
+        self.checkpoint_every = int(checkpoint_every)
+        self._runner = (
+            _adapt_runner(runner) if runner is not None else self._default_runner
+        )
         self.jobs: dict[str, Job] = {}
         self._units: dict[str, _Unit] = {}
         self._queue: asyncio.Queue = asyncio.Queue()
@@ -378,6 +420,7 @@ class JobManager:
         """Run one claimed batch in a compute thread."""
         assert self._loop is not None
         loop = self._loop
+        by_hash = {u.hash: u for u in batch}
 
         def progress(done, total, index, result, cached, stats) -> None:
             """Hop each landed config onto the loop for resolution."""
@@ -391,18 +434,45 @@ class JobManager:
             except RuntimeError:  # loop already closed (hard shutdown)
                 pass
 
-        self._runner([u.config for u in batch], progress)
+        def on_failure(failure) -> None:
+            """Hop each quarantined config onto the loop for degradation."""
+            unit = by_hash.get(failure.config_hash)
+            if unit is None:
+                return
+            try:
+                loop.call_soon_threadsafe(
+                    self._quarantine_unit,
+                    unit,
+                    failure.error,
+                    int(failure.attempts),
+                )
+            except RuntimeError:  # loop already closed (hard shutdown)
+                pass
+
+        self._runner([u.config for u in batch], progress, on_failure)
 
     def _default_runner(
-        self, configs: list[SimulationConfig], progress: Callable
+        self,
+        configs: list[SimulationConfig],
+        progress: Callable,
+        on_failure: Callable,
     ) -> None:
-        """Execute configs via :func:`run_sweep` (serial, store-backed)."""
+        """Execute configs via :func:`run_sweep` (serial, store-backed).
+
+        Runs with ``on_error="quarantine"``: one poisonous config costs
+        its own slot (a quarantine artifact plus an ``on_failure``
+        signal), never the whole batch or the jobs waiting on its
+        siblings.
+        """
         run_sweep(
             configs,
             backend="serial",
             store=self.store,
             progress=progress,
             dispatch=self.dispatch,
+            on_error="quarantine",
+            on_failure=on_failure,
+            checkpoint_every=self.checkpoint_every,
         )
 
     # ------------------------------------------------------------------
@@ -441,6 +511,47 @@ class JobManager:
             self._maybe_finish(job)
         self._gauges()
 
+    def _quarantine_unit(self, unit: _Unit, error: str, attempts: int) -> None:
+        """Book one quarantined config: waiting jobs degrade, not fail.
+
+        The slot is marked ``failed`` (with the artifact's error text
+        and attempt count), a ``config_failed`` event goes out on every
+        waiting job's stream, and the job still reaches a terminal state
+        — ``partial`` — once its remaining configs land.
+        """
+        if self._units.pop(unit.hash, None) is None:
+            return  # already failed/resolved (shutdown race)
+        self._count_config("failed")
+        self.metrics.counter(
+            "service_quarantined_total",
+            "Compute units quarantined after exhausting retries",
+        ).inc()
+        for job in unit.waiters:
+            if job.finished:
+                continue
+            slot = job.slots[unit.hash]
+            slot["status"] = "failed"
+            slot["source"] = "quarantine"
+            slot["summary"] = None
+            slot["error"] = error
+            slot["attempts"] = attempts
+            job.done += 1
+            job.n_failed += 1
+            self.hub.publish(
+                job.id,
+                "config_failed",
+                {
+                    "job_id": job.id,
+                    "done": job.done,
+                    "total": job.total,
+                    "config_hash": unit.hash,
+                    "error": error,
+                    "attempts": attempts,
+                },
+            )
+            self._maybe_finish(job)
+        self._gauges()
+
     def _fail_units(self, units: Sequence[_Unit], error: str) -> None:
         """Fail every job waiting on the given (unresolved) units."""
         failed_jobs: dict[str, Job] = {}
@@ -473,13 +584,18 @@ class JobManager:
         )
 
     def _maybe_finish(self, job: Job) -> None:
-        """Complete the job once every unique config has landed."""
+        """Complete the job once every unique config has settled.
+
+        A job with quarantined slots finishes as ``partial`` — clients
+        get every healthy result plus an enumeration of the gaps,
+        instead of an all-or-nothing failure.
+        """
         if job.finished or job.done < job.total:
             return
-        job.state = "completed"
+        job.state = "partial" if job.n_failed else "completed"
         job.finished_at = time.time()
         self.metrics.counter(
-            "service_jobs_total", "Finished jobs by outcome", outcome="completed"
+            "service_jobs_total", "Finished jobs by outcome", outcome=job.state
         ).inc()
         self.metrics.histogram(
             "service_job_seconds", "Submission-to-completion wall time"
@@ -489,13 +605,16 @@ class JobManager:
             "completed",
             {
                 "job_id": job.id,
+                "state": job.state,
                 "total": job.total,
                 "cached": job.n_cached,
                 "computed": job.n_computed,
+                "failed": job.n_failed,
                 "wall_s": job.finished_at - job.created_at,
                 "results": [
                     {
                         "config_hash": h,
+                        "status": job.slots[h]["status"],
                         "source": job.slots[h]["source"],
                         "summary": job.slots[h]["summary"],
                     }

@@ -25,6 +25,8 @@ Format history
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -40,7 +42,13 @@ _SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_checkpoint(sim: CollaborationSimulation, path: str | Path) -> Path:
-    """Write the simulation's learned state to an ``.npz`` file."""
+    """Write the simulation's learned state to an ``.npz`` file.
+
+    Crash-safe: the archive is written to a same-directory temp file,
+    flushed and fsynced, then atomically renamed over ``path`` — a crash
+    (or an injected ``checkpoint/save`` fault) mid-write leaves any
+    existing checkpoint at ``path`` intact, never a torn archive.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload: dict[str, np.ndarray] = dict(
@@ -66,7 +74,40 @@ def save_checkpoint(sim: CollaborationSimulation, path: str | Path) -> Path:
         else:
             payload["tft_sparse"] = np.int64(0)
             payload["tft_given"] = scheme._given.copy()
-    np.savez_compressed(path, **payload)
+    # Imported lazily: repro.resilience imports repro.sim modules, so a
+    # top-level import here would be circular during package init.
+    from ..resilience.faults import InjectedFault, fault_point, torn_bytes
+
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        spec = fault_point("checkpoint/save", key=str(path))
+        with os.fdopen(fd, "wb") as fh:
+            fd = None  # fdopen owns it now
+            if spec is not None and spec.action == "torn-write":
+                # Cooperative torn write: partial bytes land in the temp
+                # file only — the rename below never happens, proving the
+                # target checkpoint cannot be half-written.
+                import io
+
+                buf = io.BytesIO()
+                np.savez_compressed(buf, **payload)
+                fh.write(torn_bytes(spec, buf.getvalue()))
+                fh.flush()
+                os.fsync(fh.fileno())
+                raise InjectedFault("checkpoint/save")
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        tmp = None
+    finally:
+        if fd is not None:
+            os.close(fd)
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
     return path
 
 

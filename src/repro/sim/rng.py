@@ -104,3 +104,29 @@ class BufferedRNG:
 
     def __getattr__(self, name):
         return getattr(self.gen, name)
+
+    # Pickle support is explicit because ``__slots__`` + ``__getattr__``
+    # is a trap for the default protocol: during unpickling, attribute
+    # lookups run before ``gen`` exists and ``__getattr__`` recurses
+    # forever.  The buffer, its cursor, and the wrapped Generator's
+    # bit-generator state are all carried, so a restored BufferedRNG
+    # continues the *exact* stream — mid-block — that the original would
+    # have produced (mid-run checkpoint resume depends on this).
+    def __getstate__(self):
+        return {
+            "gen": self.gen,
+            "block": self._block,
+            "buf": self._buf,
+            "pos": self._pos,
+        }
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "gen", state["gen"])
+        object.__setattr__(self, "_block", state["block"])
+        # Unpickled arrays can be zero-copy views over the pickle's
+        # immutable bytes — such a buffer could never be re-marked
+        # writeable for the in-place refill.  Copy into owned memory.
+        buf = np.array(state["buf"], dtype=np.float64)
+        buf.flags.writeable = False
+        object.__setattr__(self, "_buf", buf)
+        object.__setattr__(self, "_pos", state["pos"])

@@ -67,6 +67,8 @@ from __future__ import annotations
 
 import inspect
 import os
+import threading
+import traceback as traceback_mod
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -92,7 +94,9 @@ __all__ = [
     "replicate",
     "available_workers",
     "SweepWorkerError",
+    "SweepFailure",
     "SweepProgress",
+    "last_sweep_failures",
     "set_default_store",
     "get_default_store",
     "plan_lane_batches",
@@ -175,15 +179,79 @@ def _adapt_progress(progress: Callable | None) -> Callable | None:
     )
 
 
+def _cause_traceback(exc: BaseException) -> str:
+    """Best available traceback text for a (possibly remote) exception.
+
+    ``_task_worker`` stamps ``_repro_traceback`` onto exceptions before
+    they cross the process boundary (instance ``__dict__`` entries
+    survive pickling where ``__traceback__`` does not); failing that,
+    ``concurrent.futures`` chains a ``_RemoteTraceback`` cause whose
+    ``str`` is the remote traceback text; failing both, format whatever
+    local traceback the exception still carries.
+    """
+    text = getattr(exc, "_repro_traceback", "")
+    if text:
+        return str(text)
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    return "".join(
+        traceback_mod.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """One config quarantined by ``run_sweep(on_error="quarantine")``.
+
+    ``index`` is the config's first position in the input list (``-1``
+    when a cooperating dispatch peer quarantined a config this
+    invocation never owned); ``attempts`` is how many executions were
+    spent before giving up; ``traceback_text`` is the worker-side
+    traceback (remote text under ``backend="process"``).  The same
+    information persists as the store's ``errors/<config_hash>.json``
+    artifact.
+    """
+
+    index: int
+    config: SimulationConfig
+    config_hash: str
+    attempts: int
+    error: str
+    traceback_text: str
+
+
+#: Failures of the calling thread's most recent quarantine-mode sweep —
+#: lets CLI/reporting code enumerate partial-result gaps without
+#: threading a callback through every call site.
+_SWEEP_FAILURES = threading.local()
+
+#: Per-(worker-)thread flags the most recent ``_task_worker`` call set;
+#: ``resumed`` tells an in-process dispatch coordinator that the task
+#: continued from a mid-run snapshot rather than step 0.
+_TASK_STATE = threading.local()
+
+
+def last_sweep_failures() -> list[SweepFailure]:
+    """Failures recorded by this thread's most recent ``run_sweep``.
+
+    Empty unless that sweep ran with ``on_error="quarantine"`` and at
+    least one config exhausted its retry budget.
+    """
+    return list(getattr(_SWEEP_FAILURES, "value", ()) or ())
+
+
 class SweepWorkerError(RuntimeError):
     """A sweep worker raised; identifies which config failed.
 
     Attributes: ``index`` (position in the input list), ``config``,
     ``config_hash`` (the store's content hash, so the failure can be
-    correlated with cache state) and ``task_hashes`` (under distributed
-    dispatch, every config hash of the claimed task — so a failed task
-    is attributable from any cooperating worker's logs, whichever lane
-    actually raised).
+    correlated with cache state), ``traceback_text`` (the worker-side
+    traceback — the *remote* text when the worker was a
+    ``backend="process"`` subprocess) and ``task_hashes`` (under
+    distributed dispatch, every config hash of the claimed task — so a
+    failed task is attributable from any cooperating worker's logs,
+    whichever lane actually raised).
     """
 
     def __init__(
@@ -196,6 +264,7 @@ class SweepWorkerError(RuntimeError):
         self.index = index
         self.config = config
         self.task_hashes = list(task_hashes or [])
+        self.traceback_text = _cause_traceback(cause)
         try:
             # Imported lazily: repro.store imports repro.sim at package
             # init, so a top-level import here would be circular.
@@ -247,11 +316,57 @@ def _worker(config: SimulationConfig) -> SimulationResult:
     return run_simulation(config)
 
 
-def _task_worker(configs: list[SimulationConfig]) -> list[SimulationResult]:
-    """Execute one sweep task: a solo run or a batched replicate group."""
-    if len(configs) == 1:
-        return [_worker(configs[0])]
-    return BatchedSimulation(configs).run()
+def _task_worker(
+    configs: list[SimulationConfig],
+    snapshot: tuple[str, int] | None = None,
+) -> list[SimulationResult]:
+    """Execute one sweep task: a solo run or a batched replicate group.
+
+    ``snapshot`` is ``(store_root, checkpoint_every)``; when given (and
+    no lane collects events) the task runs through
+    :class:`repro.resilience.ResumableTask`, persisting a full-state
+    snapshot into the store every ``checkpoint_every`` steps and
+    resuming bit-identically from the latest one if a prior attempt of
+    the same task died mid-run.  Both arguments are positional and
+    picklable so the worker still travels through ``spawn`` pools.
+
+    When a chaos :class:`~repro.resilience.FaultPlan` is active, fires
+    the ``sweep/compute`` failure point once per config (keyed by the
+    config hash, so plans can target one poison config via ``match``).
+    """
+    _TASK_STATE.resumed = False
+    try:
+        # Imported lazily: repro.resilience imports repro.sim modules, so
+        # a top-level import here would be circular during package init.
+        from ..resilience import active_plan, fault_point
+
+        if active_plan() is not None:
+            from ..store.hashing import config_hash
+
+            for cfg in configs:
+                fault_point("sweep/compute", key=config_hash(cfg))
+        if snapshot is not None and not any(c.collect_events for c in configs):
+            from ..resilience import ResumableTask
+
+            root, every = snapshot
+            task = ResumableTask(
+                list(configs), checkpoint_every=every, store_root=root
+            )
+            results = task.run()
+            _TASK_STATE.resumed = bool(task.resumed)
+            return results
+        if len(configs) == 1:
+            return [_worker(configs[0])]
+        return BatchedSimulation(configs).run()
+    except Exception as exc:
+        try:
+            # Stamp the worker-side traceback where pickling preserves
+            # it; the coordinator surfaces it via SweepWorkerError /
+            # quarantine artifacts (see _cause_traceback).
+            exc._repro_traceback = traceback_mod.format_exc()
+        except Exception:  # exotic __slots__ exceptions: best effort only
+            pass
+        raise
 
 
 def _group_replicates(
@@ -368,11 +483,42 @@ def run_sweep(
     lane_width: int | None = None,
     dispatch: str | None = None,
     lease_expiry_s: float | None = None,
+    on_error: str = "raise",
+    checkpoint_every: int = 0,
+    on_failure: Callable[[SweepFailure], None] | None = None,
+    compute_retry: Any = None,
 ) -> list[SimulationResult]:
     """Run every config; results align with the input list.
 
     ``store`` (or the ambient default) enables cache-skip and immediate
     persistence; ``progress`` observes each completed slot.
+
+    ``on_error`` picks the failure policy.  ``"raise"`` (default, the
+    historical behaviour): the first worker failure raises
+    :class:`SweepWorkerError` and cancels remaining work.
+    ``"quarantine"`` (requires a store): a failing config is retried up
+    to its budget (``compute_retry``, default
+    :data:`repro.resilience.DEFAULT_COMPUTE_RETRY` — two attempts), and
+    on exhaustion is *quarantined*: an ``errors/<hash>.json`` artifact
+    persists the error, remote traceback and fault context, the slot is
+    left ``None`` in the returned list, and the sweep keeps draining —
+    every healthy config still completes exactly once.  A failing
+    multi-lane batch is first split back into solo tasks so only the
+    truly poisonous configs quarantine.  Failures are enumerated via
+    ``on_failure`` (one :class:`SweepFailure` per quarantined config)
+    and :func:`last_sweep_failures`; the progress callback never fires
+    for failed slots.  An explicit ``compute_retry``
+    (:class:`repro.resilience.RetryPolicy`) also engages retries under
+    ``on_error="raise"`` — the error only propagates once the budget is
+    exhausted.
+
+    ``checkpoint_every=N`` (requires a store) makes tasks resumable:
+    every ``N`` steps each running task persists a full-state snapshot
+    (RNG stream state included) under the store's ``checkpoints/``
+    directory, and a retried or re-dispatched attempt of the same task
+    resumes bit-identically from the latest snapshot instead of step 0.
+    Event-collecting configs are exempt (their tasks run the classic
+    path).  See :mod:`repro.resilience`.
 
     ``dispatch="store"`` drains the grid cooperatively with every other
     invocation pointed at the same store (see
@@ -423,7 +569,13 @@ def run_sweep(
         raise ValueError(f"unknown backend {backend!r}; use serial|thread|process")
     if dispatch not in (None, "local", "store"):
         raise ValueError(f"unknown dispatch {dispatch!r}; use local|store")
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"unknown on_error {on_error!r}; use raise|quarantine")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be >= 0 (0 disables snapshots)")
+    quarantine = on_error == "quarantine"
     if not configs:
+        _SWEEP_FAILURES.value = []
         return []
     store = store if store is not None else _DEFAULT_STORE
     if dispatch == "store" and store is None:
@@ -431,6 +583,30 @@ def run_sweep(
             "dispatch='store' needs a store: the store is the coordination "
             "substrate (pass store= or install a default via set_default_store)"
         )
+    if quarantine and store is None:
+        raise ValueError(
+            "on_error='quarantine' needs a store: quarantine artifacts "
+            "persist as errors/<config-hash>.json (pass store= or install "
+            "a default via set_default_store)"
+        )
+    if checkpoint_every > 0 and store is None:
+        raise ValueError(
+            "checkpoint_every needs a store: snapshots persist under the "
+            "store's checkpoints/ directory"
+        )
+    if compute_retry is not None or quarantine:
+        from ..resilience import DEFAULT_COMPUTE_RETRY
+
+        retry_policy = (
+            compute_retry if compute_retry is not None else DEFAULT_COMPUTE_RETRY
+        )
+        attempts_budget = max(1, int(retry_policy.max_attempts))
+    else:
+        retry_policy = None
+        attempts_budget = 1
+    snap_root = str(store.root) if checkpoint_every > 0 else None
+    failures: list[SweepFailure] = []
+    _SWEEP_FAILURES.value = failures
     progress = _adapt_progress(progress)
     tracer = get_tracer()
     n = len(configs)
@@ -508,6 +684,14 @@ def run_sweep(
         """Persist one finished result and fill every slot it serves."""
         if store is not None and not cfg.collect_events:
             store.put(result)
+            if quarantine:
+                # A success supersedes any stale quarantine artifact a
+                # previous run left for this config.
+                from ..store.hashing import config_hash
+
+                h = config_hash(cfg)
+                if store.has_error(h):
+                    store.clear_error(h)
         results[indices[0]] = result
         notify(indices[0], cached=False)
         for idx in indices[1:]:
@@ -516,6 +700,66 @@ def run_sweep(
             # mutation of one slot can't alias another.
             results[idx] = store.get(cfg)
             notify(idx, cached=True)
+
+    def quarantine_artifact(
+        cfg: SimulationConfig, exc: BaseException, attempts: int
+    ) -> str:
+        """Persist the ``errors/<hash>.json`` artifact for one config.
+
+        Also drops the config's stale solo snapshot (a quarantined task
+        never completes, so nothing else would).  Returns the hash.
+        """
+        from ..resilience import active_plan, build_error_payload, snapshot_key
+        from ..store.hashing import canonical_config_dict, config_hash
+
+        h = config_hash(cfg)
+        store.put_error(
+            build_error_payload(
+                config_hash=h,
+                error=exc,
+                traceback_text=_cause_traceback(exc),
+                attempts=attempts,
+                config=canonical_config_dict(cfg),
+                plan=active_plan(),
+            )
+        )
+        if snap_root is not None:
+            store.delete_snapshot(snapshot_key([h]))
+        return h
+
+    def record_failure(
+        cfg: SimulationConfig, index: int, exc: BaseException, attempts: int
+    ) -> None:
+        """Quarantine ``cfg`` locally: artifact, counters, enumeration."""
+        h = quarantine_artifact(cfg, exc, attempts)
+        failure = SweepFailure(
+            index=index,
+            config=cfg,
+            config_hash=h,
+            attempts=attempts,
+            error=repr(exc),
+            traceback_text=_cause_traceback(exc),
+        )
+        failures.append(failure)
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "resilience_quarantined_total",
+                "Configs settled by a quarantine artifact",
+            ).inc()
+        if on_failure is not None:
+            on_failure(failure)
+
+    def drop_task_snapshot(
+        task: list[tuple[SimulationConfig, list[int]]]
+    ) -> None:
+        """A failed batch about to be split never completes as a batch —
+        drop its stale batch-level snapshot."""
+        if snap_root is None:
+            return
+        from ..resilience import snapshot_key
+        from ..store.hashing import config_hash
+
+        store.delete_snapshot(snapshot_key([config_hash(c) for c, _ in task]))
 
     if dispatch == "store":
         # Imported lazily: repro.store imports repro.sim at package init,
@@ -553,20 +797,77 @@ def run_sweep(
                 ),
             )
 
+            def execute_claimed(
+                cfgs: list[SimulationConfig],
+            ) -> list[SimulationResult]:
+                """One retry-wrapped in-process execution of claimed lanes."""
+                spec = (snap_root, checkpoint_every) if snap_root else None
+                if retry_policy is None:
+                    out = _task_worker(cfgs, spec)
+                else:
+                    out = retry_policy.call(
+                        lambda: _task_worker(cfgs, spec), site="sweep/compute"
+                    )
+                if getattr(_TASK_STATE, "resumed", False):
+                    # Claimed tasks execute in-process, so the worker's
+                    # thread-local resume flag is visible here.
+                    dispatcher.note_resumed()
+                return out
+
             def run_claimed(
                 task_configs: list[SimulationConfig], task: Any
-            ) -> list[SimulationResult]:
+            ) -> list[SimulationResult | None]:
                 """Execute one claimed task's missing lanes in-process."""
                 try:
-                    return _task_worker(task_configs)
+                    return execute_claimed(task_configs)
                 except Exception as exc:
-                    indices = shared.get(task_configs[0])
-                    raise SweepWorkerError(
-                        indices[0] if indices else -1,
-                        task_configs[0],
-                        exc,
-                        task_hashes=list(task.config_hashes),
-                    ) from exc
+                    if not quarantine:
+                        indices = shared.get(task_configs[0])
+                        raise SweepWorkerError(
+                            indices[0] if indices else -1,
+                            task_configs[0],
+                            exc,
+                            task_hashes=list(task.config_hashes),
+                        ) from exc
+                    if len(task_configs) == 1:
+                        quarantine_artifact(task_configs[0], exc, attempts_budget)
+                        return [None]
+                    # Blast-radius isolation: one poisoned lane failed
+                    # the whole claimed task; rerun each lane solo so
+                    # only the truly failing configs quarantine and the
+                    # healthy lanes still land under this lease.
+                    drop_task_snapshot([(c, []) for c in task_configs])
+                    out: list[SimulationResult | None] = []
+                    for cfg in task_configs:
+                        try:
+                            out.extend(execute_claimed([cfg]))
+                        except Exception as solo_exc:
+                            quarantine_artifact(cfg, solo_exc, attempts_budget)
+                            out.append(None)
+                    return out
+
+            def on_failed(cfg: SimulationConfig, config_hash_: str) -> None:
+                """Enumerate a quarantined config — ours or a peer's.
+
+                The drain fires this exactly once per failed config
+                (artifact already persisted, by us in ``run_claimed`` or
+                by a peer), so this is the single place dispatch-mode
+                failures are recorded; the artifact supplies the details
+                for configs a peer quarantined.  Slots stay ``None``.
+                """
+                indices = shared.pop(cfg, None)
+                payload = store.get_error(config_hash_) or {}
+                failure = SweepFailure(
+                    index=indices[0] if indices else -1,
+                    config=cfg,
+                    config_hash=config_hash_,
+                    attempts=int(payload.get("attempts", 0) or 0),
+                    error=str(payload.get("error", "")),
+                    traceback_text=str(payload.get("traceback", "")),
+                )
+                failures.append(failure)
+                if on_failure is not None:
+                    on_failure(failure)
 
             def on_computed(
                 cfg: SimulationConfig, config_hash_: str, result: SimulationResult
@@ -589,7 +890,14 @@ def run_sweep(
                     results[idx] = store.get(cfg)
                     notify(idx, cached=True)
 
-            dispatcher.drain(dispatch_tasks, run_claimed, on_computed, on_served)
+            dispatcher.drain(
+                dispatch_tasks,
+                run_claimed,
+                on_computed,
+                on_served,
+                on_failed=on_failed if quarantine else None,
+                quarantine=quarantine,
+            )
 
     if pending:
         if lane_batch:
@@ -631,13 +939,55 @@ def run_sweep(
                 "Submit-to-completion time not spent executing",
             ).observe(max(0.0, turnaround_s - exec_s))
 
+        def snapshot_spec(
+            task: list[tuple[SimulationConfig, list[int]]]
+        ) -> tuple[str, int] | None:
+            """The ``_task_worker`` snapshot argument for one task."""
+            if snap_root is None or any(c.collect_events for c, _ in task):
+                return None
+            return (snap_root, checkpoint_every)
+
         if backend == "serial" or len(tasks) == 1:
+
+            def execute_task(
+                task: list[tuple[SimulationConfig, list[int]]]
+            ) -> list[SimulationResult]:
+                """One retry-wrapped execution of a task, in-process."""
+                cfgs = [cfg for cfg, _ in task]
+                spec = snapshot_spec(task)
+                if retry_policy is None:
+                    return _task_worker(cfgs, spec)
+                return retry_policy.call(
+                    lambda: _task_worker(cfgs, spec), site="sweep/compute"
+                )
+
             for task in tasks:
                 task_watch = Stopwatch()
                 try:
-                    task_results = _task_worker([cfg for cfg, _ in task])
+                    task_results = execute_task(task)
                 except Exception as exc:
-                    raise SweepWorkerError(task[0][1][0], task[0][0], exc) from exc
+                    if not quarantine:
+                        raise SweepWorkerError(task[0][1][0], task[0][0], exc) from exc
+                    if len(task) > 1:
+                        # Blast-radius isolation: one poisoned lane
+                        # failed the whole batch; rerun each lane solo
+                        # so only the truly failing configs quarantine
+                        # and the healthy lanes still land.
+                        drop_task_snapshot(task)
+                        for item in task:
+                            try:
+                                solo = execute_task([item])
+                            except Exception as solo_exc:
+                                record_failure(
+                                    item[0], item[1][0], solo_exc, attempts_budget
+                                )
+                                continue
+                            complete(item[0], item[1], solo[0])
+                    else:
+                        record_failure(
+                            task[0][0], task[0][1][0], exc, attempts_budget
+                        )
+                    continue
                 if tracer.enabled:
                     book_task_metrics(task, task_results, task_watch.elapsed())
                 complete_task(task, task_results)
@@ -650,14 +1000,30 @@ def run_sweep(
                     "sweep_workers", "Worker-pool width of the last sweep"
                 ).set(workers)
             with pool_cls(max_workers=workers) as pool:
-                futures: dict[Future, list[tuple[SimulationConfig, list[int]]]] = {
-                    pool.submit(_task_worker, [cfg for cfg, _ in task]): task
-                    for task in tasks
-                }
+                #: future -> (task, attempt number) — attempts matter
+                #: only under a retry policy, where a failed task is
+                #: resubmitted until its budget runs out (checkpointed
+                #: tasks resume from their latest snapshot, so a retry
+                #: repeats only the steps since the last checkpoint).
+                futures: dict[
+                    Future, tuple[list[tuple[SimulationConfig, list[int]]], int]
+                ] = {}
+
+                def submit(
+                    task: list[tuple[SimulationConfig, list[int]]], attempt: int
+                ) -> Future:
+                    fut = pool.submit(
+                        _task_worker,
+                        [cfg for cfg, _ in task],
+                        snapshot_spec(task),
+                    )
+                    futures[fut] = (task, attempt)
+                    return fut
+
+                not_done = {submit(task, 1) for task in tasks}
                 # Every task is submitted up front, so one watch dates
                 # all submissions for the queue-wait measurement.
                 submitted = Stopwatch()
-                not_done = set(futures)
                 try:
                     while not_done:
                         finished, not_done = wait(
@@ -668,12 +1034,26 @@ def run_sweep(
                         # sibling future in the same batch failed.
                         failure: tuple[int, SimulationConfig, Exception] | None = None
                         for fut in finished:
-                            task = futures[fut]
+                            task, attempt = futures.pop(fut)
                             try:
                                 task_results = fut.result()
                             except Exception as exc:
-                                if failure is None:
-                                    failure = (task[0][1][0], task[0][0], exc)
+                                if attempt < attempts_budget:
+                                    not_done.add(submit(task, attempt + 1))
+                                elif not quarantine:
+                                    if failure is None:
+                                        failure = (task[0][1][0], task[0][0], exc)
+                                elif len(task) > 1:
+                                    # Blast-radius isolation, pool
+                                    # spelling: resubmit each lane solo
+                                    # with a fresh attempt budget.
+                                    drop_task_snapshot(task)
+                                    for item in task:
+                                        not_done.add(submit([item], 1))
+                                else:
+                                    record_failure(
+                                        task[0][0], task[0][1][0], exc, attempt
+                                    )
                                 continue
                             if tracer.enabled:
                                 book_task_metrics(
@@ -687,7 +1067,9 @@ def run_sweep(
                         fut.cancel()
                     raise
 
-    return results  # type: ignore[return-value]  # every slot is filled
+    # Every slot is filled — except, under on_error="quarantine", slots
+    # of quarantined configs, which stay None (enumerated in failures).
+    return results  # type: ignore[return-value]
 
 
 def replicate(

@@ -13,9 +13,11 @@ drives the scenario registry and the content-addressed run store::
     repro sweep --publish-only --set n_agents=50,100  # publish, don't run
     repro sweep-worker ./runstore        # join any drain on this store
     repro serve --port 8321              # HTTP job API + SSE over the store
+    repro chaos base/default --plan p.json  # replay a fault schedule
     repro profile base/default --fast    # cProfile one pack config
     repro trace scale/50k --json         # traced run: phase-time breakdown
     repro ls                             # stored runs, no simulation
+    repro ls --errors                    # quarantine artifacts, no simulation
     repro report --metric shared_files   # aggregate table, no simulation
     repro stats                          # aggregate stored telemetry
 
@@ -39,7 +41,7 @@ from typing import Any
 from ..analysis.report import aggregate_stored_runs, render_stored_table
 from ..sim.config import ScaleConfig, SimulationConfig
 from ..sim.scenarios import base_config
-from ..sim.sweep import run_sweep
+from ..sim.sweep import last_sweep_failures, run_sweep
 from .compose import iter_modifiers, resolve_scenario
 from .hashing import revive_floats, short_hash
 from .registry import iter_scenarios
@@ -143,6 +145,13 @@ def _run_and_report(
             "error: --dispatch=store needs the store (it is the "
             "coordination substrate); drop --no-store"
         )
+    on_error = getattr(args, "on_error", "raise")
+    checkpoint_every = getattr(args, "checkpoint_every", 0)
+    if args.no_store and (on_error == "quarantine" or checkpoint_every):
+        raise SystemExit(
+            "error: --on-error=quarantine and --checkpoint-every persist "
+            "artifacts into the store; drop --no-store"
+        )
     store = None if args.no_store else RunStore(args.store)
     results = run_sweep(
         configs,
@@ -155,6 +164,8 @@ def _run_and_report(
         lane_width=args.lane_width,
         dispatch=args.dispatch,
         lease_expiry_s=args.lease_expiry,
+        on_error=on_error,
+        checkpoint_every=checkpoint_every,
     )
     if args.dispatch == "store" and not args.quiet:
         from .dispatch import last_dispatch_stats
@@ -167,7 +178,19 @@ def _run_and_report(
                 f"{stats.reclaimed} reclaimed "
                 f"({stats.configs_per_sec:.2f} configs/s as {stats.owner})"
             )
-    records = [StoredRun.from_result(r) for r in results]
+    failures = last_sweep_failures()
+    if failures:
+        print(f"quarantined {len(failures)} config(s):")
+        for f in failures:
+            print(
+                f"  {short_hash(f.config_hash)}  attempts={f.attempts}  "
+                f"{f.error}"
+            )
+        print(
+            f"  (details in {args.store}/errors/<hash>.json; "
+            f"list with: repro ls --errors --store {args.store})"
+        )
+    records = [StoredRun.from_result(r) for r in results if r is not None]
     metrics = tuple(args.metric or _DEFAULT_METRICS)
     print(render_stored_table(aggregate_stored_runs(records, metrics), metrics))
     if store is not None:
@@ -291,6 +314,13 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
     )
     grid_stats: dict[str, dict[str, Any]] = {}
 
+    def settled(h: str) -> bool:
+        """A config needs no worker: result landed or (when quarantining)
+        it is settled by a persisted quarantine artifact."""
+        if store.contains_hash(h):
+            return True
+        return args.on_error == "quarantine" and store.has_error(h)
+
     def drain_one(key: str, manifest: Any) -> None:
         """Cooperatively drain one grid and book its stats."""
         if not args.quiet:
@@ -303,7 +333,15 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
             lane_width=manifest.lane_width,
             dispatch="store",
             lease_expiry_s=args.lease_expiry,
+            on_error=args.on_error,
+            checkpoint_every=args.checkpoint_every,
         )
+        failures = last_sweep_failures()
+        if failures and not args.quiet:
+            print(
+                f"grid {key[:12]}: {len(failures)} config(s) quarantined "
+                f"(repro ls --errors --store {store.root})"
+            )
         stats = last_dispatch_stats()
         if stats is not None:
             grid_stats[key] = stats.as_dict()
@@ -311,7 +349,7 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
                 print(
                     f"grid {key[:12]}: {stats.computed} computed / "
                     f"{stats.served} served ({stats.claimed} claimed, "
-                    f"{stats.reclaimed} reclaimed)"
+                    f"{stats.reclaimed} reclaimed, {stats.resumed} resumed)"
                 )
 
     while True:
@@ -324,7 +362,7 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
                 if args.grid and deadline is None:
                     raise SystemExit(f"error: no grid {key!r} in {store.root}")
                 continue
-            if all(store.contains_hash(h) for h in manifest.config_hashes):
+            if all(settled(h) for h in manifest.config_hashes):
                 continue  # grid fully drained; nothing to join
             worked = True
             if args.trace:
@@ -365,6 +403,69 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
         else:
             print(f"no undrained grids in {store.root}")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a scenario under a deterministic fault-injection plan.
+
+    The resilience layer's front door (docs/RESILIENCE.md): loads a
+    :class:`~repro.resilience.FaultPlan` (``--plan`` takes inline JSON
+    or a file path), activates it for the whole run — in this process
+    *and*, via ``REPRO_FAULT_PLAN``, in any subprocess workers — and
+    executes the scenario with quarantine-mode error handling, so the
+    run degrades instead of dying.  The same plan against the same
+    scenario replays the identical fault schedule, which is what makes
+    a chaos failure debuggable.  Exits 0 when every config either
+    completed or quarantined as scheduled.
+    """
+    import os
+
+    from ..resilience import FAULT_PLAN_ENV, FaultPlan, inject_faults
+
+    try:
+        pack = resolve_scenario(args.scenario)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    try:
+        plan = FaultPlan.parse(args.plan)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot load fault plan: {exc}") from None
+    overrides = _single_overrides(_parse_set(args.set))
+    configs = pack.expand(
+        fast=args.fast,
+        n_seeds=args.seeds if args.seeds is not None else _DEFAULT_SEEDS,
+        overrides=overrides or None,
+    )
+    if not args.quiet:
+        print(
+            f"chaos {pack.name}: {len(configs)} configs under "
+            f"{len(plan.specs)} fault spec(s) (seed {plan.seed})"
+        )
+    # Subprocess workers (backend=process, dispatch peers) inherit the
+    # schedule through the environment; this process uses the installed
+    # plan so the fired log below reflects coordinator-side faults.
+    previous_env = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = json.dumps(plan.to_dict())
+    try:
+        with inject_faults(plan):
+            code = _run_and_report(configs, args)
+    finally:
+        if previous_env is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous_env
+    if not args.quiet:
+        if plan.fired:
+            print(f"faults fired in this process ({len(plan.fired)}):")
+            for f in plan.fired:
+                key = f" key={f['key'][:12]}" if f["key"] else ""
+                print(f"  {f['site']} hit#{f['hit']} -> {f['action']}{key}")
+        else:
+            print(
+                "no faults fired in this process (subprocess workers "
+                "count their own)"
+            )
+    return code
 
 
 #: Valid ``repro profile --sort`` keys (pstats sort_stats spellings).
@@ -490,8 +591,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_ls(args: argparse.Namespace) -> int:
-    """List stored runs (reads the store; never simulates)."""
+    """List stored runs (reads the store; never simulates).
+
+    ``--errors`` lists the quarantine artifacts instead: one line per
+    config that exhausted its retry budget, with the attempt count and
+    last error from ``errors/<hash>.json``.
+    """
     store = RunStore(args.store)
+    if getattr(args, "errors", False):
+        hashes = sorted(store.error_hashes())
+        if not hashes:
+            print(f"(no quarantine artifacts in {store.root})")
+            return 0
+        for h in hashes:
+            payload = store.get_error(h) or {}
+            error = " ".join(str(payload.get("error", "?")).split())
+            print(
+                f"{short_hash(h)}  attempts={payload.get('attempts', '?'):<3} "
+                f"{error[:100]}"
+            )
+        print(f"{len(hashes)} quarantined config(s) in {store.root}")
+        return 0
     records = store.records()
     if args.limit:
         records = records[-args.limit :]
@@ -628,6 +748,25 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         "a crashed peer's task claim is reclaimed (default 30)",
     )
     p.add_argument(
+        "--on-error",
+        choices=["raise", "quarantine"],
+        default="raise",
+        dest="on_error",
+        help="'quarantine': retry failing configs, then persist an "
+        "errors/<hash>.json artifact and keep going (partial results); "
+        "default: fail fast on the first worker error",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        dest="checkpoint_every",
+        help="persist a mid-run resume snapshot every N steps so a "
+        "retried or re-dispatched task resumes bit-identically instead "
+        "of restarting (default 0 = off)",
+    )
+    p.add_argument(
         "--set",
         action="append",
         metavar="KEY=VAL[,VAL...]",
@@ -657,6 +796,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         batch_width=args.batch_width,
         dispatch="store" if args.dispatch_store else None,
+        checkpoint_every=args.checkpoint_every,
         heartbeat_s=args.heartbeat,
         shutdown_timeout_s=args.shutdown_timeout,
     )
@@ -745,8 +885,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a JSON summary (per-grid lease counters, locally "
         "computed config hashes) to stdout on exit",
     )
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "quarantine"],
+        default="raise",
+        dest="on_error",
+        help="'quarantine': retry failing configs, persist an "
+        "errors/<hash>.json artifact and treat them as settled so the "
+        "drain still completes; default: fail fast",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        dest="checkpoint_every",
+        help="persist a mid-run resume snapshot every N steps; a task "
+        "reclaimed from a crashed peer resumes from its latest snapshot "
+        "instead of step 0 (default 0 = off)",
+    )
     p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
     p.set_defaults(func=cmd_sweep_worker)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a scenario under a deterministic fault-injection plan",
+    )
+    p.add_argument(
+        "scenario",
+        help="pack name or pack+modifier[+modifier...] spec (see 'scenarios')",
+    )
+    p.add_argument(
+        "--plan",
+        required=True,
+        metavar="JSON|PATH",
+        help="fault plan: inline JSON (starts with '{') or a plan file; "
+        "see docs/RESILIENCE.md for the schema",
+    )
+    _add_exec_args(p)
+    p.set_defaults(func=cmd_chaos, on_error="quarantine")
 
     p = sub.add_parser(
         "serve",
@@ -783,6 +960,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="coordinate compute through store leases so external "
         "sweep-workers can co-drain service jobs",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        dest="checkpoint_every",
+        help="persist mid-run checkpoints for service compute every N "
+        "steps (0 = off)",
     )
     p.add_argument(
         "--heartbeat",
@@ -873,6 +1059,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arg(p)
     p.add_argument("--limit", type=int, default=None, help="show only the last N")
     p.add_argument("--metric", action="append", help="summary metric(s) to show")
+    p.add_argument(
+        "--errors",
+        action="store_true",
+        help="list quarantine artifacts (errors/<hash>.json) instead of runs",
+    )
     p.set_defaults(func=cmd_ls)
 
     p = sub.add_parser("report", help="aggregate stored runs (no simulation)")

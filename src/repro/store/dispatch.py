@@ -61,6 +61,8 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from ..obs import Stopwatch, get_tracer
+from ..resilience.faults import fault_point
+from ..resilience.retry import DEFAULT_STORE_RETRY, RetryPolicy
 from ..sim.config import SimulationConfig
 from .hashing import config_hash
 
@@ -176,6 +178,7 @@ class LeaseBoard:
         root: str | Path,
         owner: str | None = None,
         expiry_s: float = DEFAULT_LEASE_EXPIRY_S,
+        retry: RetryPolicy | None = DEFAULT_STORE_RETRY,
     ):
         if expiry_s <= 0:
             raise ValueError("expiry_s must be positive")
@@ -183,6 +186,13 @@ class LeaseBoard:
         self.claims_dir.mkdir(parents=True, exist_ok=True)
         self.owner = owner or default_owner_id()
         self.expiry_s = float(expiry_s)
+        #: Bounded retry around the claim/renew filesystem writes.  A
+        #: lost claim race (``FileExistsError``) is never retried — it is
+        #: an answer, not a failure.
+        self.retry = retry
+
+    def _io(self, fn: Callable[[], Any], site: str) -> Any:
+        return self.retry.call(fn, site=site) if self.retry is not None else fn()
 
     def _path(self, key: str) -> Path:
         return self.claims_dir / f"{key}.lease"
@@ -197,6 +207,9 @@ class LeaseBoard:
 
         The ``O_EXCL`` create is the whole mutual exclusion: losing the
         race surfaces as ``FileExistsError``, never as a torn file.
+        Failure point ``lease/claim`` fires per attempt inside the retry
+        wrapper, so a single-occurrence injected ``OSError`` is ridden
+        out transparently.
         """
         now = time.time()
         lease = Lease(
@@ -207,15 +220,20 @@ class LeaseBoard:
             expiry_s=self.expiry_s,
             config_hashes=tuple(config_hashes),
         )
-        try:
-            fd = os.open(
-                self._path(key), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
-            )
-        except FileExistsError:
-            return None
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(lease.as_dict()))
-        return lease
+
+        def attempt() -> Lease | None:
+            fault_point("lease/claim", key=key)
+            try:
+                fd = os.open(
+                    self._path(key), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                return None  # lost the race: an answer, not an error
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(lease.as_dict()))
+            return lease
+
+        return self._io(attempt, "lease/claim")
 
     def read(self, key: str) -> Lease | None:
         """The current lease on ``key``, or ``None`` when unclaimed.
@@ -260,7 +278,17 @@ class LeaseBoard:
         race window is microseconds against an expiry measured in
         seconds, and a clobbered successor merely recomputes — results
         stay correct because the store is idempotent.)
+
+        Failure point ``lease/renew`` supports the ``lease-loss`` action
+        — an injected :class:`LeaseLost`, as if a survivor had reclaimed
+        this worker mid-compute — in addition to the usual
+        error/crash/delay.
         """
+        spec = fault_point("lease/renew", key=lease.key)
+        if spec is not None and spec.action == "lease-loss":
+            raise LeaseLost(
+                f"injected lease loss on {lease.key[:12]} (fault plan)"
+            )
         current = self.read(lease.key)
         if current is None or current.owner != self.owner:
             raise LeaseLost(
@@ -270,12 +298,17 @@ class LeaseBoard:
         renewed = replace(lease, heartbeat_at=time.time())
         path = self._path(lease.key)
         tmp = self.claims_dir / f".{lease.key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(renewed.as_dict()), encoding="utf-8")
-        os.replace(tmp, path)
+
+        def write() -> None:
+            tmp.write_text(json.dumps(renewed.as_dict()), encoding="utf-8")
+            os.replace(tmp, path)
+
+        self._io(write, "lease/renew")
         return renewed
 
     def release(self, lease: Lease) -> bool:
         """Drop a finished task's lease; ``False`` if it was not ours."""
+        fault_point("lease/release", key=lease.key)
         current = self.read(lease.key)
         if current is None or current.owner != self.owner:
             return False
@@ -337,6 +370,14 @@ class DispatchStats:
     #: Configs that landed in the store via some other invocation (or
     #: were already there) while this drain watched.
     served: int = 0
+    #: Claimed tasks this invocation resumed from a mid-run snapshot
+    #: (typically a reclaimed task's checkpoint) instead of step 0.
+    resumed: int = 0
+    #: Configs settled by a quarantine artifact — failed permanently,
+    #: whether quarantined by this invocation or observed from a peer.
+    quarantined: int = 0
+    #: Transient heartbeat-renew failures the beat thread rode out.
+    heartbeat_failures: int = 0
     wall_s: float = 0.0
     computed_hashes: list[str] = field(default_factory=list)
 
@@ -357,6 +398,9 @@ class DispatchStats:
             "lease_lost": self.lease_lost,
             "computed": self.computed,
             "served": self.served,
+            "resumed": self.resumed,
+            "quarantined": self.quarantined,
+            "heartbeat_failures": self.heartbeat_failures,
             "wall_s": self.wall_s,
             "configs_per_sec": self.configs_per_sec,
             "computed_hashes": list(self.computed_hashes),
@@ -475,6 +519,23 @@ class StoreDispatcher:
             else max(0.05, expiry_s / 4.0)
         )
         self._sleep = sleep
+        #: Stats object of the drain in progress (or the last one) —
+        #: the channel through which the task runner reports events the
+        #: dispatcher cannot see itself (snapshot resumes).
+        self._current_stats: DispatchStats | None = None
+
+    def note_resumed(self) -> None:
+        """Record that the running task resumed from a mid-run snapshot
+        (called by the task runner, which is the only party that knows)."""
+        if self._current_stats is not None:
+            self._current_stats.resumed += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "resilience_snapshots_total",
+                "Resume-snapshot lifecycle events",
+                event="dispatch_resumed",
+            ).inc()
 
     # ------------------------------------------------------------------
     def drain(
@@ -483,6 +544,8 @@ class StoreDispatcher:
         run_task: Callable[[list[SimulationConfig], DispatchTask], list[Any]],
         on_computed: Callable[[SimulationConfig, str, Any], None],
         on_served: Callable[[SimulationConfig, str], None],
+        on_failed: Callable[[SimulationConfig, str], None] | None = None,
+        quarantine: bool = False,
     ) -> DispatchStats:
         """Cooperatively drain ``tasks``; blocks until all are complete.
 
@@ -494,15 +557,26 @@ class StoreDispatcher:
         hash)`` fires once per config that appeared in the store without
         local computation (pre-cached or computed by a peer).
 
+        ``quarantine=True`` makes the drain quarantine-aware: a config
+        with a persisted quarantine artifact (``RunStore.has_error``)
+        counts as *settled* — workers stop waiting for a result that
+        will never land.  ``run_task`` may return ``None`` in a result
+        slot to signal it quarantined that config (after persisting the
+        artifact); ``on_failed(cfg, hash)`` fires once per config
+        settled by failure, local or observed from a peer.  With the
+        default ``quarantine=False`` stale artifacts are ignored and the
+        drain keeps its complete-results-or-raise contract.
+
         Raises whatever ``run_task`` raises, after releasing the lease
         so survivors retry the task without waiting out the expiry.
         """
         global _LAST_STATS
         tracer = get_tracer()
         stats = DispatchStats(owner=self.board.owner)
+        self._current_stats = stats
         watch = Stopwatch()
         open_tasks: dict[str, DispatchTask] = {t.key: t for t in tasks if t.configs}
-        #: hash -> config awaiting an on_served signal.
+        #: hash -> config awaiting an on_served/on_failed signal.
         unserved: dict[str, SimulationConfig] = {
             h: c
             for t in open_tasks.values()
@@ -517,12 +591,32 @@ class StoreDispatcher:
                     "sweep_leases_total", "Lease protocol events", event=event
                 ).inc()
 
+        def settled(h: str) -> bool:
+            """A config needs no more work: result landed, or quarantined."""
+            if self.store.contains_hash(h):
+                return True
+            return quarantine and self.store.has_error(h)
+
+        def mark_failed(cfg: SimulationConfig, h: str) -> None:
+            stats.quarantined += 1
+            if tracer.enabled:
+                tracer.metrics.counter(
+                    "resilience_quarantined_total",
+                    "Configs settled by a quarantine artifact",
+                ).inc()
+            if on_failed is not None:
+                on_failed(cfg, h)
+
         def serve_landed() -> None:
             """Serve configs peers have landed since the last look (and
-            anything cached before the drain began)."""
+            anything cached before the drain began); surface configs a
+            peer quarantined."""
             for h in [h for h in unserved if self.store.contains_hash(h)]:
                 on_served(unserved.pop(h), h)
                 stats.served += 1
+            if quarantine:
+                for h in [h for h in unserved if self.store.has_error(h)]:
+                    mark_failed(unserved.pop(h), h)
 
         while open_tasks:
             self.store.refresh()
@@ -533,7 +627,7 @@ class StoreDispatcher:
                 missing = [
                     (c, h)
                     for c, h in zip(task.configs, task.config_hashes)
-                    if not self.store.contains_hash(h)
+                    if not settled(h)
                 ]
                 if not missing:
                     del open_tasks[key]
@@ -567,7 +661,7 @@ class StoreDispatcher:
                 missing = [
                     (c, h)
                     for c, h in zip(task.configs, task.config_hashes)
-                    if not self.store.contains_hash(h)
+                    if not settled(h)
                 ]
                 if not missing:
                     if self.board.release(lease):
@@ -591,6 +685,12 @@ class StoreDispatcher:
                         count("released")
                     raise
                 for (cfg, h), result in zip(missing, results):
+                    if quarantine and result is None:
+                        # run_task quarantined this config (artifact
+                        # already persisted): settled by failure.
+                        unserved.pop(h, None)
+                        mark_failed(cfg, h)
+                        continue
                     on_computed(cfg, h, result)
                     unserved.pop(h, None)
                     stats.computed += 1
@@ -647,6 +747,11 @@ class StoreDispatcher:
                 except LeaseLost:
                     stats.lease_lost += 1
                     return
+                except OSError:
+                    # Transient renew-write failure (real or injected):
+                    # keep beating — the lease survives missed beats up
+                    # to the expiry, and the next renew usually lands.
+                    stats.heartbeat_failures += 1
 
         thread = threading.Thread(target=beat, daemon=True)
         thread.start()

@@ -10,6 +10,11 @@ Layout under the store root::
                             dispatch; see :mod:`repro.store.dispatch`)
     claims/<key>.lease      live task leases of cooperating sweep
                             workers (managed by the dispatch layer)
+    checkpoints/<key>.ckpt  mid-run resume snapshots of in-flight tasks
+                            (ephemeral; see :mod:`repro.resilience`)
+    errors/<hash>.json      quarantine artifacts of configs that kept
+                            failing (traceback + fault context; see
+                            docs/RESILIENCE.md)
 
 The index is the fast path — it is loaded once at open and answers
 ``contains``/``get`` without touching payload files.  Payloads carry the
@@ -46,6 +51,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..resilience.faults import InjectedFault, fault_point, torn_bytes
+from ..resilience.quarantine import QUARANTINE_SCHEMA_VERSION
+from ..resilience.retry import DEFAULT_STORE_RETRY, RetryPolicy
+from ..resilience.snapshot import SnapshotStore
 from ..sim.config import SimulationConfig
 from ..sim.engine import SimulationResult
 from .hashing import CONFIG_SCHEMA_VERSION, canonical_config_dict, config_hash
@@ -53,6 +62,7 @@ from .hashing import CONFIG_SCHEMA_VERSION, canonical_config_dict, config_hash
 __all__ = [
     "STORE_SCHEMA_VERSION",
     "GRID_SCHEMA_VERSION",
+    "QUARANTINE_SCHEMA_VERSION",
     "StoredRun",
     "GridManifest",
     "RunStore",
@@ -69,6 +79,7 @@ _INDEX_NAME = "index.jsonl"
 _RUNS_DIR = "runs"
 _TELEMETRY_DIR = "telemetry"
 _GRIDS_DIR = "grids"
+_ERRORS_DIR = "errors"
 _INDEX_FIELDS = (
     "config_hash",
     "schema_version",
@@ -201,13 +212,25 @@ class RunStore:
         (1, 1, 0)
     """
 
-    def __init__(self, root: str | Path, recover_orphans: bool = True):
+    def __init__(
+        self,
+        root: str | Path,
+        recover_orphans: bool = True,
+        retry: RetryPolicy | None = DEFAULT_STORE_RETRY,
+    ):
         self.root = Path(root)
         self.runs_dir = self.root / _RUNS_DIR
         self.telemetry_dir = self.root / _TELEMETRY_DIR
         self.grids_dir = self.root / _GRIDS_DIR
+        self.errors_dir = self.root / _ERRORS_DIR
         self.index_path = self.root / _INDEX_NAME
         self.runs_dir.mkdir(parents=True, exist_ok=True)
+        #: Bounded retry wrapping ``put``'s filesystem sequence (payload
+        #: write + index append are idempotent, so re-running the whole
+        #: sequence after a transient ``OSError`` is always safe).
+        #: ``None`` disables retrying.
+        self.retry = retry
+        self._snapshots: SnapshotStore | None = None
         self._records: dict[str, StoredRun] = {}
         #: Byte offset of the last *complete* index line consumed; the
         #: tail past it (lines appended by other processes, or a torn
@@ -251,6 +274,10 @@ class RunStore:
     def refresh(self) -> int:
         """Fold in index lines appended since open (or the last refresh).
 
+        Failure point ``store/refresh`` fires at the top (an active
+        chaos plan can starve readers); real ``OSError`` from the stat
+        or read still degrades to "nothing new".
+
         The cross-process fast path of the distributed sweep dispatch:
         cooperating workers appending to the shared index become visible
         without re-reading the whole file — only the tail past the last
@@ -267,6 +294,7 @@ class RunStore:
         Records already in memory are kept (they were valid when read;
         last write wins on the re-read).
         """
+        fault_point("store/refresh")
         try:
             size = self.index_path.stat().st_size
         except OSError:
@@ -309,9 +337,45 @@ class RunStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _tail_is_torn(self) -> bool:
+        """Whether the index ends mid-line (a writer died mid-append)."""
+        try:
+            with self.index_path.open("rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size == 0:
+                    return False
+                fh.seek(size - 1)
+                return fh.read(1) != b"\n"
+        except OSError:
+            return False
+
     def _append_index(self, rec: StoredRun) -> None:
+        """Append one index line (flushed + fsynced).
+
+        Self-healing: a torn tail left by a writer that died mid-append
+        is terminated with a newline first, so this record starts on its
+        own line instead of fusing with the corpse's fragment (which
+        would lose *both* records to the JSON-decode skip).  Failure
+        point ``store/index-append`` supports ``torn-write`` — partial
+        line bytes hit the disk, then the append raises — which is
+        exactly the corruption the healing path and the loader's
+        complete-line discipline are tested against.
+        """
+        spec = fault_point("store/index-append", key=rec.config_hash)
+        line = json.dumps(rec.index_record()) + "\n"
         with self.index_path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(rec.index_record()) + "\n")
+            if self._tail_is_torn():
+                fh.write("\n")
+            if spec is not None and spec.action == "torn-write":
+                torn = torn_bytes(spec, line.encode("utf-8"))
+                fh.write(torn.decode("utf-8", errors="ignore").rstrip("\n"))
+                fh.flush()
+                os.fsync(fh.fileno())
+                raise InjectedFault(
+                    "store/index-append", -1, "torn index append"
+                )
+            fh.write(line)
             fh.flush()
             os.fsync(fh.fileno())
 
@@ -350,12 +414,23 @@ class RunStore:
         # under distributed dispatch after a lease reclaim) from tearing
         # each other's temp file; both replaces land identical bytes.
         tmp = self.runs_dir / f".{rec.config_hash}.{os.getpid()}.tmp"
-        tmp.write_text(payload, encoding="utf-8")
-        os.replace(tmp, final)
-        # Always append, even for an overwrite: the index is an append-only
-        # log and loading takes the last record per hash, so a reopened
-        # store agrees with the payload instead of serving the stale line.
-        self._append_index(rec)
+
+        def write_once() -> None:
+            """One attempt of the idempotent persist sequence; the
+            store's retry policy re-runs it whole on ``OSError``."""
+            fault_point("store/put", key=rec.config_hash)
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, final)
+            # Always append, even for an overwrite: the index is an
+            # append-only log and loading takes the last record per hash,
+            # so a reopened store agrees with the payload instead of
+            # serving the stale line.
+            self._append_index(rec)
+
+        if self.retry is not None:
+            self.retry.call(write_once, site="store/put")
+        else:
+            write_once()
         self._records[rec.config_hash] = rec
         return rec.config_hash
 
@@ -389,6 +464,98 @@ class RunStore:
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         os.replace(tmp, final)
         return key
+
+    # ------------------------------------------------------------------
+    # Quarantine artifacts (resilience layer)
+    # ------------------------------------------------------------------
+    def put_error(self, payload: dict[str, Any]) -> str:
+        """Persist one quarantine artifact; returns its config hash.
+
+        ``payload`` comes from
+        :func:`repro.resilience.quarantine.build_error_payload` —
+        traceback, attempt count and the fault context active when the
+        config kept failing.  Artifacts live at ``errors/<hash>.json``
+        (atomic replace, last write wins) and are *advisory*: they never
+        affect ``get``/``contains``, but the dispatch drain treats a
+        quarantined config as settled so cooperating workers stop
+        waiting for a result that will never land.
+        """
+        key = payload.get("config_hash")
+        if not isinstance(key, str) or not key:
+            raise ValueError("quarantine payload carries no config hash")
+        if payload.get("schema_version") != QUARANTINE_SCHEMA_VERSION:
+            raise ValueError("not a valid quarantine artifact payload")
+        self.errors_dir.mkdir(parents=True, exist_ok=True)
+        final = self.errors_dir / f"{key}.json"
+        tmp = self.errors_dir / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, final)
+        return key
+
+    def get_error(self, config: SimulationConfig | str) -> dict[str, Any] | None:
+        """Quarantine artifact for a config (or hash), or ``None``.
+
+        Corruption-tolerant like every other artifact read: unreadable
+        or foreign-version files read as missing, never fatal.
+        """
+        key = config if isinstance(config, str) else config_hash(config)
+        path = self.errors_dir / f"{key}.json"
+        try:
+            parsed = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(parsed, dict):
+            return None
+        if parsed.get("schema_version") != QUARANTINE_SCHEMA_VERSION:
+            return None
+        return parsed
+
+    def has_error(self, config_hash_: str) -> bool:
+        """Whether a quarantine artifact exists for this hash (cheap
+        existence check — the dispatch drain polls it per missing
+        config, so no JSON parse here)."""
+        return (self.errors_dir / f"{config_hash_}.json").is_file()
+
+    def error_hashes(self) -> list[str]:
+        """Config hashes with a quarantine artifact (sorted)."""
+        if not self.errors_dir.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self.errors_dir.glob("*.json")
+            if not p.stem.startswith(".")
+        )
+
+    def clear_error(self, config_hash_: str) -> bool:
+        """Drop one quarantine artifact (a re-run may now land normally);
+        returns whether one existed."""
+        try:
+            (self.errors_dir / f"{config_hash_}.json").unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Mid-run resume snapshots (resilience layer)
+    # ------------------------------------------------------------------
+    @property
+    def snapshots(self) -> SnapshotStore:
+        """The store's ``checkpoints/`` snapshot family (created lazily)."""
+        if self._snapshots is None:
+            self._snapshots = SnapshotStore(self.root)
+        return self._snapshots
+
+    def put_snapshot(self, key: str, blob: bytes) -> None:
+        """Persist a mid-run resume snapshot under ``checkpoints/<key>.ckpt``."""
+        self.snapshots.save(key, blob)
+
+    def get_snapshot(self, key: str) -> bytes | None:
+        return self.snapshots.load(key)
+
+    def delete_snapshot(self, key: str) -> None:
+        self.snapshots.delete(key)
+
+    def snapshot_keys(self) -> list[str]:
+        return self.snapshots.keys()
 
     # ------------------------------------------------------------------
     # Sweep-grid manifests (distributed dispatch)

@@ -1,0 +1,118 @@
+"""RetryPolicy: bounded attempts, deterministic backoff, typed matching."""
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_COMPUTE_RETRY,
+    DEFAULT_STORE_RETRY,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    fault_point,
+    inject_faults,
+)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_exponential(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, multiplier=2.0)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=1.0, multiplier=10.0, max_delay_s=3.0
+        )
+        assert list(policy.delays()) == [1.0, 3.0, 3.0, 3.0]
+
+    def test_single_attempt_has_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCall:
+    def _flaky(self, fail_times, exc=OSError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise exc(f"attempt {calls['n']}")
+            return calls["n"]
+
+        return fn, calls
+
+    def test_recovers_within_budget(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.5)
+        assert policy.call(fn, sleep=slept.append) == 3
+        assert calls["n"] == 3
+        assert slept == [0.5, 1.0]
+
+    def test_budget_exhausted_reraises_last_unwrapped(self):
+        fn, _ = self._flaky(99)
+        with pytest.raises(OSError, match="attempt 2"):
+            RetryPolicy(max_attempts=2, base_delay_s=0).call(fn)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn, calls = self._flaky(99, exc=KeyError)
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=5, base_delay_s=0).call(fn)
+        assert calls["n"] == 1
+
+    def test_on_retry_sees_one_based_attempts(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        RetryPolicy(max_attempts=3, base_delay_s=0).call(
+            fn, on_retry=lambda attempt, exc: seen.append(attempt)
+        )
+        assert seen == [1, 2]
+
+    def test_zero_delay_never_sleeps(self):
+        fn, _ = self._flaky(1)
+        slept = []
+        RetryPolicy(max_attempts=2, base_delay_s=0).call(fn, sleep=slept.append)
+        assert slept == []
+
+
+class TestDefaults:
+    def test_store_retry_covers_oserror_only(self):
+        assert DEFAULT_STORE_RETRY.retry_on == (OSError,)
+        assert DEFAULT_STORE_RETRY.max_attempts == 3
+
+    def test_compute_retry_is_two_attempts_any_exception(self):
+        assert DEFAULT_COMPUTE_RETRY.max_attempts == 2
+        assert Exception in DEFAULT_COMPUTE_RETRY.retry_on
+
+    def test_store_retry_absorbs_a_single_injected_fault(self):
+        # The integration the whole design hinges on: InjectedFault is an
+        # OSError, so a once-firing fault is invisible to callers of a
+        # retried operation.
+        plan = FaultPlan([FaultSpec(site="op", action="error", at=(1,))])
+
+        def op():
+            fault_point("op")
+            return "ok"
+
+        with inject_faults(plan):
+            assert DEFAULT_STORE_RETRY.call(op, sleep=lambda s: None) == "ok"
+        assert len(plan.fired) == 1
+
+    def test_store_retry_exhausted_by_persistent_fault(self):
+        plan = FaultPlan([FaultSpec(site="op", action="error")])
+
+        def op():
+            fault_point("op")
+
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                DEFAULT_STORE_RETRY.call(op, sleep=lambda s: None)
+        assert len(plan.fired) == DEFAULT_STORE_RETRY.max_attempts

@@ -1,7 +1,7 @@
 """Fault injection against the dispatch/store substrate the service uses.
 
-Three corruption families the service inherits from PR 7's filesystem
-coordination, each exercised against real files:
+Hand-crafted corruption families the service inherits from PR 7's
+filesystem coordination, each exercised against real files:
 
 * lease files torn to garbage or truncated to zero bytes — readers must
   degrade to mtime-based staleness, reclaim must still work;
@@ -11,17 +11,38 @@ coordination, each exercised against real files:
   tailing from a stale offset;
 * graveyard rename collisions during lease reclaim — a leftover grave
   file with the same (injected) random suffix must not break arbitration.
+
+Plus the :class:`~repro.resilience.FaultPlan`-driven classes at the
+bottom: the same corruption produced *through the named failure points*
+(``lease/*``, ``store/index-append``) so the deterministic schedules a
+``repro chaos`` run replays are pinned against the real IO paths.
 """
 
 import json
 import os
 import time
 
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_plan,
+    inject_faults,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationResult
 from repro.store import dispatch as dispatch_mod
-from repro.store.dispatch import LeaseBoard
+from repro.store.dispatch import LeaseBoard, LeaseLost
 from repro.store.runstore import RunStore, StoredRun
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
 
 
 def tiny(seed=0, **kw):
@@ -198,3 +219,139 @@ class TestGraveyardCollisions:
         assert board.reclaim("k")
         leftovers = list(board.claims_dir.glob(".reap-*"))
         assert leftovers == []
+
+
+class TestPlanDrivenLeases:
+    """The lease protocol under deterministic fault schedules."""
+
+    def test_single_injected_claim_fault_is_ridden_out(self, tmp_path):
+        # lease/claim fires per attempt *inside* the retry wrapper: one
+        # injected OSError is invisible to the caller.
+        board = LeaseBoard(tmp_path, owner="a", expiry_s=5.0)
+        plan = FaultPlan([FaultSpec(site="lease/claim", action="error", at=(1,))])
+        with inject_faults(plan):
+            lease = board.claim("k")
+        assert lease is not None
+        assert len(plan.fired) == 1
+        assert board.read("k").owner == "a"
+
+    def test_persistent_claim_fault_exhausts_retry(self, tmp_path):
+        board = LeaseBoard(tmp_path, owner="a", expiry_s=5.0)
+        with inject_faults(FaultPlan([FaultSpec(site="lease/claim")])):
+            with pytest.raises(InjectedFault):
+                board.claim("k")
+        # No half-claimed lease left behind.
+        assert board.read("k") is None
+
+    def test_injected_lease_loss_reclamation_cycle(self, tmp_path):
+        # The full reclamation story, driven by the plan: A loses its
+        # lease mid-compute (as if a survivor reclaimed it), stops
+        # renewing, B reclaims the expired file and claims the key.
+        board_a = LeaseBoard(tmp_path, owner="a", expiry_s=0.05)
+        board_b = LeaseBoard(tmp_path, owner="b", expiry_s=0.05)
+        lease = board_a.claim("k", config_hashes=("h1",))
+        plan = FaultPlan(
+            [FaultSpec(site="lease/renew", action="lease-loss", at=(1,))]
+        )
+        with inject_faults(plan):
+            with pytest.raises(LeaseLost):
+                board_a.renew(lease)
+        time.sleep(0.1)  # A stopped renewing: the heartbeat goes stale
+        assert board_b.read("k").is_stale()
+        assert board_b.reclaim("k")
+        reclaimed = board_b.claim("k", config_hashes=("h1",))
+        assert reclaimed is not None and reclaimed.owner == "b"
+
+    def test_site_pattern_covers_all_lease_points(self, tmp_path):
+        # One 'lease/*' spec observes claim, renew and release alike —
+        # chaos plans can target the protocol, not one call site.
+        board = LeaseBoard(tmp_path, owner="a", expiry_s=5.0)
+        plan = FaultPlan([FaultSpec(site="lease/*", action="delay", at=())])
+        with inject_faults(plan):
+            lease = board.claim("k")
+            lease = board.renew(lease)
+            board.release(lease)
+        # at=() never fires, but every site registered a hit.
+        assert plan._hits[0] >= 3
+
+    def test_replayed_plan_fires_identically(self, tmp_path):
+        def run_once(root):
+            board = LeaseBoard(root, owner="a", expiry_s=5.0)
+            plan = FaultPlan(
+                [FaultSpec(site="lease/claim", action="error", at=(2,))]
+            )
+            with inject_faults(plan):
+                board.claim("k1")
+                try:
+                    board.claim("k2")
+                except InjectedFault:
+                    pass
+            return [(f["site"], f["hit"], f["action"]) for f in plan.fired]
+
+        first = run_once(tmp_path / "one")
+        second = run_once(tmp_path / "two")
+        assert first == second
+
+
+class TestPlanDrivenIndexAppends:
+    """`store/index-append` torn writes against the append-only index."""
+
+    def test_single_torn_append_healed_by_put_retry(self, tmp_path):
+        # One torn append: partial line bytes land, the append raises,
+        # the store's own retry re-runs the idempotent put sequence and
+        # the healing path terminates the torn tail first.
+        store = RunStore(tmp_path / "rs")
+        plan = FaultPlan(
+            [FaultSpec(site="store/index-append", action="torn-write", at=(1,))]
+        )
+        with inject_faults(plan):
+            h = store.put(result_of(seed=0))
+        assert len(plan.fired) == 1
+        reopened = RunStore(tmp_path / "rs")
+        assert reopened.contains_hash(h)
+        assert len(reopened) == 1  # the torn fragment cost nothing
+
+    def test_torn_tail_does_not_poison_later_appends(self, tmp_path):
+        # A writer dies mid-append (every attempt torn) — the next
+        # healthy put must not fuse its line with the corpse's fragment.
+        store = RunStore(tmp_path / "rs")
+        with inject_faults(
+            FaultPlan([FaultSpec(site="store/index-append", action="torn-write")])
+        ):
+            with pytest.raises(InjectedFault):
+                store.put(result_of(seed=0))
+        h1 = stored(seed=0).config_hash
+        h2 = store.put(result_of(seed=1))
+        reopened = RunStore(tmp_path / "rs")
+        assert reopened.contains_hash(h2)
+        # The torn record's payload landed before its index line died, so
+        # orphan recovery resurrects it — rotation/tearing loses nothing.
+        assert reopened.contains_hash(h1)
+
+    def test_reader_refresh_skips_torn_tail_until_completed(self, tmp_path):
+        root = tmp_path / "rs"
+        writer = RunStore(root)
+        reader = RunStore(root)
+        writer.put(result_of(seed=0))
+        assert reader.refresh() == 1
+        with inject_faults(
+            FaultPlan([FaultSpec(site="store/index-append", action="torn-write")])
+        ):
+            with pytest.raises(InjectedFault):
+                writer.put(result_of(seed=1))
+        # The tail is mid-line: an incremental refresh must not consume
+        # (or crash on) the fragment.
+        assert reader.refresh() == 0
+        assert len(reader) == 1
+        writer.put(result_of(seed=2))  # heals the tail, appends cleanly
+        assert reader.refresh() >= 1
+        assert reader.contains_hash(stored(seed=2).config_hash)
+
+    def test_persistent_store_put_fault_exhausts_retry(self, tmp_path):
+        store = RunStore(tmp_path / "rs")
+        plan = FaultPlan([FaultSpec(site="store/put", action="error")])
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                store.put(result_of(seed=0))
+        # Fired exactly the retry budget: deterministic, replayable.
+        assert len(plan.fired) == store.retry.max_attempts

@@ -3,26 +3,35 @@
 
 Usage::
 
-    python tools/check_dispatch_smoke.py STORE_DIR SUMMARY_JSON [SUMMARY_JSON...]
+    python tools/check_dispatch_smoke.py STORE_DIR SUMMARY_JSON [SUMMARY_JSON...] \
+        [--min-reclaims N] [--min-resumes N] [--allow-quarantined]
 
 Feed it the store a grid was published into plus the ``--summary-json``
 output of every ``repro sweep-worker`` that drained it.  It verifies the
 distributed-dispatch contract end to end:
 
 * every published grid's configs are all present in the store
-  (complete drain);
+  (complete drain); with ``--allow-quarantined``, a persisted
+  ``errors/<hash>.json`` quarantine artifact also settles a config;
 * no config hash appears in more than one worker's computed set
   (zero duplicate computation — the leases actually excluded);
 * the workers' computed sets plus anything cached before the drain
   cover every grid config (nothing fell through the cracks);
-* no lease files were left behind.
+* no lease files were left behind;
+* with ``--min-reclaims`` / ``--min-resumes``, the workers together
+  reclaimed at least N expired peer leases / resumed at least N tasks
+  from mid-run checkpoints — the chaos smoke uses these to prove a
+  SIGKILL'd worker's task was actually taken over and resumed rather
+  than silently recomputed or dropped.
 
 Exits non-zero with a diagnostic on any violation.  Used by the CI
-dispatch smoke step; handy locally after any multi-terminal drain.
+dispatch and chaos smoke steps; handy locally after any multi-terminal
+drain.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -34,12 +43,43 @@ from repro.store.runstore import RunStore  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    """Validate the drain; ``argv`` is ``[store_dir, summary...]``."""
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    store = RunStore(argv[0])
-    summaries = [json.loads(Path(p).read_text(encoding="utf-8")) for p in argv[1:]]
+    """Validate the drain described by ``argv``; 0 iff every check holds."""
+    parser = argparse.ArgumentParser(
+        prog="check_dispatch_smoke",
+        description="assert a cooperative sweep drain was complete and duplicate-free",
+    )
+    parser.add_argument("store_dir", help="store the grid was published into")
+    parser.add_argument(
+        "summaries",
+        nargs="+",
+        metavar="SUMMARY_JSON",
+        help="sweep-worker --summary-json output files, one per worker",
+    )
+    parser.add_argument(
+        "--min-reclaims",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N expired-lease reclaims across all workers",
+    )
+    parser.add_argument(
+        "--min-resumes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N checkpoint resumes across all workers",
+    )
+    parser.add_argument(
+        "--allow-quarantined",
+        action="store_true",
+        help="count configs with a persisted quarantine artifact as settled",
+    )
+    args = parser.parse_args(argv)
+
+    store = RunStore(args.store_dir)
+    summaries = [
+        json.loads(Path(p).read_text(encoding="utf-8")) for p in args.summaries
+    ]
 
     computed = [set(s.get("computed_hashes", ())) for s in summaries]
     failures: list[str] = []
@@ -54,6 +94,11 @@ def main(argv: list[str]) -> int:
                     + ", ".join(sorted(h[:12] for h in overlap))
                 )
 
+    quarantined = set(store.error_hashes()) if args.allow_quarantined else set()
+
+    def settled(h: str) -> bool:
+        return store.contains_hash(h) or h in quarantined
+
     grid_hashes: set[str] = set()
     for key in store.grid_keys():
         manifest = store.get_grid(key)
@@ -61,9 +106,7 @@ def main(argv: list[str]) -> int:
             failures.append(f"grid manifest {key[:12]} unreadable")
             continue
         grid_hashes.update(manifest.config_hashes)
-        undrained = [
-            h for h in manifest.config_hashes if not store.contains_hash(h)
-        ]
+        undrained = [h for h in manifest.config_hashes if not settled(h)]
         if undrained:
             failures.append(
                 f"grid {key[:12]} incomplete: {len(undrained)} config(s) "
@@ -82,15 +125,42 @@ def main(argv: list[str]) -> int:
     if leases:
         failures.append(f"{len(leases)} lease file(s) left behind")
 
+    def stat_total(name: str) -> int:
+        return sum(
+            int(grid.get(name, 0))
+            for s in summaries
+            for grid in s.get("grids", {}).values()
+        )
+
+    reclaims = stat_total("reclaimed")
+    resumes = stat_total("resumed")
+    if reclaims < args.min_reclaims:
+        failures.append(
+            f"only {reclaims} expired-lease reclaim(s) across workers "
+            f"(need >= {args.min_reclaims}): the injected crash was never "
+            "taken over"
+        )
+    if resumes < args.min_resumes:
+        failures.append(
+            f"only {resumes} checkpoint resume(s) across workers "
+            f"(need >= {args.min_resumes}): reclaimed work restarted from "
+            "step 0 instead of its checkpoint"
+        )
+
     total = sum(len(c) for c in computed)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    extras = ""
+    if args.min_reclaims or args.min_resumes:
+        extras = f", {reclaims} reclaim(s), {resumes} resume(s)"
+    if quarantined:
+        extras += f", {len(quarantined)} quarantined"
     print(
         f"dispatch smoke OK: {len(summaries)} worker(s) computed {total} "
         f"config(s) across {len(store.grid_keys())} grid(s), "
-        "no duplicates, no leftover leases"
+        f"no duplicates, no leftover leases{extras}"
     )
     return 0
 
