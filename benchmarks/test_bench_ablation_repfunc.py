@@ -6,7 +6,7 @@ comparison at bench scale across the function families.
 """
 
 from conftest import bench_config
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 FAMILIES = ("logistic", "linear", "power")
 

@@ -9,7 +9,7 @@ pressure ordering.
 
 from conftest import bench_config
 from repro.core.params import PaperConstants, ReputationParams, ServiceParams
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 
 def run_rmin_points():

@@ -8,7 +8,7 @@ articles than without.
 import numpy as np
 
 from conftest import bench_config
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 
 def run_fig3():

@@ -7,7 +7,7 @@ share.
 
 from conftest import bench_config
 from repro.agents.population import mixture_sweep
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 
 def run_fig4():

@@ -12,7 +12,7 @@ import numpy as np
 
 from conftest import bench_config
 from repro.agents.population import PopulationMix
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 
 def run_fig6():

@@ -6,7 +6,7 @@ direction in both panels.
 
 from conftest import bench_config
 from repro.agents.population import PopulationMix
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 
 SEEDS = (5, 23)

@@ -10,7 +10,7 @@ from conftest import bench_config
 
 from repro.sim.engine import run_simulation
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 
 def test_bench_store_config_hash(benchmark):

@@ -28,10 +28,10 @@ import sys
 from pathlib import Path
 
 from conftest import bench_config
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 from repro.store.dispatch import last_dispatch_stats, publish_sweep_grid
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 #: Compute-bound dispatch grid: 16 distinct seeds, one task per config,
 #: each a ~0.5 s simulation — coarse enough that lease overhead is

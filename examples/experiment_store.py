@@ -10,7 +10,7 @@ the aggregate report — the same machinery behind ``repro run`` /
 import tempfile
 
 from repro.analysis.report import aggregate_stored_runs, render_stored_table
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 from repro.store import RunStore, expand_scenario, short_hash
 
 #: Tiny horizon so the walkthrough stays sub-second.

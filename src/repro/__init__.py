@@ -40,8 +40,10 @@ True
 __version__ = "1.0.0"
 
 from . import agents, analysis, core, gametheory, network, sim, trust
+from . import api
 
 __all__ = [
+    "api",
     "agents",
     "analysis",
     "core",

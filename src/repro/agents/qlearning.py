@@ -97,6 +97,7 @@ class VectorQLearner:
         learning_rate: float = 0.1,
         discount: float = 0.9,
         initial_q: float = 0.0,
+        kernels=None,
     ) -> None:
         if n_agents < 1 or n_states < 1 or n_actions < 2:
             raise ValueError("need n_agents >= 1, n_states >= 1, n_actions >= 2")
@@ -130,6 +131,13 @@ class VectorQLearner:
             dtype=np.float64,
         )
         self._agent_idx = np.arange(self.n_agents)
+        if kernels is None:
+            from ..sim.backends import default_kernels
+
+            kernels = default_kernels()
+        # The KernelBackend executing the TD backup; bit-identical across
+        # backends, so a pure execution knob.
+        self.kernels = kernels
 
     # ------------------------------------------------------------------
     def select_actions(
@@ -186,7 +194,6 @@ class VectorQLearner:
         next_states = np.asarray(next_states)
         if not (states.shape == actions.shape == rewards.shape == next_states.shape == idx.shape):
             raise ValueError("all update arrays must align with the selected agents")
-        best_next = self.q[idx, next_states].max(axis=1)
         gamma = self.discount
         a = self.learning_rate
         if subset is not None:
@@ -195,9 +202,9 @@ class VectorQLearner:
                 gamma = gamma[idx]
             if isinstance(a, np.ndarray):
                 a = a[idx]
-        target = rewards + gamma * best_next
-        current = self.q[idx, states, actions]
-        self.q[idx, states, actions] = (1.0 - a) * current + a * target
+        self.kernels.q_update(
+            self.q, idx, states, actions, rewards, next_states, a, gamma
+        )
 
     # ------------------------------------------------------------------
     def policy_probabilities(self, temperature: float) -> np.ndarray:
@@ -214,6 +221,7 @@ class VectorQLearner:
             self.n_actions,
             learning_rate=self.learning_rate,
             discount=self.discount,
+            kernels=self.kernels,
         )
         clone.q[:] = self.q
         return clone

@@ -31,8 +31,14 @@ import numpy as np
 
 from .contribution import ContributionLedger
 from .params import PaperConstants, gather_param as _gather
-from .service import grouped_shares
 from .sparse import SparseInteractionLedger
+
+
+def _default_kernels():
+    """Resolve the reference backend lazily (avoids an import cycle)."""
+    from ..sim.backends import default_kernels
+
+    return default_kernels()
 
 __all__ = ["PrivateHistoryScheme", "KarmaScheme"]
 
@@ -113,6 +119,7 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
         sparse: bool = False,
         ledger_cap: int | np.ndarray = 64,
         chunk_size: int = 32_768,
+        kernels=None,
     ) -> None:
         # Lane batches pass ``optimistic_floor`` as a per-slot (R*N,)
         # array and ``history_decay`` as a per-replicate (R,) array; both
@@ -140,6 +147,7 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
             if isinstance(history_decay, np.ndarray)
             else float(history_decay)
         )
+        self.kernels = kernels if kernels is not None else _default_kernels()
         self.sparse = bool(sparse)
         if self.sparse:
             # Capped interaction rows: O(N·cap) instead of O(N²).  The
@@ -150,6 +158,7 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
                 n_replicates=self.n_replicates,
                 cap=ledger_cap,
                 chunk_size=chunk_size,
+                kernels=self.kernels,
             )
             self._given = None
         else:
@@ -221,7 +230,7 @@ class PrivateHistoryScheme(_UndifferentiatedEditingMixin):
                 source_ids // n, downloader_ids % n, source_ids % n
             ]
         weights = _gather(self.optimistic_floor, source_ids) + history
-        return grouped_shares(source_ids, weights, self.n_slots)
+        return self.kernels.grouped_shares(source_ids, weights, self.n_slots)
 
     def record_sharing(
         self, shared_articles: np.ndarray, served_bandwidth: np.ndarray
@@ -346,6 +355,7 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         initial_karma: float = 1.0,
         floor: float = 0.05,
         n_replicates: int = 1,
+        kernels=None,
     ) -> None:
         # Lane batches pass both knobs as per-slot (R*N,) arrays; every
         # use below is an elementwise fill or a per-downloader gather, so
@@ -366,6 +376,7 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
             else float(initial_karma)
         )
         self.floor = floor if isinstance(floor, np.ndarray) else float(floor)
+        self.kernels = kernels if kernels is not None else _default_kernels()
         self.balance = np.empty(self.n_slots, dtype=np.float64)
         self.balance[:] = self.initial_karma
         self.ledger = ContributionLedger(self.n_slots, self.constants.contribution)
@@ -388,7 +399,7 @@ class KarmaScheme(_UndifferentiatedEditingMixin):
         if source_ids.size == 0:
             return np.zeros(0, dtype=np.float64)
         weights = _gather(self.floor, downloader_ids) + self.balance[downloader_ids]
-        return grouped_shares(source_ids, weights, self.n_slots)
+        return self.kernels.grouped_shares(source_ids, weights, self.n_slots)
 
     def record_sharing(
         self, shared_articles: np.ndarray, served_bandwidth: np.ndarray

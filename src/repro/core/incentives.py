@@ -26,14 +26,19 @@ from .reputation import (
     ReputationFunction,
 )
 from .service import (
-    allocate_by_reputation,
-    allocate_equal_split,
     edit_eligibility,
     required_majority,
     voting_weights,
 )
 
 __all__ = ["ReputationIncentiveScheme", "NoIncentiveScheme", "make_scheme"]
+
+
+def _default_kernels():
+    """Resolve the reference backend lazily (avoids an import cycle)."""
+    from ..sim.backends import default_kernels
+
+    return default_kernels()
 
 
 class ReputationIncentiveScheme:
@@ -56,12 +61,14 @@ class ReputationIncentiveScheme:
         reputation_fn_s: ReputationFunction | None = None,
         reputation_fn_e: ReputationFunction | None = None,
         n_replicates: int = 1,
+        kernels=None,
     ) -> None:
         if n_replicates < 1:
             raise ValueError("n_replicates must be >= 1")
         self.n_peers = int(n_peers)
         self.n_replicates = int(n_replicates)
         self.n_slots = self.n_peers * self.n_replicates
+        self.kernels = kernels if kernels is not None else _default_kernels()
         self.constants = constants if constants is not None else PaperConstants()
         c = self.constants
         self.fn_s = reputation_fn_s or LogisticReputation(c.reputation_s)
@@ -93,7 +100,7 @@ class ReputationIncentiveScheme:
     ) -> np.ndarray:
         """Fraction of each source's upload bandwidth granted per request."""
         rep = self.reputation_s()[downloader_ids]
-        return allocate_by_reputation(source_ids, rep, self.n_slots)
+        return self.kernels.grouped_shares(source_ids, rep, self.n_slots)
 
     def vote_weights(self, voter_ids: np.ndarray) -> np.ndarray:
         """Normalized voting power of one edit's voter set."""
@@ -186,12 +193,14 @@ class NoIncentiveScheme:
         n_peers: int,
         constants: PaperConstants | None = None,
         n_replicates: int = 1,
+        kernels=None,
     ) -> None:
         if n_replicates < 1:
             raise ValueError("n_replicates must be >= 1")
         self.n_peers = int(n_peers)
         self.n_replicates = int(n_replicates)
         self.n_slots = self.n_peers * self.n_replicates
+        self.kernels = kernels if kernels is not None else _default_kernels()
         self.constants = constants if constants is not None else PaperConstants()
         # Contributions are still tracked so metrics stay comparable, but
         # they never influence any service decision.
@@ -207,7 +216,9 @@ class NoIncentiveScheme:
     def bandwidth_shares(
         self, source_ids: np.ndarray, downloader_ids: np.ndarray
     ) -> np.ndarray:
-        return allocate_equal_split(source_ids, self.n_slots)
+        source_ids = np.asarray(source_ids)
+        ones = np.ones(source_ids.shape, dtype=np.float64)
+        return self.kernels.grouped_shares(source_ids, ones, self.n_slots)
 
     def vote_weights(self, voter_ids: np.ndarray) -> np.ndarray:
         voter_ids = np.asarray(voter_ids)
@@ -260,6 +271,7 @@ def make_scheme(
     reputation_fn_s: ReputationFunction | None = None,
     reputation_fn_e: ReputationFunction | None = None,
     n_replicates: int = 1,
+    kernels=None,
 ):
     """Factory used by the simulation config."""
     if incentives_enabled:
@@ -269,5 +281,8 @@ def make_scheme(
             reputation_fn_s=reputation_fn_s,
             reputation_fn_e=reputation_fn_e,
             n_replicates=n_replicates,
+            kernels=kernels,
         )
-    return NoIncentiveScheme(n_peers, constants, n_replicates=n_replicates)
+    return NoIncentiveScheme(
+        n_peers, constants, n_replicates=n_replicates, kernels=kernels
+    )

@@ -47,8 +47,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .params import gather_param as _gather
-
 __all__ = ["SparseInteractionLedger"]
 
 
@@ -70,6 +68,10 @@ class SparseInteractionLedger:
         Rows per vectorized chunk in ``lookup``/``add`` — bounds the
         ``(chunk, cap)`` temporaries; pure execution knob, results are
         identical for any positive value.
+    kernels:
+        The :class:`~repro.sim.backends.base.KernelBackend` executing
+        ``lookup``/``add`` (``None`` = the numpy reference).  Backends
+        are bit-identical by contract, so this is an execution knob too.
     """
 
     def __init__(
@@ -78,6 +80,7 @@ class SparseInteractionLedger:
         n_replicates: int = 1,
         cap: int | np.ndarray = 64,
         chunk_size: int = 32_768,
+        kernels=None,
     ) -> None:
         if n_local < 1 or n_replicates < 1:
             raise ValueError("need n_local >= 1 and n_replicates >= 1")
@@ -104,6 +107,11 @@ class SparseInteractionLedger:
         ):
             raise ValueError("per-slot cap must have shape (n_slots,)")
         self.chunk_size = int(chunk_size)
+        if kernels is None:
+            from ..sim.backends import default_kernels
+
+            kernels = default_kernels()
+        self.kernels = kernels
         self.partners = np.full((self.n_slots, width), -1, dtype=np.int64)
         self.amounts = np.zeros((self.n_slots, width), dtype=np.float64)
         self.counts = np.zeros(self.n_slots, dtype=np.int64)
@@ -118,15 +126,9 @@ class SparseInteractionLedger:
         """Stored amount at each ``(row, col)``, ``0.0`` where absent."""
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
-        out = np.zeros(rows.size, dtype=np.float64)
-        step = self.chunk_size
-        for lo in range(0, rows.size, step):
-            r = rows[lo : lo + step]
-            match = self.partners[r] == cols[lo : lo + step, None]
-            hit = match.any(axis=1)
-            vals = self.amounts[r, match.argmax(axis=1)]
-            out[lo : lo + step] = np.where(hit, vals, 0.0)
-        return out
+        return self.kernels.ledger_lookup(
+            self.partners, self.amounts, rows, cols, self.chunk_size
+        )
 
     def add(
         self, rows: np.ndarray, cols: np.ndarray, amounts: np.ndarray
@@ -141,72 +143,16 @@ class SparseInteractionLedger:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         amounts = np.asarray(amounts, dtype=np.float64)
-        ev_rows: list[np.ndarray] = []
-        ev_amts: list[np.ndarray] = []
-        step = self.chunk_size
-        for lo in range(0, rows.size, step):
-            r = rows[lo : lo + step]
-            c = cols[lo : lo + step]
-            a = amounts[lo : lo + step]
-            live = a != 0.0  # dense cells ignore +0.0; don't spend capacity
-            if not live.all():
-                r, c, a = r[live], c[live], a[live]
-            if not r.size:
-                continue
-            match = self.partners[r] == c[:, None]
-            hit = match.any(axis=1)
-            if hit.any():
-                # (row, pos) targets are distinct within a call (pairs are
-                # unique), so fancy-index accumulation is exact.
-                self.amounts[r[hit], match.argmax(axis=1)[hit]] += a[hit]
-            miss = ~hit
-            if miss.any():
-                got = self._insert(r[miss], c[miss], a[miss])
-                if got is not None:
-                    ev_rows.append(got[0])
-                    ev_amts.append(got[1])
-        if not ev_rows:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, np.empty(0, dtype=np.float64)
-        return np.concatenate(ev_rows), np.concatenate(ev_amts)
-
-    def _insert(
-        self, rows: np.ndarray, cols: np.ndarray, amounts: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray] | None:
-        """Append new partners; evict the smallest entry of any full row."""
-        order = np.argsort(rows, kind="stable")
-        sr = rows[order]
-        # Within-call rank of each insert in its row: repeated rows (one
-        # source meeting several new partners in one settlement) claim
-        # consecutive slots after the row's current count.
-        new_run = np.empty(sr.size, dtype=bool)
-        new_run[0] = True
-        np.not_equal(sr[1:], sr[:-1], out=new_run[1:])
-        run_start = np.flatnonzero(new_run)
-        run_len = np.diff(np.append(run_start, sr.size))
-        rank = np.arange(sr.size) - np.repeat(run_start, run_len)
-        slot = self.counts[sr] + rank
-        ok = slot < _gather(self.row_cap, sr)
-        if ok.any():
-            src = order[ok]
-            self.partners[sr[ok], slot[ok]] = cols[src]
-            self.amounts[sr[ok], slot[ok]] = amounts[src]
-            np.add.at(self.counts, sr[ok], 1)
-        overflow = np.flatnonzero(~ok)
-        if not overflow.size:
-            return None
-        # Decay-eviction (rare; the approximation regime): replace the
-        # smallest stored amount — stale partners have decayed furthest.
-        ev_rows = np.empty(overflow.size, dtype=np.int64)
-        ev_amts = np.empty(overflow.size, dtype=np.float64)
-        for k, i in enumerate(overflow):
-            row = int(sr[i])
-            j = int(np.argmin(self.amounts[row, : self.counts[row]]))
-            ev_rows[k] = row
-            ev_amts[k] = self.amounts[row, j]
-            self.partners[row, j] = cols[order[i]]
-            self.amounts[row, j] = amounts[order[i]]
-        return ev_rows, ev_amts
+        return self.kernels.ledger_add(
+            self.partners,
+            self.amounts,
+            self.counts,
+            self.row_cap,
+            rows,
+            cols,
+            amounts,
+            self.chunk_size,
+        )
 
     # ------------------------------------------------------------------
     def decay_rows(self, decay: float | np.ndarray) -> None:

@@ -8,7 +8,7 @@ from ..analysis.stats import mean_ci
 from ..sim.config import SimulationConfig
 from ..sim.engine import SimulationResult
 from ..sim.rng import spawn_seeds
-from ..sim.sweep import run_sweep
+from ..sim._sweep import run_sweep
 
 __all__ = ["default_seeds", "run_grid", "aggregate_metric"]
 

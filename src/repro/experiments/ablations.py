@@ -17,7 +17,7 @@ import numpy as np
 from ..analysis.figures import FigureData
 from ..core.params import PaperConstants, ReputationParams, ServiceParams
 from ..sim.scenarios import base_config
-from ..sim.sweep import run_sweep
+from ..sim._sweep import run_sweep
 from ._common import aggregate_metric, default_seeds
 
 __all__ = ["run_reputation_function_ablation", "run_rmin_ablation"]

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..analysis.figures import FigureData
 from ..store.registry import expand_scenario
-from ..sim.sweep import run_sweep
+from ..sim._sweep import run_sweep
 from ._common import aggregate_metric
 
 __all__ = ["run", "SCHEMES", "ATTACKS"]

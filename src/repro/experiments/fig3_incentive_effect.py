@@ -12,7 +12,7 @@ import numpy as np
 from ..analysis.figures import FigureData
 from ..analysis.stats import relative_change, welch_t_test
 from ..sim.scenarios import fig3_configs
-from ..sim.sweep import run_sweep
+from ..sim._sweep import run_sweep
 from ._common import aggregate_metric, default_seeds
 
 __all__ = ["run"]

@@ -129,8 +129,8 @@ def main(argv: list[str] | None = None) -> int:
         # The experiment modules call run_sweep themselves, so the store
         # is installed as the ambient default rather than threaded through
         # every figure module's signature.
-        from ..sim.sweep import set_default_store
-        from ..store.runstore import RunStore
+        from ..sim._sweep import set_default_store
+        from ..store._runstore import RunStore
 
         store = RunStore(args.store)
         previous = set_default_store(store)

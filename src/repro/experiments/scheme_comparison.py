@@ -18,7 +18,7 @@ import numpy as np
 
 from ..analysis.figures import FigureData
 from ..sim.scenarios import base_config
-from ..sim.sweep import run_sweep
+from ..sim._sweep import run_sweep
 from ._common import aggregate_metric, default_seeds
 
 __all__ = ["run", "SCHEMES"]

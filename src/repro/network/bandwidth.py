@@ -151,6 +151,7 @@ def sample_download_requests_batch(
     sharing_mask: np.ndarray,
     download_probability: float | None = None,
     overlays=None,
+    kernels=None,
 ) -> DownloadRequests:
     """Replicate-axis request sampling: one request set over ``R`` stacked runs.
 
@@ -166,6 +167,10 @@ def sample_download_requests_batch(
     ``download_probability`` may be a per-replicate ``(R,)`` array (lane
     batching): each replicate's draw is thresholded against its own
     probability, exactly as its solo run would be.
+
+    ``kernels`` is the :class:`~repro.sim.backends.base.KernelBackend`
+    executing the post-draw matching fix-ups (``None`` = the numpy
+    reference); the RNG draws themselves never enter a backend.
     """
     sharing_mask = np.asarray(sharing_mask, dtype=bool)
     if sharing_mask.ndim != 2:
@@ -229,22 +234,18 @@ def sample_download_requests_batch(
     seg_starts = np.concatenate(([0], np.cumsum(n_sharers)[:-1]))
     req_start = np.repeat(seg_starts, d_counts)
     req_n_s = np.repeat(n_sharers, d_counts)
-    chosen = sources_flat[req_start + choice_idx]
-    self_hit = chosen == downloaders
-    if np.any(self_hit):
-        # Same fix-ups as the solo sampler: with several sharers shift to
-        # the next one; a lone sharer cannot download from itself.
-        shift = self_hit & (req_n_s > 1)
-        if np.any(shift):
-            chosen[shift] = sources_flat[
-                req_start[shift] + (choice_idx[shift] + 1) % req_n_s[shift]
-            ]
-        drop = self_hit & (req_n_s == 1)
-        if np.any(drop):
-            keep = ~drop
-            downloaders, chosen = downloaders[keep], chosen[keep]
-            if downloaders.size == 0:
-                return empty
+    if kernels is None:
+        from ..sim.backends import default_kernels
+
+        kernels = default_kernels()
+    # Same fix-ups as the solo sampler: with several sharers a
+    # self-selection shifts to the next one; a lone sharer cannot
+    # download from itself (the request is dropped).
+    downloaders, chosen = kernels.match_sources(
+        downloaders, choice_idx, sources_flat, req_start, req_n_s
+    )
+    if downloaders.size == 0:
+        return empty
     return DownloadRequests(downloader_ids=downloaders, source_ids=chosen)
 
 
@@ -254,6 +255,7 @@ def settle_downloads(
     offered_bandwidth: np.ndarray,
     upload_capacity: np.ndarray,
     n_peers: int,
+    kernels=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convert shares into transferred bandwidth.
 
@@ -269,19 +271,23 @@ def settle_downloads(
     served : per-peer upload bandwidth actually served this step (this is
         the "actually shared bandwidth" that feeds ``C_S``).
     """
-    received = np.zeros(n_peers, dtype=np.float64)
-    served = np.zeros(n_peers, dtype=np.float64)
     if requests.n == 0:
-        return received, served
+        return (
+            np.zeros(n_peers, dtype=np.float64),
+            np.zeros(n_peers, dtype=np.float64),
+        )
     shares = np.asarray(shares, dtype=np.float64)
     if shares.shape != (requests.n,):
         raise ValueError("shares must align with requests")
-    capacity = offered_bandwidth[requests.source_ids] * upload_capacity[
-        requests.source_ids
-    ]
-    amount = capacity * shares
-    # A downloader can issue at most one request per step, so a plain
-    # scatter is enough for `received`; sources may serve many requests.
-    received[requests.downloader_ids] = amount
-    np.add.at(served, requests.source_ids, amount)
-    return received, served
+    if kernels is None:
+        from ..sim.backends import default_kernels
+
+        kernels = default_kernels()
+    return kernels.settle_downloads(
+        requests.downloader_ids,
+        requests.source_ids,
+        shares,
+        offered_bandwidth,
+        upload_capacity,
+        n_peers,
+    )

@@ -102,7 +102,7 @@ class SnapshotStore:
     """Atomic file persistence for resume snapshots.
 
     Standalone on purpose: subprocess sweep workers get only the store
-    *root path* (a :class:`~repro.store.runstore.RunStore` is too heavy
+    *root path* (a :class:`~repro.store._runstore.RunStore` is too heavy
     to ship across the pool boundary), and :class:`RunStore` composes
     one of these for its own ``put_snapshot``/``get_snapshot`` API —
     both sides read and write the same ``checkpoints/`` directory.

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Any, Awaitable, Callable
 
 from ..obs import MetricsRegistry
-from ..store.runstore import RunStore
+from ..store._runstore import RunStore
 from .hub import EventHub, sse_encode
 from .jobs import JobManager, QueueFull, ServiceClosing
 from .schemas import SchemaError, parse_submit

@@ -20,7 +20,7 @@ Workers are asyncio tasks that drain the unit queue in small batches and
 execute them through :func:`repro.sim.sweep.run_sweep` (serial backend,
 store-persisting) on a thread pool — NumPy releases the GIL in the
 kernels, so worker threads overlap compute.  The sweep's
-:class:`~repro.sim.sweep.SweepProgress` callback fires as each config
+:class:`~repro.sim._sweep.SweepProgress` callback fires as each config
 lands and is hopped onto the event loop, where unit resolution updates
 every waiting job and publishes its SSE events.  All manager state is
 therefore mutated on the loop thread only; compute threads never touch
@@ -46,7 +46,7 @@ from typing import Any, Callable, Sequence
 
 from ..obs import MetricsRegistry
 from ..sim.config import SimulationConfig
-from ..sim.sweep import run_sweep
+from ..sim._sweep import run_sweep
 from ..store.hashing import config_hash
 from .hub import EventHub
 from .schemas import SubmitSpec
@@ -150,7 +150,7 @@ class _Unit:
 #: ``runner(configs, progress, on_failure)`` — executes the given
 #: configs (persisting into the store), fires ``progress(done, total,
 #: index, result, cached, stats)`` per completed config and
-#: ``on_failure(failure)`` (a :class:`repro.sim.sweep.SweepFailure`) per
+#: ``on_failure(failure)`` (a :class:`repro.sim._sweep.SweepFailure`) per
 #: config quarantined after exhausting its retry budget.  Injectable for
 #: tests; legacy two-argument runners are adapted (their units can then
 #: only succeed or fail the whole batch).

@@ -15,7 +15,7 @@ from .metrics import MetricsCollector, StepStats
 from .state import SimState, build_sim_state
 from .rng import make_rng, spawn_rngs, spawn_seeds
 from .scenarios import base_config, fig3_configs, fig6_configs, mixture_configs
-from .sweep import (
+from ._sweep import (
     SweepWorkerError,
     available_workers,
     get_default_store,

@@ -1,0 +1,155 @@
+"""Pluggable kernel backends: the registry behind ``engine.backend``.
+
+Backends implement the :class:`~repro.sim.backends.base.KernelBackend`
+interface — the formal seam between the phase orchestration (Python,
+RNG, bookkeeping) and the hot inner loops.  Two ship with the engine:
+
+- ``numpy`` — the always-on vectorized reference; its results define
+  correctness bit for bit.
+- ``compiled`` — Numba ``@njit`` loop kernels.  Without Numba the
+  registry degrades gracefully: resolving ``"compiled"`` warns once and
+  hands back the ``numpy`` singleton (set ``REPRO_COMPILED_PUREPY=1``
+  to run the compiled loop bodies interpreted instead, as the
+  equivalence suite does).
+
+The registry hands out one singleton per name so JIT warm-up happens at
+most once per process, and pickled backends re-resolve by name on the
+other side of a checkpoint or process pool.  Register additional
+backends with :func:`register_backend`; see ``docs/BACKENDS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Callable
+
+from .base import KernelBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "BACKEND_CHOICES",
+    "DEFAULT_BACKEND",
+    "default_kernels",
+    "get_backend",
+    "register_backend",
+    "list_backends",
+    "backend_info",
+    "reset_backend_cache",
+]
+
+#: The backend used when a config doesn't say otherwise.
+DEFAULT_BACKEND = "numpy"
+
+
+def _numpy_factory() -> KernelBackend:
+    """Build the reference backend (always available)."""
+    return NumpyBackend()
+
+
+def _compiled_factory() -> KernelBackend:
+    """Resolve ``compiled``: JIT if Numba exists, else the documented fallback."""
+    from .compiled import CompiledBackend, numba_available
+
+    if numba_available():
+        return CompiledBackend(jit=True)
+    if os.environ.get("REPRO_COMPILED_PUREPY"):
+        return CompiledBackend(jit=False)
+    warnings.warn(
+        "kernel backend 'compiled' requested but numba is not installed; "
+        "falling back to the bit-identical 'numpy' reference backend "
+        "(results are unchanged, only slower)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return get_backend("numpy")
+
+
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {
+    "numpy": _numpy_factory,
+    "compiled": _compiled_factory,
+}
+
+#: Names accepted by ``engine.backend`` / ``--backend`` out of the box.
+BACKEND_CHOICES = ("numpy", "compiled")
+
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend], *, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` (third-party backends hook in here)."""
+    if not replace and name in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve ``name`` to its singleton backend instance.
+
+    ``None`` resolves to :data:`DEFAULT_BACKEND`.  Unknown names raise
+    ``ValueError`` listing what is registered.  The resolved instance is
+    cached under the *requested* name, so the compiled→numpy fallback
+    warns only once per process.
+    """
+    key = DEFAULT_BACKEND if name is None else name
+    got = _INSTANCES.get(key)
+    if got is None:
+        factory = _FACTORIES.get(key)
+        if factory is None:
+            known = ", ".join(sorted(_FACTORIES))
+            raise ValueError(f"unknown kernel backend {key!r} (known: {known})")
+        got = factory()
+        _INSTANCES[key] = got
+    return got
+
+
+def default_kernels() -> KernelBackend:
+    """The reference backend singleton (what bare constructors use)."""
+    return get_backend(DEFAULT_BACKEND)
+
+
+def backend_info(name: str) -> dict[str, Any]:
+    """Describe one registered backend without triggering fallback warnings.
+
+    For ``compiled`` without Numba this reports the planned fallback
+    instead of instantiating (and warning); otherwise it resolves the
+    singleton and returns its :meth:`~KernelBackend.info`.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(f"unknown kernel backend {name!r}")
+    if name == "compiled" and name not in _INSTANCES:
+        from .compiled import numba_available
+
+        if not numba_available() and not os.environ.get("REPRO_COMPILED_PUREPY"):
+            return {
+                "name": "compiled",
+                "available": False,
+                "mode": "fallback",
+                "numba_version": None,
+                "warmed": False,
+                "detail": "numba not installed; resolves to the numpy reference",
+            }
+    info = dict(get_backend(name).info())
+    if info.get("name") != name:
+        # A fallback singleton answered for this name.  "available" keeps
+        # meaning "can this *name* run natively", matching the
+        # pre-instantiation branch above.
+        info["requested"] = name
+        info["mode"] = "fallback"
+        info["available"] = False
+    return info
+
+
+def list_backends() -> list[dict[str, Any]]:
+    """Availability/version/warm-up facts for every registered backend."""
+    return [backend_info(name) for name in sorted(_FACTORIES)]
+
+
+def reset_backend_cache() -> None:
+    """Drop cached singletons (tests use this to re-trigger resolution)."""
+    _INSTANCES.clear()

@@ -1,0 +1,221 @@
+"""The formal phase-kernel seam: the :class:`KernelBackend` interface.
+
+The engine's per-step work funnels through a small set of *kernels* —
+the hot inner loops the profiler actually sees.  A backend is one
+implementation of that set over the flat ``SimState`` slot arrays:
+
+===========================  =====================================================
+kernel                       hot loop it implements
+===========================  =====================================================
+``grouped_shares``           the shared group-normalized allocator behind
+                             bandwidth settlement, voting weights and
+                             collusion renormalization
+``match_sources``            download matching: post-draw source fix-ups
+                             (self-hit shift / lone-sharer drop)
+``settle_downloads``         bandwidth settlement: per-request transfer
+                             amounts scattered into received/served
+``filter_vote_candidates``   edit-vote candidate filtering over the ragged
+                             per-proposal voter gathers
+``tally_votes``              weighted vote accumulation per proposal
+``ledger_lookup``            tit-for-tat sparse-ledger reads
+``ledger_add``               tit-for-tat sparse-ledger accumulate/insert/evict
+``q_update``                 the vectorized tabular Q-learning TD backup
+===========================  =====================================================
+
+**Identity contract.**  Results are *backend-invariant*: every backend
+must reproduce the ``numpy`` reference **bit for bit** — same
+floating-point operations on the same values in the same per-cell order
+(see ``docs/BACKENDS.md`` for the per-kernel ordering obligations).
+Backends are therefore excluded from the run-store config hash, and the
+equivalence suite (``tests/sim/test_backend_equivalence.py``) plus
+``repro verify-backend`` enforce the contract across all four incentive
+schemes, the adversary kernels and churn.
+
+**No RNG.**  Kernels never draw random numbers; all sampling stays in
+the per-replicate stream loops outside the backend so stream parity is
+untouched by backend choice.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Abstract kernel set one engine backend provides.
+
+    Concrete backends subclass this and implement every kernel method.
+    Instances are cheap, stateless (apart from warm-up bookkeeping) and
+    shared: the registry hands out one singleton per backend name, and
+    pickling round-trips by name (:meth:`__reduce__`), so checkpointed
+    states and process-pool workers re-resolve the backend — with the
+    documented graceful fallback — on the other side.
+    """
+
+    #: Registry name; subclasses set it.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def available(self) -> bool:
+        """Whether this backend can execute on this interpreter."""
+        return True
+
+    def warmed(self) -> bool:
+        """Whether one-time preparation (JIT compilation) already ran."""
+        return True
+
+    def ensure_warm(self, tracer: Any = None) -> float:
+        """Run one-time preparation (JIT compilation) if still pending.
+
+        Returns the seconds spent (0.0 when already warm).  When a
+        tracer is given and work happens, it is recorded under a
+        ``backend/compile`` span so profile/trace output attributes
+        compilation to the backend, never to the first step's phases.
+        """
+        return 0.0
+
+    def info(self) -> dict[str, Any]:
+        """Availability/version/warm-up facts for ``repro backends``."""
+        return {"name": self.name, "available": self.available(), "warmed": self.warmed()}
+
+    def __reduce__(self):
+        """Pickle by name so restored states re-resolve the backend."""
+        from . import get_backend
+
+        return (get_backend, (self.name,))
+
+    def __repr__(self) -> str:
+        """Short diagnostic spelling, e.g. ``<KernelBackend numpy>``."""
+        return f"<KernelBackend {self.name}>"
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def grouped_shares(
+        self, group_ids: np.ndarray, weights: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        """Normalize ``weights`` within each group (equal split when all-zero).
+
+        The one shared allocator: bandwidth shares per source, voting
+        weights per proposal, collusion-ring renormalization.  Raises
+        ``ValueError`` on out-of-range group ids or negative weights.
+        """
+        raise NotImplementedError
+
+    def match_sources(
+        self,
+        downloaders: np.ndarray,
+        choice_idx: np.ndarray,
+        sources_flat: np.ndarray,
+        req_start: np.ndarray,
+        req_n_s: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve drawn source choices into request pairs.
+
+        Applies the sampler's fix-ups: a self-selection shifts to the
+        next sharer when the replicate has several, and drops the
+        request when the downloader is the lone sharer.  Returns the
+        kept ``(downloaders, sources)`` in input order.
+        """
+        raise NotImplementedError
+
+    def settle_downloads(
+        self,
+        downloader_ids: np.ndarray,
+        source_ids: np.ndarray,
+        shares: np.ndarray,
+        offered_bandwidth: np.ndarray,
+        upload_capacity: np.ndarray,
+        n_peers: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Convert shares into per-peer ``(received, served)`` bandwidth."""
+        raise NotImplementedError
+
+    def filter_vote_candidates(
+        self,
+        cand_local: np.ndarray,
+        counts: np.ndarray,
+        local_proposers: np.ndarray,
+        rep_of_prop: np.ndarray,
+        can_vote: np.ndarray,
+        all_can_vote: bool,
+        n_agents: int,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Filter the ragged candidate-voter gather of one step's proposals.
+
+        ``cand_local`` concatenates every proposal's candidate voters
+        (local ids); ``counts[p]`` is proposal ``p``'s candidate count.
+        Drops each proposal's own proposer and (unless ``all_can_vote``)
+        voters without voting rights.  Returns ``(flat_voters,
+        cand_prop)`` — kept voters as flat slot ids with their proposal
+        index, in input order (chunking must never reorder).
+        """
+        raise NotImplementedError
+
+    def tally_votes(
+        self,
+        flat_prop: np.ndarray,
+        weights: np.ndarray,
+        votes_for: np.ndarray,
+        n_prop: int,
+    ) -> np.ndarray:
+        """Accumulate the approving vote weight per proposal, in input order."""
+        raise NotImplementedError
+
+    def ledger_lookup(
+        self,
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        chunk_size: int,
+    ) -> np.ndarray:
+        """Sparse-ledger reads: stored amount per ``(row, col)``, else 0.0."""
+        raise NotImplementedError
+
+    def ledger_add(
+        self,
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        counts: np.ndarray,
+        row_cap: Any,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        add_amounts: np.ndarray,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse-ledger accumulate: in-place add/insert with cap eviction.
+
+        Mutates ``partners``/``amounts``/``counts``; returns the evicted
+        ``(rows, amounts)``.  Must follow the reference's exact chunked
+        two-pass order (classify against chunk-start state, apply hits,
+        then insert misses) — eviction choices are state-dependent, so
+        any other order breaks bit-identity.  ``row_cap`` is a scalar or
+        a per-slot array.
+        """
+        raise NotImplementedError
+
+    def q_update(
+        self,
+        q: np.ndarray,
+        idx: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        learning_rate: Any,
+        discount: Any,
+    ) -> None:
+        """In-place TD backup ``Q(s,a) <- (1-a) Q(s,a) + a (r + g max Q(s'))``.
+
+        ``learning_rate``/``discount`` are scalars or arrays already
+        gathered to align with ``idx``.
+        """
+        raise NotImplementedError

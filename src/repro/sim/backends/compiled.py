@@ -1,0 +1,553 @@
+"""The ``compiled`` backend: Numba ``@njit`` kernels over the slot arrays.
+
+Every kernel is written as a plain-Python scalar loop that Numba can
+compile in ``nopython`` mode.  When Numba is installed the loops are
+JIT-compiled (no ``fastmath`` — reassociation would break bit-identity);
+when it is not, the registry normally falls back to the ``numpy``
+reference, but setting ``REPRO_COMPILED_PUREPY=1`` runs these same loops
+interpreted, which is how the equivalence suite exercises the compiled
+algorithms on machines without Numba.
+
+**Bit-identity notes.**  The loops replay the reference's exact
+floating-point expressions element by element: ``grouped_shares`` keeps
+the ``w / total`` vs ``1 / count`` branch, ``settle_downloads`` keeps the
+``(offered * capacity) * share`` association, ``q_update`` keeps
+``(1 - a) * q + a * (r + g * max)``, and ``ledger_add`` replays the
+chunked classify/accumulate/insert order (see ``docs/BACKENDS.md``) so
+state-dependent evictions land on the same cells.  Integer/boolean
+kernels are order-insensitive and simply loop.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable
+
+import numpy as np
+
+from .base import KernelBackend
+
+__all__ = ["CompiledBackend", "numba_available", "numba_version"]
+
+try:  # pragma: no cover - depends on the environment
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+
+def numba_available() -> bool:
+    """Whether Numba is importable in this interpreter."""
+    return _numba is not None
+
+
+def numba_version() -> str | None:
+    """The installed Numba version, or ``None``."""
+    return getattr(_numba, "__version__", None) if _numba is not None else None
+
+
+# ----------------------------------------------------------------------
+# Kernel bodies (nopython-compatible; also runnable interpreted)
+# ----------------------------------------------------------------------
+def _k_grouped_shares(group_ids, weights, n_groups):
+    """Loop form of the group-normalized allocator."""
+    m = group_ids.shape[0]
+    totals = np.zeros(n_groups, dtype=np.float64)
+    counts = np.zeros(n_groups, dtype=np.int64)
+    for k in range(m):
+        g = group_ids[k]
+        if g < 0 or g >= n_groups:
+            raise ValueError("group ids out of range")
+        w = weights[k]
+        if w < 0.0:
+            raise ValueError("weights must be non-negative")
+        totals[g] += w
+        counts[g] += 1
+    shares = np.empty(m, dtype=np.float64)
+    for k in range(m):
+        t = totals[group_ids[k]]
+        if t > 0.0:
+            shares[k] = weights[k] / t
+        else:
+            shares[k] = 1.0 / counts[group_ids[k]]
+    return shares
+
+
+def _k_match_sources(downloaders, choice_idx, sources_flat, req_start, req_n_s):
+    """Loop form of the post-draw source fix-ups."""
+    m = downloaders.shape[0]
+    out_d = np.empty(m, dtype=np.int64)
+    out_s = np.empty(m, dtype=np.int64)
+    kept = 0
+    for k in range(m):
+        d = downloaders[k]
+        ns = req_n_s[k]
+        chosen = sources_flat[req_start[k] + choice_idx[k]]
+        if chosen == d:
+            if ns > 1:
+                chosen = sources_flat[req_start[k] + (choice_idx[k] + 1) % ns]
+            else:
+                continue  # lone sharer: drop the request
+        out_d[kept] = d
+        out_s[kept] = chosen
+        kept += 1
+    return out_d[:kept].copy(), out_s[:kept].copy()
+
+
+def _k_settle_downloads(
+    downloader_ids, source_ids, shares, offered_bandwidth, upload_capacity, n_peers
+):
+    """Loop form of bandwidth settlement (same association order)."""
+    received = np.zeros(n_peers, dtype=np.float64)
+    served = np.zeros(n_peers, dtype=np.float64)
+    for k in range(downloader_ids.shape[0]):
+        s = source_ids[k]
+        amount = (offered_bandwidth[s] * upload_capacity[s]) * shares[k]
+        received[downloader_ids[k]] = amount
+        served[s] += amount
+    return received, served
+
+
+def _k_filter_vote_candidates(
+    cand_local, counts, local_proposers, rep_of_prop, can_vote, all_can_vote, n_agents
+):
+    """Loop form of the ragged candidate filter (integer-only, order-free)."""
+    total = cand_local.shape[0]
+    out_v = np.empty(total, dtype=np.int64)
+    out_p = np.empty(total, dtype=np.int64)
+    kept = 0
+    base = 0
+    for p in range(counts.shape[0]):
+        cp = counts[p]
+        rep_off = rep_of_prop[p] * n_agents
+        lp = local_proposers[p]
+        for j in range(cp):
+            c = cand_local[base + j]
+            if c == lp:
+                continue
+            flat = c + rep_off
+            if not all_can_vote and not can_vote[flat]:
+                continue
+            out_v[kept] = flat
+            out_p[kept] = p
+            kept += 1
+        base += cp
+    return out_v[:kept].copy(), out_p[:kept].copy()
+
+
+def _k_tally_votes(flat_prop, weights, votes_for, n_prop):
+    """Loop form of the approving-weight accumulation (input order)."""
+    for_weight = np.zeros(n_prop, dtype=np.float64)
+    for k in range(flat_prop.shape[0]):
+        if votes_for[k]:
+            for_weight[flat_prop[k]] += weights[k]
+    return for_weight
+
+
+def _k_ledger_lookup(partners, amounts, rows, cols):
+    """First-match row scans; chunk boundaries don't affect gathers."""
+    m = rows.shape[0]
+    width = partners.shape[1]
+    out = np.zeros(m, dtype=np.float64)
+    for k in range(m):
+        r = rows[k]
+        c = cols[k]
+        for j in range(width):
+            if partners[r, j] == c:
+                out[k] = amounts[r, j]
+                break
+    return out
+
+
+def _k_ledger_add(
+    partners, amounts, counts, cap_arr, cap_scalar, cap_is_array,
+    rows, cols, add_amounts, chunk_size,
+):
+    """Chunk-faithful replay of the reference accumulate/insert/evict.
+
+    Per chunk of the reference's ``chunk_size``: pass 1 classifies every
+    live entry against the chunk-start state, pass 2 applies all hits,
+    pass 3 inserts misses in input order with live counts (equivalent to
+    the reference's stable row-sorted ranks cell by cell), evicting the
+    current smallest stored amount of a full row.
+    """
+    n_in = rows.shape[0]
+    width = partners.shape[1]
+    ev_rows = np.empty(n_in, dtype=np.int64)
+    ev_amts = np.empty(n_in, dtype=np.float64)
+    n_ev = 0
+    pos = np.empty(n_in, dtype=np.int64)
+    lo = 0
+    while lo < n_in:
+        hi = lo + chunk_size
+        if hi > n_in:
+            hi = n_in
+        # Pass 1: classify against the chunk-start state.
+        for k in range(lo, hi):
+            if add_amounts[k] == 0.0:
+                pos[k] = -2  # dense zero cell: ignored entirely
+                continue
+            r = rows[k]
+            c = cols[k]
+            p = np.int64(-1)
+            for j in range(width):
+                if partners[r, j] == c:
+                    p = np.int64(j)
+                    break
+            pos[k] = p
+        # Pass 2: all hits accumulate before any insert mutates the row.
+        for k in range(lo, hi):
+            if pos[k] >= 0:
+                amounts[rows[k], pos[k]] += add_amounts[k]
+        # Pass 3: misses insert (or evict) with live counts/amounts.
+        for k in range(lo, hi):
+            if pos[k] != -1:
+                continue
+            r = rows[k]
+            cap = cap_arr[r] if cap_is_array else cap_scalar
+            cnt = counts[r]
+            if cnt < cap:
+                partners[r, cnt] = cols[k]
+                amounts[r, cnt] = add_amounts[k]
+                counts[r] = cnt + 1
+            else:
+                jmin = 0
+                amin = amounts[r, 0]
+                for j in range(1, cnt):
+                    v = amounts[r, j]
+                    if v < amin:
+                        amin = v
+                        jmin = j
+                ev_rows[n_ev] = r
+                ev_amts[n_ev] = amin
+                n_ev += 1
+                partners[r, jmin] = cols[k]
+                amounts[r, jmin] = add_amounts[k]
+        lo = hi
+    return ev_rows[:n_ev].copy(), ev_amts[:n_ev].copy()
+
+
+def _k_q_update(
+    q, idx, states, actions, rewards, next_states,
+    lr_arr, lr_scalar, lr_is_array, g_arr, g_scalar, g_is_array,
+):
+    """Loop form of the TD backup (same scalar expression tree).
+
+    Two passes — compute every new value against the pre-update table,
+    then scatter — because the reference's fancy-indexed assignment
+    gathers all reads before any write (and last write wins on
+    duplicate ``(agent, state, action)`` triples).
+    """
+    m = idx.shape[0]
+    n_actions = q.shape[2]
+    new_vals = np.empty(m, dtype=np.float64)
+    for k in range(m):
+        i = idx[k]
+        ns = next_states[k]
+        best = q[i, ns, 0]
+        for b in range(1, n_actions):
+            v = q[i, ns, b]
+            if v > best:
+                best = v
+        a = lr_arr[k] if lr_is_array else lr_scalar
+        g = g_arr[k] if g_is_array else g_scalar
+        cur = q[i, states[k], actions[k]]
+        new_vals[k] = (1.0 - a) * cur + a * (rewards[k] + g * best)
+    for k in range(m):
+        q[idx[k], states[k], actions[k]] = new_vals[k]
+
+
+_KERNEL_BODIES: dict[str, Callable] = {
+    "grouped_shares": _k_grouped_shares,
+    "match_sources": _k_match_sources,
+    "settle_downloads": _k_settle_downloads,
+    "filter_vote_candidates": _k_filter_vote_candidates,
+    "tally_votes": _k_tally_votes,
+    "ledger_lookup": _k_ledger_lookup,
+    "ledger_add": _k_ledger_add,
+    "q_update": _k_q_update,
+}
+
+_JITTED: dict[str, Callable] | None = None
+
+
+def _jitted_kernels() -> dict[str, Callable]:
+    """Compile (once per process) every kernel body with ``@njit``."""
+    global _JITTED
+    if _JITTED is None:
+        # nogil so sweep thread-executors overlap; cache=False keeps the
+        # build sandbox-friendly (no __pycache__ writes at import time).
+        jit = _numba.njit(cache=False, nogil=True)
+        _JITTED = {name: jit(fn) for name, fn in _KERNEL_BODIES.items()}
+    return _JITTED
+
+
+def _i64(a: np.ndarray) -> np.ndarray:
+    """Contiguous int64 view/copy (stabilizes the JIT signature)."""
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+def _f64(a: np.ndarray) -> np.ndarray:
+    """Contiguous float64 view/copy (stabilizes the JIT signature)."""
+    return np.ascontiguousarray(a, dtype=np.float64)
+
+
+_NO_F64 = np.zeros(1, dtype=np.float64)
+_NO_I64 = np.zeros(1, dtype=np.int64)
+
+
+class CompiledBackend(KernelBackend):
+    """Numba-compiled (or forced-interpreted) loop kernels.
+
+    ``mode`` is ``"jit"`` when Numba compiles the loops and
+    ``"interpreted"`` when the same bodies run as plain Python (the
+    ``REPRO_COMPILED_PUREPY=1`` equivalence-testing path).
+    """
+
+    name = "compiled"
+
+    def __init__(self, jit: bool | None = None) -> None:
+        """Build the backend; ``jit=None`` means "JIT iff Numba exists"."""
+        if jit is None:
+            jit = numba_available()
+        if jit and not numba_available():
+            raise RuntimeError("compiled backend: jit=True requires numba")
+        self.jit = bool(jit)
+        self._fns = _jitted_kernels() if self.jit else dict(_KERNEL_BODIES)
+        self._warm_seconds: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def warmed(self) -> bool:
+        """Whether the one-time warm-up pass already ran."""
+        return self._warm_seconds is not None
+
+    def ensure_warm(self, tracer: Any = None) -> float:
+        """Compile every kernel specialization on tiny representative inputs.
+
+        Records a ``backend/compile`` span when a tracer is given so
+        profile/trace phase breakdowns never absorb JIT time.  Idempotent;
+        returns the seconds the first pass took (0.0 afterwards).
+        """
+        if self._warm_seconds is not None:
+            return 0.0
+        if tracer is not None and getattr(tracer, "enabled", False):
+            with tracer.span("backend/compile", backend=self.name, mode=self.mode()):
+                seconds = self._warm_up()
+        else:
+            seconds = self._warm_up()
+        self._warm_seconds = seconds
+        return seconds
+
+    def _warm_up(self) -> float:
+        """Run every kernel once on miniature inputs; returns seconds."""
+        t0 = perf_counter()
+        ids = np.array([0, 1, 0], dtype=np.int64)
+        w = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+        self._fns["grouped_shares"](ids, w, 2)
+        self._fns["match_sources"](
+            np.array([2, 0], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+            np.array([2, 2], dtype=np.int64),
+        )
+        self._fns["settle_downloads"](
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([1.0, 1.0], dtype=np.float64),
+            np.array([0.5, 0.5], dtype=np.float64),
+            np.array([1.0, 1.0], dtype=np.float64),
+            2,
+        )
+        self._fns["filter_vote_candidates"](
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([2, 1], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+            np.ones(2, dtype=np.bool_),
+            False,
+            2,
+        )
+        self._fns["tally_votes"](
+            ids, w, np.array([True, False, True]), 2
+        )
+        partners = np.full((2, 3), -1, dtype=np.int64)
+        amounts = np.zeros((2, 3), dtype=np.float64)
+        counts = np.zeros(2, dtype=np.int64)
+        self._fns["ledger_add"](
+            partners, amounts, counts, _NO_I64, 3, False,
+            np.array([0, 0, 1, 0], dtype=np.int64),
+            np.array([1, 2, 0, 1], dtype=np.int64),
+            np.array([1.0, 2.0, 3.0, 1.0], dtype=np.float64),
+            2,
+        )
+        self._fns["ledger_lookup"](
+            partners, amounts,
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+        )
+        q = np.zeros((2, 2, 2), dtype=np.float64)
+        self._fns["q_update"](
+            q,
+            np.array([0, 1], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([0.5, -0.5], dtype=np.float64),
+            np.array([1, 0], dtype=np.int64),
+            _NO_F64, 0.1, False, _NO_F64, 0.9, False,
+        )
+        return perf_counter() - t0
+
+    def mode(self) -> str:
+        """``"jit"`` or ``"interpreted"``."""
+        return "jit" if self.jit else "interpreted"
+
+    def info(self) -> dict[str, Any]:
+        """Availability/version/warm-up facts for ``repro backends``."""
+        return {
+            "name": self.name,
+            "available": True,
+            "mode": self.mode(),
+            "numba_version": numba_version(),
+            "warmed": self.warmed(),
+            "warm_seconds": self._warm_seconds,
+            "detail": (
+                "numba njit kernels"
+                if self.jit
+                else "interpreted loop kernels (REPRO_COMPILED_PUREPY)"
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def grouped_shares(
+        self, group_ids: np.ndarray, weights: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        """Compiled group-normalized allocator (reference expressions)."""
+        group_ids = np.asarray(group_ids)
+        weights = np.asarray(weights, dtype=np.float64)
+        if group_ids.shape != weights.shape:
+            raise ValueError("group_ids and weights must have the same shape")
+        if group_ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self._fns["grouped_shares"](_i64(group_ids), _f64(weights), int(n_groups))
+
+    def match_sources(
+        self,
+        downloaders: np.ndarray,
+        choice_idx: np.ndarray,
+        sources_flat: np.ndarray,
+        req_start: np.ndarray,
+        req_n_s: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compiled post-draw source fix-ups."""
+        return self._fns["match_sources"](
+            _i64(downloaders), _i64(choice_idx), _i64(sources_flat),
+            _i64(req_start), _i64(req_n_s),
+        )
+
+    def settle_downloads(
+        self,
+        downloader_ids: np.ndarray,
+        source_ids: np.ndarray,
+        shares: np.ndarray,
+        offered_bandwidth: np.ndarray,
+        upload_capacity: np.ndarray,
+        n_peers: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compiled bandwidth settlement."""
+        return self._fns["settle_downloads"](
+            _i64(downloader_ids), _i64(source_ids), _f64(shares),
+            _f64(offered_bandwidth), _f64(upload_capacity), int(n_peers),
+        )
+
+    def filter_vote_candidates(
+        self,
+        cand_local: np.ndarray,
+        counts: np.ndarray,
+        local_proposers: np.ndarray,
+        rep_of_prop: np.ndarray,
+        can_vote: np.ndarray,
+        all_can_vote: bool,
+        n_agents: int,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compiled ragged candidate filter (chunk size is irrelevant here)."""
+        return self._fns["filter_vote_candidates"](
+            _i64(cand_local), _i64(counts), _i64(local_proposers),
+            _i64(rep_of_prop), np.ascontiguousarray(can_vote, dtype=np.bool_),
+            bool(all_can_vote), int(n_agents),
+        )
+
+    def tally_votes(
+        self,
+        flat_prop: np.ndarray,
+        weights: np.ndarray,
+        votes_for: np.ndarray,
+        n_prop: int,
+    ) -> np.ndarray:
+        """Compiled approving-weight accumulation."""
+        return self._fns["tally_votes"](
+            _i64(flat_prop), _f64(weights),
+            np.ascontiguousarray(votes_for, dtype=np.bool_), int(n_prop),
+        )
+
+    def ledger_lookup(
+        self,
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        chunk_size: int,
+    ) -> np.ndarray:
+        """Compiled first-match row scans."""
+        return self._fns["ledger_lookup"](partners, amounts, _i64(rows), _i64(cols))
+
+    def ledger_add(
+        self,
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        counts: np.ndarray,
+        row_cap: Any,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        add_amounts: np.ndarray,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compiled chunk-faithful accumulate/insert/evict."""
+        if isinstance(row_cap, np.ndarray):
+            cap_arr, cap_scalar, cap_is_array = _i64(row_cap), 0, True
+        else:
+            cap_arr, cap_scalar, cap_is_array = _NO_I64, int(row_cap), False
+        return self._fns["ledger_add"](
+            partners, amounts, counts, cap_arr, cap_scalar, cap_is_array,
+            _i64(rows), _i64(cols), _f64(add_amounts), int(chunk_size),
+        )
+
+    def q_update(
+        self,
+        q: np.ndarray,
+        idx: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        learning_rate: Any,
+        discount: Any,
+    ) -> None:
+        """Compiled in-place TD backup."""
+        if isinstance(learning_rate, np.ndarray):
+            lr_arr, lr_scalar, lr_is_array = _f64(learning_rate), 0.0, True
+        else:
+            lr_arr, lr_scalar, lr_is_array = _NO_F64, float(learning_rate), False
+        if isinstance(discount, np.ndarray):
+            g_arr, g_scalar, g_is_array = _f64(discount), 0.0, True
+        else:
+            g_arr, g_scalar, g_is_array = _NO_F64, float(discount), False
+        self._fns["q_update"](
+            q, _i64(idx), _i64(states), _i64(actions), _f64(rewards),
+            _i64(next_states), lr_arr, lr_scalar, lr_is_array,
+            g_arr, g_scalar, g_is_array,
+        )

@@ -1,0 +1,294 @@
+"""The always-on NumPy reference backend.
+
+This is the engine's historical vectorized hot path, verbatim: every
+kernel keeps the exact operation sequence (scatter order, chunk
+boundaries, ``where=`` branches) the pre-backend modules used, so the
+reference defines the bit pattern every other backend must reproduce.
+The surrounding modules (``repro.network.bandwidth``,
+``repro.core.sparse``, ``repro.agents.qlearning``, the phase kernels)
+delegate here through their ``kernels`` attribute, defaulting to this
+backend, so code that never mentions backends behaves exactly as
+before.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import KernelBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Vectorized NumPy implementation of the kernel set (the reference)."""
+
+    name = "numpy"
+
+    def info(self) -> dict[str, Any]:
+        """Availability/version facts for ``repro backends``."""
+        return {
+            "name": self.name,
+            "available": True,
+            "mode": "reference",
+            "numpy_version": np.__version__,
+            "warmed": True,
+            "detail": "always-on vectorized reference",
+        }
+
+    # ------------------------------------------------------------------
+    def grouped_shares(
+        self, group_ids: np.ndarray, weights: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        """Group-normalized shares via one scatter-add (reference order)."""
+        group_ids = np.asarray(group_ids)
+        weights = np.asarray(weights, dtype=np.float64)
+        if group_ids.shape != weights.shape:
+            raise ValueError("group_ids and weights must have the same shape")
+        if group_ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if np.any((group_ids < 0) | (group_ids >= n_groups)):
+            raise ValueError("group ids out of range")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+
+        totals = np.zeros(n_groups, dtype=np.float64)
+        np.add.at(totals, group_ids, weights)
+        counts = np.bincount(group_ids, minlength=n_groups)
+
+        shares = np.empty_like(weights)
+        group_total = totals[group_ids]
+        degenerate = group_total <= 0.0
+        # Normal case: proportional share.
+        np.divide(weights, group_total, out=shares, where=~degenerate)
+        # Degenerate case (all weights zero in a group): equal split.
+        if np.any(degenerate):
+            shares[degenerate] = 1.0 / counts[group_ids[degenerate]]
+        return shares
+
+    def match_sources(
+        self,
+        downloaders: np.ndarray,
+        choice_idx: np.ndarray,
+        sources_flat: np.ndarray,
+        req_start: np.ndarray,
+        req_n_s: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Source fix-ups exactly as the batch sampler always applied them."""
+        chosen = sources_flat[req_start + choice_idx]
+        self_hit = chosen == downloaders
+        if np.any(self_hit):
+            # With several sharers shift to the next one; a lone sharer
+            # cannot download from itself.
+            shift = self_hit & (req_n_s > 1)
+            if np.any(shift):
+                chosen[shift] = sources_flat[
+                    req_start[shift] + (choice_idx[shift] + 1) % req_n_s[shift]
+                ]
+            drop = self_hit & (req_n_s == 1)
+            if np.any(drop):
+                keep = ~drop
+                downloaders, chosen = downloaders[keep], chosen[keep]
+        return downloaders, chosen
+
+    def settle_downloads(
+        self,
+        downloader_ids: np.ndarray,
+        source_ids: np.ndarray,
+        shares: np.ndarray,
+        offered_bandwidth: np.ndarray,
+        upload_capacity: np.ndarray,
+        n_peers: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One gather + two scatters, preserving per-source input order."""
+        received = np.zeros(n_peers, dtype=np.float64)
+        served = np.zeros(n_peers, dtype=np.float64)
+        if downloader_ids.size == 0:
+            return received, served
+        capacity = offered_bandwidth[source_ids] * upload_capacity[source_ids]
+        amount = capacity * shares
+        # A downloader can issue at most one request per step, so a plain
+        # scatter is enough for `received`; sources may serve many requests.
+        received[downloader_ids] = amount
+        np.add.at(served, source_ids, amount)
+        return received, served
+
+    def filter_vote_candidates(
+        self,
+        cand_local: np.ndarray,
+        counts: np.ndarray,
+        local_proposers: np.ndarray,
+        rep_of_prop: np.ndarray,
+        can_vote: np.ndarray,
+        all_can_vote: bool,
+        n_agents: int,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chunked ragged filter (chunks bound temporaries, never results)."""
+        n_prop = counts.size
+        csum = np.cumsum(counts)
+        kept_voters: list[np.ndarray] = []
+        kept_props: list[np.ndarray] = []
+        start = 0
+        while start < n_prop:
+            base = int(csum[start - 1]) if start else 0
+            end = int(np.searchsorted(csum, base + chunk_size, side="right"))
+            if end <= start:
+                end = start + 1  # one oversized pool still processes alone
+            chunk_cand = cand_local[base : int(csum[end - 1])]
+            prop_of_cand = np.repeat(np.arange(start, end), counts[start:end])
+            keep = chunk_cand != local_proposers[prop_of_cand]
+            flat_cand = chunk_cand + rep_of_prop[prop_of_cand] * n_agents
+            if not all_can_vote:
+                keep &= can_vote[flat_cand]
+            kept_voters.append(flat_cand[keep])
+            kept_props.append(prop_of_cand[keep])
+            start = end
+        if not kept_voters:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.int64)
+        return np.concatenate(kept_voters), np.concatenate(kept_props)
+
+    def tally_votes(
+        self,
+        flat_prop: np.ndarray,
+        weights: np.ndarray,
+        votes_for: np.ndarray,
+        n_prop: int,
+    ) -> np.ndarray:
+        """Masked scatter-add; ``np.add.at`` accumulates in input order."""
+        for_weight = np.zeros(n_prop)
+        np.add.at(for_weight, flat_prop[votes_for], weights[votes_for])
+        return for_weight
+
+    def ledger_lookup(
+        self,
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        chunk_size: int,
+    ) -> np.ndarray:
+        """Chunked first-match row scans over the capped ledger rows."""
+        out = np.zeros(rows.size, dtype=np.float64)
+        for lo in range(0, rows.size, chunk_size):
+            r = rows[lo : lo + chunk_size]
+            match = partners[r] == cols[lo : lo + chunk_size, None]
+            hit = match.any(axis=1)
+            vals = amounts[r, match.argmax(axis=1)]
+            out[lo : lo + chunk_size] = np.where(hit, vals, 0.0)
+        return out
+
+    def ledger_add(
+        self,
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        counts: np.ndarray,
+        row_cap: Any,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        add_amounts: np.ndarray,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chunked classify/accumulate/insert with decay-eviction.
+
+        Per chunk: classification against the chunk-start state, hits
+        accumulated first, then misses inserted (evicting the smallest
+        stored amount of any full row) — the state-dependent order every
+        backend must reproduce.
+        """
+        ev_rows: list[np.ndarray] = []
+        ev_amts: list[np.ndarray] = []
+        for lo in range(0, rows.size, chunk_size):
+            r = rows[lo : lo + chunk_size]
+            c = cols[lo : lo + chunk_size]
+            a = add_amounts[lo : lo + chunk_size]
+            live = a != 0.0  # dense cells ignore +0.0; don't spend capacity
+            if not live.all():
+                r, c, a = r[live], c[live], a[live]
+            if not r.size:
+                continue
+            match = partners[r] == c[:, None]
+            hit = match.any(axis=1)
+            if hit.any():
+                # (row, pos) targets are distinct within a call (pairs are
+                # unique), so fancy-index accumulation is exact.
+                amounts[r[hit], match.argmax(axis=1)[hit]] += a[hit]
+            miss = ~hit
+            if miss.any():
+                got = self._ledger_insert(
+                    partners, amounts, counts, row_cap, r[miss], c[miss], a[miss]
+                )
+                if got is not None:
+                    ev_rows.append(got[0])
+                    ev_amts.append(got[1])
+        if not ev_rows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64)
+        return np.concatenate(ev_rows), np.concatenate(ev_amts)
+
+    @staticmethod
+    def _ledger_insert(
+        partners: np.ndarray,
+        amounts: np.ndarray,
+        counts: np.ndarray,
+        row_cap: Any,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        add_amounts: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Append new partners; evict the smallest entry of any full row."""
+        from ...core.params import gather_param
+
+        order = np.argsort(rows, kind="stable")
+        sr = rows[order]
+        # Within-call rank of each insert in its row: repeated rows (one
+        # source meeting several new partners in one settlement) claim
+        # consecutive slots after the row's current count.
+        new_run = np.empty(sr.size, dtype=bool)
+        new_run[0] = True
+        np.not_equal(sr[1:], sr[:-1], out=new_run[1:])
+        run_start = np.flatnonzero(new_run)
+        run_len = np.diff(np.append(run_start, sr.size))
+        rank = np.arange(sr.size) - np.repeat(run_start, run_len)
+        slot = counts[sr] + rank
+        ok = slot < gather_param(row_cap, sr)
+        if ok.any():
+            src = order[ok]
+            partners[sr[ok], slot[ok]] = cols[src]
+            amounts[sr[ok], slot[ok]] = add_amounts[src]
+            np.add.at(counts, sr[ok], 1)
+        overflow = np.flatnonzero(~ok)
+        if not overflow.size:
+            return None
+        # Decay-eviction (rare; the approximation regime): replace the
+        # smallest stored amount — stale partners have decayed furthest.
+        ev_rows = np.empty(overflow.size, dtype=np.int64)
+        ev_amts = np.empty(overflow.size, dtype=np.float64)
+        for k, i in enumerate(overflow):
+            row = int(sr[i])
+            j = int(np.argmin(amounts[row, : counts[row]]))
+            ev_rows[k] = row
+            ev_amts[k] = amounts[row, j]
+            partners[row, j] = cols[order[i]]
+            amounts[row, j] = add_amounts[order[i]]
+        return ev_rows, ev_amts
+
+    def q_update(
+        self,
+        q: np.ndarray,
+        idx: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        learning_rate: Any,
+        discount: Any,
+    ) -> None:
+        """The historical fancy-indexed TD backup, in place."""
+        best_next = q[idx, next_states].max(axis=1)
+        target = rewards + discount * best_next
+        current = q[idx, states, actions]
+        q[idx, states, actions] = (1.0 - learning_rate) * current + learning_rate * target

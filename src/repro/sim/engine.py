@@ -82,7 +82,7 @@ def replicate_configs(
     """``n_replicates`` copies of ``config`` with independent derived seeds.
 
     This is the single seed-derivation rule every ensemble path uses —
-    :func:`run_replicates`, :func:`repro.sim.sweep.replicate` and through
+    :func:`run_replicates`, :func:`repro.sim._sweep.replicate` and through
     them the ``repro`` CLI — so batched and per-seed executions always
     address the same RunStore entries.
     """
@@ -107,10 +107,14 @@ def _run_protocol(state) -> float:
     :class:`~repro.obs.Stopwatch` reading, and an enabled ambient tracer
     additionally records ``engine/train`` / ``engine/eval`` boundary
     spans (plus the per-kernel ``phase/*`` spans inside ``step_state``).
+    A compiling kernel backend is warmed *before* the timed protocol so
+    one-time JIT compilation lands in its own ``backend/compile`` span
+    instead of silently inflating the first step of ``engine/train``.
     """
     cfg = state.config
     lanes = state.lanes
     tracer = get_tracer()
+    state.backend.ensure_warm(tracer)
     dims = {
         "lanes": state.n_replicates,
         "agents": state.n_agents,
@@ -327,7 +331,7 @@ def run_replicates(
 ) -> list[SimulationResult]:
     """Run ``n_replicates`` seed-varied copies of ``config`` batched.
 
-    Seeds are derived exactly like :func:`repro.sim.sweep.replicate`
+    Seeds are derived exactly like :func:`repro.sim._sweep.replicate`
     (``SeedSequence`` children of ``root_seed``, default the config's
     seed), so batched ensembles and sequential sweeps share cache
     entries.  With a ``store``, cached replicates are served without

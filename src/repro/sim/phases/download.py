@@ -27,7 +27,11 @@ def download_phase(state: SimState, cfg: SimulationConfig) -> None:
     lanes = state.lanes
     mask2d = state.rows(peers.sharing_mask())
     requests = sample_download_requests_batch(
-        state.rngs, mask2d, lanes.download_probability, overlays=state.overlays
+        state.rngs,
+        mask2d,
+        lanes.download_probability,
+        overlays=state.overlays,
+        kernels=state.backend,
     )
     shares = state.scheme.bandwidth_shares(
         requests.source_ids, requests.downloader_ids
@@ -42,6 +46,7 @@ def download_phase(state: SimState, cfg: SimulationConfig) -> None:
         peers.offered_bandwidth,
         peers.upload_capacity,
         peers.n,
+        kernels=state.backend,
     )
     ctx.received = received
     if state.transfer_hook is not None and requests.n:

@@ -19,11 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...core.service import (
-    allocate_by_reputation,
-    allocate_equal_split,
-    required_majority_values,
-)
+from ...core.service import required_majority_values
 from ...core.utility import editing_utility_values
 from ...network.events import EditEvent, PunishmentEvent
 from ..config import SimulationConfig
@@ -119,27 +115,17 @@ def _voting_rounds(
     # are identical to a single-pass filter for any chunk size.
     counts = np.fromiter((a.size for a in arrays), dtype=np.int64, count=n_prop)
     if counts.sum():
-        chunk = state.config.scale.chunk_size
-        csum = np.cumsum(counts)
-        kept_voters: list[np.ndarray] = []
-        kept_props: list[np.ndarray] = []
-        start = 0
-        while start < n_prop:
-            base = int(csum[start - 1]) if start else 0
-            end = int(np.searchsorted(csum, base + chunk, side="right"))
-            if end <= start:
-                end = start + 1  # one oversized pool still processes alone
-            cand_local = np.concatenate(arrays[start:end])
-            prop_of_cand = np.repeat(np.arange(start, end), counts[start:end])
-            keep = cand_local != local_proposers[prop_of_cand]
-            flat_cand = cand_local + rep_of_prop[prop_of_cand] * n
-            if not all_can_vote:
-                keep &= can_vote[flat_cand]
-            kept_voters.append(flat_cand[keep])
-            kept_props.append(prop_of_cand[keep])
-            start = end
-        flat_voters = np.concatenate(kept_voters)
-        cand_prop = np.concatenate(kept_props)
+        cand_local = np.concatenate(arrays)
+        flat_voters, cand_prop = state.backend.filter_vote_candidates(
+            cand_local,
+            counts,
+            local_proposers,
+            rep_of_prop,
+            can_vote,
+            all_can_vote,
+            n,
+            state.config.scale.chunk_size,
+        )
         voter_counts = np.bincount(cand_prop, minlength=n_prop)
     else:
         flat_voters = np.empty(0, dtype=np.int64)
@@ -186,7 +172,9 @@ def _voting_rounds(
     prop_constructive = ctx.edit_constructive[proposers]
 
     if scheme.differentiates_service:
-        weights = allocate_by_reputation(flat_prop, ctx.rep_e[flat_voters], n_prop)
+        weights = state.backend.grouped_shares(
+            flat_prop, ctx.rep_e[flat_voters], n_prop
+        )
         required = required_majority_values(
             ctx.rep_e[proposers],
             take(lanes.rep_e_min, proposers),
@@ -195,7 +183,9 @@ def _voting_rounds(
             take(lanes.majority_max, proposers),
         )
     else:
-        weights = allocate_equal_split(flat_prop, n_prop)
+        weights = state.backend.grouped_shares(
+            flat_prop, np.ones(flat_prop.shape, dtype=np.float64), n_prop
+        )
         required = np.full(n_prop, 0.5)
 
     votes_for = ctx.vote_constructive[flat_voters] == prop_constructive[flat_prop]
@@ -203,8 +193,7 @@ def _voting_rounds(
         votes_for = collusion_votes(
             state, flat_voters, proposers[flat_prop], votes_for
         )
-    for_weight = np.zeros(n_prop)
-    np.add.at(for_weight, flat_prop[votes_for], weights[votes_for])
+    for_weight = state.backend.tally_votes(flat_prop, weights, votes_for, n_prop)
     quorum = voter_counts >= take(lanes.min_voters, rep_of_prop)
     accepted = quorum & (for_weight >= required)
     majority_for = for_weight >= 0.5

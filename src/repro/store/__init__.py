@@ -3,7 +3,7 @@
 * :mod:`repro.store.hashing` — canonical config serialization + sha256
   keys, so a :class:`~repro.sim.config.SimulationConfig` is its own
   cache key;
-* :mod:`repro.store.runstore` — durable, corruption-tolerant on-disk
+* :mod:`repro.store._runstore` — durable, corruption-tolerant on-disk
   store of finished runs (JSONL index + per-run payload files);
 * :mod:`repro.store.registry` — named scenario packs expanding to config
   grids (paper figures plus churn, overlay, capacity, scheme and
@@ -61,7 +61,7 @@ from .registry import (
     register_scenario,
     scenario_names,
 )
-from .runstore import (
+from ._runstore import (
     GRID_SCHEMA_VERSION,
     STORE_SCHEMA_VERSION,
     GridManifest,

@@ -10,7 +10,7 @@ The pieces:
 
 * **task keys** — a grid is partitioned once, deterministically, into
   lane-batched task units (:func:`plan_dispatch_tasks`, built on
-  :func:`repro.sim.sweep.plan_lane_batches`); a task's key is the sha256
+  :func:`repro.sim._sweep.plan_lane_batches`); a task's key is the sha256
   of its member config hashes, so every invocation that plans the same
   grid derives the same keys.
 * **grid manifests** — :meth:`RunStore.put_grid` publishes the grid
@@ -424,7 +424,7 @@ def plan_dispatch_tasks(
 ) -> list[DispatchTask]:
     """Partition a grid into the deterministic dispatch task units.
 
-    Delegates grouping to :func:`repro.sim.sweep.plan_lane_batches`
+    Delegates grouping to :func:`repro.sim._sweep.plan_lane_batches`
     (memory-budgeted, structure-compatible batches) and then chunks
     every batch to at most ``lane_width`` lanes so grids split into
     multiple claimable units.  Both steps depend only on the grid
@@ -441,9 +441,9 @@ def plan_dispatch_tasks(
                 "event-collecting configs cannot be dispatched through the "
                 "store (event logs are not persisted); run them locally"
             )
-    # Imported lazily: repro.sim.sweep imports this package's siblings at
+    # Imported lazily: repro.sim._sweep imports this package's siblings at
     # call time, keeping `import repro.store` free of the sim engine.
-    from ..sim.sweep import plan_lane_batches
+    from ..sim._sweep import plan_lane_batches
 
     batches = plan_lane_batches([(cfg, [i]) for i, cfg in enumerate(grid)])
     tasks: list[DispatchTask] = []

@@ -153,7 +153,7 @@ class TestBaselinesInEngine:
         TFT sustains no more sharing than no incentives at all, while the
         reputation scheme sustains more."""
         from repro.sim.config import SimulationConfig
-        from repro.sim.sweep import run_sweep
+        from repro.sim._sweep import run_sweep
 
         def mk(scheme, seed):
             return SimulationConfig(

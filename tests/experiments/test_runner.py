@@ -60,7 +60,7 @@ class TestMain:
 
 class TestStoreIntegration:
     def test_store_line_printed_and_ambient_reset(self, tmp_path, capsys):
-        from repro.sim.sweep import get_default_store
+        from repro.sim._sweep import get_default_store
 
         rc = main(
             [

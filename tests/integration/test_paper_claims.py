@@ -10,7 +10,7 @@ import pytest
 
 from repro.agents.population import PopulationMix
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 
 
 def cfg(**overrides) -> SimulationConfig:

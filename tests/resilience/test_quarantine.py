@@ -21,9 +21,9 @@ from repro.resilience import (
     inject_faults,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import SweepFailure, last_sweep_failures, run_sweep
+from repro.sim._sweep import SweepFailure, last_sweep_failures, run_sweep
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 
 @pytest.fixture(autouse=True)
@@ -154,7 +154,7 @@ class TestSweepQuarantine:
         assert store.contains_hash(config_hash(cfg))
 
     def test_raise_mode_still_raises(self, tmp_path):
-        from repro.sim.sweep import SweepWorkerError
+        from repro.sim._sweep import SweepWorkerError
 
         store = RunStore(tmp_path)
         cfg = tiny(seed=5)

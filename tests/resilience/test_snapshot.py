@@ -28,7 +28,7 @@ from repro.resilience import (
     snapshot_key,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 from repro.store.hashing import config_hash
 from tests.conftest import assert_summaries_equal
 

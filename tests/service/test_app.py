@@ -10,9 +10,9 @@ import asyncio
 import threading
 
 from repro.service import ServiceSettings, SimulationService
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 from svc_helpers import http, make_tiny, sse_open, tiny_dict
 

@@ -22,7 +22,7 @@ import random
 from svc_helpers import http, tiny_dict
 
 from repro.service import ServiceSettings, SimulationService
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 N_CLIENTS = int(os.environ.get("SERVICE_LOAD_CLIENTS", "6"))
 N_UNIQUE = int(os.environ.get("SERVICE_LOAD_UNIQUE", "10"))

@@ -11,8 +11,8 @@ from repro.sim.engine import (
 )
 from repro.sim.rng import spawn_seeds
 from repro.sim.state import build_sim_state
-from repro.sim.sweep import replicate, run_sweep
-from repro.store.runstore import RunStore
+from repro.sim._sweep import replicate, run_sweep
+from repro.store._runstore import RunStore
 
 
 def tiny(seed=7, **overrides):

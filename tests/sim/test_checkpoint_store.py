@@ -10,12 +10,12 @@ evaluation — which must then be cache hits on the next sweep.
 import numpy as np
 import pytest
 
-import repro.sim.sweep as sweep_mod
+import repro.sim._sweep as sweep_mod
 from repro.sim.checkpoint import load_checkpoint, save_checkpoint
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import CollaborationSimulation
-from repro.sim.sweep import run_sweep
-from repro.store.runstore import RunStore
+from repro.sim._sweep import run_sweep
+from repro.store._runstore import RunStore
 
 
 def make_config(seed=9, **kw):

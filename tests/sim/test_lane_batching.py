@@ -1,6 +1,6 @@
 """Lane planner coverage: partitioning, fallbacks, dedupe and the store.
 
-The planner (:func:`repro.sim.sweep.plan_lane_batches`) decides how a
+The planner (:func:`repro.sim._sweep.plan_lane_batches`) decides how a
 sweep grid maps onto heterogeneous-lane batches; these tests pin its
 contract — structural splits, sequential fallbacks for event collectors,
 one execution per duplicate config — and prove the store round-trip:
@@ -19,9 +19,9 @@ from repro.sim.lanes import (
     structural_key,
     take,
 )
-from repro.sim.sweep import plan_lane_batches, replicate, run_sweep
+from repro.sim._sweep import plan_lane_batches, replicate, run_sweep
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 
 def tiny(seed=7, **overrides):

@@ -24,7 +24,7 @@ from repro.core.sparse import SparseInteractionLedger
 from repro.sim.config import ScaleConfig, SimulationConfig
 from repro.sim.engine import BatchedSimulation, run_simulation
 from repro.sim.lanes import estimate_lane_state_bytes
-from repro.sim.sweep import default_lane_width, plan_lane_batches
+from repro.sim._sweep import default_lane_width, plan_lane_batches
 
 MIX = PopulationMix(rational=0.5, altruistic=0.25, irrational=0.25)
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import available_workers, replicate, run_sweep
+from repro.sim._sweep import available_workers, replicate, run_sweep
 
 
 def tiny(seed=0, **kw):

@@ -2,8 +2,8 @@
 
 from repro.obs import tracing
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import SweepProgress, _adapt_progress, run_sweep
-from repro.store.runstore import RunStore
+from repro.sim._sweep import SweepProgress, _adapt_progress, run_sweep
+from repro.store._runstore import RunStore
 
 
 def tiny(seed=0, **kw):

@@ -4,16 +4,16 @@ import pytest
 
 from tests.conftest import assert_summaries_equal
 
-import repro.sim.sweep as sweep_mod
+import repro.sim._sweep as sweep_mod
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import (
+from repro.sim._sweep import (
     SweepWorkerError,
     get_default_store,
     run_sweep,
     set_default_store,
 )
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 
 def tiny(seed=0, **kw):

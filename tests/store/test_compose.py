@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import run_sweep
+from repro.sim._sweep import run_sweep
 from repro.store import (
     RunStore,
     ScenarioModifier,

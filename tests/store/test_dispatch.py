@@ -31,7 +31,7 @@ from repro.store.dispatch import (
     task_key,
 )
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 
 def tiny(seed=0, **kw):
@@ -400,7 +400,7 @@ class TestCrashRecovery:
         task must be reclaimed, and the store must end with exactly one
         record per config.
         """
-        from repro.sim.sweep import run_sweep
+        from repro.sim._sweep import run_sweep
         from repro.store.dispatch import last_dispatch_stats
 
         store = RunStore(tmp_path / "store")

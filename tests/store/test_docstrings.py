@@ -18,14 +18,14 @@ import pytest
 import repro.obs.metrics
 import repro.obs.tracer
 import repro.sim.engine
-import repro.sim.sweep
+import repro.sim._sweep
 import repro.store.compose
-import repro.store.runstore
+import repro.store._runstore
 
 MODULES = [
-    repro.store.runstore,  # RunStore: put/get/stats walkthrough
+    repro.store._runstore,  # RunStore: put/get/stats walkthrough
     repro.store.compose,  # compose_scenarios: churn/storm cross product
-    repro.sim.sweep,  # run_sweep: serial two-seed grid
+    repro.sim._sweep,  # run_sweep: serial two-seed grid
     repro.sim.engine,  # run_replicates: batched three-seed ensemble
     repro.obs.tracer,  # tracing(): span aggregation walkthrough
     repro.obs.metrics,  # MetricsRegistry: counter/gauge/histogram exposition

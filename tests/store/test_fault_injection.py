@@ -35,7 +35,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationResult
 from repro.store import dispatch as dispatch_mod
 from repro.store.dispatch import LeaseBoard, LeaseLost
-from repro.store.runstore import RunStore, StoredRun
+from repro.store._runstore import RunStore, StoredRun
 
 
 @pytest.fixture(autouse=True)

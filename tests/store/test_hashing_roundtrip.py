@@ -8,26 +8,19 @@ joining, store cache hits — rests on one invariant::
 for *every* expressible config, including the awkward corners: nested
 dataclasses (constants, mix, scale), float sentinels (inf/-inf/nan),
 integral floats that canonicalize to JSON ints, and dotted ``scale.*``
-updates.  A seeded generator draws hundreds of valid random configs and
-pushes each through the full wire cycle (canonical dict -> JSON text ->
-parsed dict -> revived config), exactly what a config travels through
-the HTTP submit path.
+updates.  The seeded generator lives in :mod:`repro.sim.testing`
+(shared with the backend-equivalence suite) and draws hundreds of valid
+random configs; each goes through the full wire cycle (canonical dict ->
+JSON text -> parsed dict -> revived config), exactly what a config
+travels through the HTTP submit path.
 """
 
 import dataclasses
 import json
 import random
 
-from repro.agents.population import PopulationMix
-from repro.core.params import (
-    ContributionParams,
-    PaperConstants,
-    ReputationParams,
-    ServiceParams,
-    UtilityParams,
-)
-from repro.core.reputation import REPUTATION_FUNCTIONS
 from repro.sim.config import SimulationConfig
+from repro.sim.testing import random_config
 from repro.store.hashing import (
     canonical_config_dict,
     canonical_json,
@@ -38,124 +31,6 @@ from repro.store.hashing import (
 N_CONFIGS = 300
 
 _SCHEMES = ("auto", "reputation", "none", "tft", "karma")
-_OVERLAYS = ("full", "random", "smallworld", "scalefree")
-
-
-def _eighths(rng: random.Random) -> PopulationMix:
-    """A random mix in exact eighths, so the fractions sum to exactly 1."""
-    a = rng.randint(0, 8)
-    b = rng.randint(0, 8 - a)
-    return PopulationMix(
-        rational=a / 8, altruistic=b / 8, irrational=(8 - a - b) / 8
-    )
-
-
-def _maybe_integral(rng: random.Random, lo: float, hi: float) -> float:
-    """A float in (lo, hi]; sometimes exactly integral (the int-collapse
-    corner: canonical JSON serializes 2.0 as 2)."""
-    if rng.random() < 0.3:
-        value = float(rng.randint(max(1, int(lo)), max(2, int(hi))))
-        return min(max(value, lo), hi)
-    return rng.uniform(lo, hi) or hi
-
-
-def _constants(rng: random.Random) -> PaperConstants:
-    def reputation() -> ReputationParams:
-        r_min = rng.uniform(0.01, 0.4)
-        return ReputationParams(
-            g=_maybe_integral(rng, 1.0, 40.0),
-            beta=rng.uniform(0.05, 2.0),
-            r_min=r_min,
-            r_max=rng.uniform(r_min + 0.05, 1.0),
-        )
-
-    rep_s = reputation()
-    majority_min = rng.uniform(0.3, 0.7)
-    return PaperConstants(
-        reputation_s=rep_s,
-        reputation_e=reputation(),
-        contribution=ContributionParams(
-            alpha_s=_maybe_integral(rng, 1.0, 5.0),
-            beta_s=rng.uniform(0.5, 5.0),
-            d_s=rng.uniform(0.0, 0.2),
-            alpha_e=rng.uniform(0.5, 5.0),
-            beta_e=rng.uniform(0.5, 5.0),
-            d_e=rng.uniform(0.0, 0.2),
-            retention=rng.uniform(0.5, 1.0),
-        ),
-        service=ServiceParams(
-            # edit_threshold must clear the sharing scheme's r_min floor.
-            edit_threshold=rng.uniform(rep_s.r_min + 0.01, 0.9),
-            majority_min=majority_min,
-            majority_max=rng.uniform(majority_min, 1.0),
-            vote_punish_threshold=rng.randint(1, 20),
-            edit_punish_threshold=rng.randint(1, 20),
-        ),
-        utility=UtilityParams(
-            alpha=_maybe_integral(rng, 1.0, 10.0),
-            beta=rng.uniform(0.01, 1.0),
-            gamma=rng.uniform(0.01, 1.0),
-            delta=_maybe_integral(rng, 1.0, 40.0),
-            epsilon=rng.uniform(0.5, 10.0),
-        ),
-    )
-
-
-def random_config(rng: random.Random) -> SimulationConfig:
-    """One valid random config touching every structured corner."""
-    t_train = rng.choice(
-        [float("inf"), float("-inf"), float("nan"), rng.uniform(0.1, 10.0)]
-    )
-    cfg = SimulationConfig(
-        n_agents=rng.randint(2, 500),
-        mix=_eighths(rng),
-        incentives_enabled=rng.random() < 0.5,
-        scheme=rng.choice(_SCHEMES),
-        constants=_constants(rng),
-        reputation_fn_s=rng.choice(list(REPUTATION_FUNCTIONS)),
-        reputation_fn_e=rng.choice(list(REPUTATION_FUNCTIONS)),
-        karma_initial=_maybe_integral(rng, 0.0, 5.0),
-        karma_floor=rng.uniform(0.001, 0.5),
-        tft_optimistic_floor=rng.uniform(0.001, 0.5),
-        tft_history_decay=rng.uniform(0.5, 1.0),
-        n_states=rng.randint(1, 30),
-        training_steps=rng.randint(0, 10_000),
-        eval_steps=rng.randint(1, 5_000),
-        t_train=t_train,
-        t_eval=rng.choice([1.0, 2.0, float("inf"), rng.uniform(0.1, 5.0)]),
-        learning_rate=rng.uniform(0.01, 1.0),
-        discount=rng.uniform(0.0, 1.0),
-        learn_during_eval=rng.random() < 0.5,
-        n_articles=rng.randint(1, 100),
-        founders_per_article=rng.randint(1, 10),
-        download_probability=rng.choice([1.0, rng.uniform(0.0, 1.0)]),
-        edit_attempt_prob=rng.uniform(0.0, 1.0),
-        max_voters_per_edit=rng.randint(1, 30),
-        min_voters_per_edit=rng.randint(1, 5),
-        enforce_edit_threshold=rng.random() < 0.5,
-        overlay_kind=rng.choice(_OVERLAYS),
-        overlay_degree=rng.randint(2, 32),
-        capacity_sigma=rng.choice([0.0, rng.uniform(0.0, 2.0)]),
-        leave_rate=rng.uniform(0.0, 0.2),
-        join_rate=rng.uniform(0.0, 0.2),
-        whitewash_rate=rng.uniform(0.0, 0.2),
-        collusion_fraction=rng.uniform(0.0, 1.0),
-        collusion_ring_size=rng.randint(2, 10),
-        sybil_fraction=rng.uniform(0.0, 1.0),
-        sybil_rate=rng.uniform(0.0, 1.0),
-        seed=rng.randint(0, 2**31),
-        measure_window=rng.uniform(0.1, 1.0),
-    )
-    if rng.random() < 0.5:
-        # Exercise the dotted scale.* update path the CLI and scenario
-        # modifiers use, not just the ScaleConfig constructor.
-        cfg = cfg.with_(**{
-            "scale.sparse": rng.random() < 0.5,
-            "scale.ledger_cap": rng.randint(1, 256),
-            "scale.chunk_size": rng.randint(1, 65536),
-            "scale.stream_metrics_threshold": rng.randint(2, 50_000),
-        })
-    return cfg
 
 
 def _wire_cycle(cfg: SimulationConfig) -> SimulationConfig:

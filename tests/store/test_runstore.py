@@ -9,7 +9,7 @@ from tests.conftest import assert_summaries_equal
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import run_simulation
 from repro.store.hashing import config_hash
-from repro.store.runstore import STORE_SCHEMA_VERSION, RunStore, StoredRun
+from repro.store._runstore import STORE_SCHEMA_VERSION, RunStore, StoredRun
 
 
 def tiny(seed=0, **kw):

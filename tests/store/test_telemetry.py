@@ -7,7 +7,7 @@ import pytest
 from repro.obs import TELEMETRY_SCHEMA_VERSION, Tracer, build_telemetry
 from repro.sim.config import SimulationConfig
 from repro.store.hashing import config_hash
-from repro.store.runstore import RunStore
+from repro.store._runstore import RunStore
 
 
 def tiny(seed=0, **kw):

@@ -39,7 +39,7 @@ from pathlib import Path
 REPO_SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(REPO_SRC))
 
-from repro.store.runstore import RunStore  # noqa: E402
+from repro.store._runstore import RunStore  # noqa: E402
 
 
 def main(argv: list[str]) -> int:

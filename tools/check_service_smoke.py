@@ -38,7 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 REPO_SRC = REPO_ROOT / "src"
 sys.path.insert(0, str(REPO_SRC))
 
-from repro.store.runstore import RunStore  # noqa: E402
+from repro.store._runstore import RunStore  # noqa: E402
 
 SCENARIO = "base/default"
 STARTUP_TIMEOUT_S = 30.0
